@@ -1,0 +1,46 @@
+# Montsalvat (Go reproduction) — common tasks.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-full fuzz vet fmt examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# testing.B benchmarks (quick experiment scale + substrate benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Regenerate every paper table/figure at full scale (minutes).
+bench-full:
+	$(GO) run ./cmd/montsalvat-bench
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/securekv
+	$(GO) run ./examples/pagerank
+	$(GO) run ./examples/unpartitioned
+
+clean:
+	$(GO) clean ./...

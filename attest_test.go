@@ -1,0 +1,71 @@
+package montsalvat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeAttestAndSeal exercises the attestation + sealing surface of
+// the public API end to end: build, attest, seal, restart, unseal.
+func TestFacadeAttestAndSeal(t *testing.T) {
+	prog := counterProgram(t)
+	w, build, err := NewPartitionedWorld(prog, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	platform, err := NewAttestationPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := platform.Quote(w.Enclave(), []byte("session-nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := platform.Verify(quote, build.TrustedImage.Measurement()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	secret, err := NewPlatformSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Enclave().Seal(secret, SealToMRENCLAVE, []byte("persistent state"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh world built from the same program has the same
+	// measurement, so it can unseal the blob (same platform).
+	w2, build2, err := NewPartitionedWorld(prog, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if build2.TrustedImage.Measurement() != build.TrustedImage.Measurement() {
+		t.Fatal("rebuild changed the measurement")
+	}
+	plain, err := w2.Enclave().Unseal(secret, SealToMRENCLAVE, blob, nil)
+	if err != nil {
+		t.Fatalf("Unseal after restart: %v", err)
+	}
+	if !bytes.Equal(plain, []byte("persistent state")) {
+		t.Fatalf("unsealed %q", plain)
+	}
+
+	// A different program (different measurement) cannot unseal.
+	other := counterProgram(t)
+	c, _ := other.Class("Counter")
+	if err := c.AddMethod(&Method{Name: "extra", Public: true}); err != nil {
+		t.Fatal(err)
+	}
+	w3, _, err := NewPartitionedWorld(other, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if _, err := w3.Enclave().Unseal(secret, SealToMRENCLAVE, blob, nil); err == nil {
+		t.Fatal("foreign enclave unsealed the blob")
+	}
+}

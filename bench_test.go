@@ -1,0 +1,267 @@
+package montsalvat
+
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// table/figure (§6) runs the corresponding experiment of internal/bench
+// at reduced scale with real busy-wait cost charging, so ns/op reflects
+// the simulated platform. The substrate benchmarks below measure the
+// primitive costs the figures are built from.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full-scale paper tables with:
+//
+//	go run ./cmd/montsalvat-bench
+
+import (
+	"testing"
+
+	"montsalvat/internal/bench"
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/core"
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/heap"
+	"montsalvat/internal/mee"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/simcfg"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+// benchExperiment runs one paper experiment end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.Options{Quick: true, Spin: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkFig3ProxyCreation(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4aRMI(b *testing.B)           { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bSerialization(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFig5aGC(b *testing.B)            { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bGCConsistency(b *testing.B) { benchExperiment(b, "fig5b") }
+func BenchmarkFig6Synthetic(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7PalDB(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig9GraphChi(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10PalDBvsJVM(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11GraphChivsJVM(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12SPECjvm(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkTable1Ratios(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkAblationSwitchless(b *testing.B) { benchExperiment(b, "ablation-switchless") }
+func BenchmarkAblationTCB(b *testing.B)        { benchExperiment(b, "ablation-tcb") }
+func BenchmarkAblationTransition(b *testing.B) { benchExperiment(b, "ablation-transition") }
+
+// Substrate benchmarks: the primitive costs underneath the figures.
+
+// BenchmarkMEELine measures one cache-line encrypt+decrypt round trip —
+// the unit of all enclave memory traffic.
+func BenchmarkMEELine(b *testing.B) {
+	eng, err := mee.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line [mee.LineBytes]byte
+	ct := make([]byte, mee.LineBytes)
+	out := make([]byte, mee.LineBytes)
+	b.SetBytes(mee.LineBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag, err := eng.EncryptLine(ct, line[:], uint64(i), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.DecryptLine(out, ct, uint64(i), uint64(i), tag); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEcallTransition measures one enclave round trip without
+// spinning (pure dispatch) — compare with simcfg.EcallCycles.
+func BenchmarkEcallTransition(b *testing.B) {
+	clk := cycles.New(simcfg.CPUHz, false)
+	e, err := sgx.Create(simcfg.ForTest(), clk, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.AddPages([]byte("bench image")); err != nil {
+		b.Fatal(err)
+	}
+	signer, err := sgx.NewSigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := signer.Sign(e.Measurement())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Init(ss); err != nil {
+		b.Fatal(err)
+	}
+	noop := func() error { return nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Ecall(1, noop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeapAllocPlain and BenchmarkHeapAllocEPC compare allocation on
+// the untrusted and enclave heaps.
+func BenchmarkHeapAllocPlain(b *testing.B) {
+	h, err := heap.NewPlain(heap.Config{InitialSemi: 64 << 20, MaxSemi: 512 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Alloc(1, 1, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapAllocEPC(b *testing.B) {
+	clk := cycles.New(simcfg.CPUHz, false)
+	e, err := sgx.Create(simcfg.ForTest(), clk, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := heap.New(heap.Config{InitialSemi: 64 << 20, MaxSemi: 512 << 20}, func(size int) (heap.Backend, error) {
+		return e.NewMemory(size)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Alloc(1, 1, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGCPlain and BenchmarkGCEPC measure one stop-and-copy cycle
+// over 10k live objects, outside and inside the enclave (Fig. 5a's
+// primitive).
+func benchmarkGC(b *testing.B, inEnclave bool) {
+	b.Helper()
+	var (
+		h   *heap.Heap
+		err error
+	)
+	cfg := heap.Config{InitialSemi: 16 << 20, MaxSemi: 64 << 20}
+	if inEnclave {
+		clk := cycles.New(simcfg.CPUHz, false)
+		e, cerr := sgx.Create(simcfg.ForTest(), clk, 4)
+		if cerr != nil {
+			b.Fatal(cerr)
+		}
+		h, err = heap.New(cfg, func(size int) (heap.Backend, error) {
+			return e.NewMemory(size)
+		})
+	} else {
+		h, err = heap.NewPlain(cfg)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		addr, err := h.Alloc(1, 0, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.NewHandle(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGCPlain(b *testing.B) { benchmarkGC(b, false) }
+func BenchmarkGCEPC(b *testing.B)   { benchmarkGC(b, true) }
+
+// BenchmarkWireRoundTrip measures serialization of a typical relay
+// argument vector.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	args := []wire.Value{
+		wire.Int(42),
+		wire.Str("a sixteen-byte s"),
+		wire.List(wire.Int(1), wire.Str("two"), wire.Ref("Account", 7)),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := wire.MarshalList(args)
+		if _, err := wire.UnmarshalList(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBankEndToEnd runs the complete Listing 1 application —
+// pipeline, enclave creation, execution — per iteration.
+func BenchmarkBankEndToEnd(b *testing.B) {
+	prog := demo.MustBankProgram()
+	signer, err := sgx.NewSigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := world.DefaultOptions()
+		opts.Signer = signer
+		w, _, err := core.NewPartitionedWorld(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.RunMain(); err != nil {
+			b.Fatal(err)
+		}
+		w.Close()
+	}
+}
+
+// BenchmarkRMIRoundTrip measures one proxy method invocation crossing
+// into the enclave and back.
+func BenchmarkRMIRoundTrip(b *testing.B) {
+	w, _, err := core.NewPartitionedWorld(demo.MustBankProgram(), world.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Exec(false, func(env classmodel.Env) error {
+		acct, err := env.New(demo.Account, wire.Str("bench"), wire.Int(0))
+		if err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Call(acct, "updateBalance", wire.Int(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

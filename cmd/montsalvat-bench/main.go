@@ -1,0 +1,83 @@
+// Command montsalvat-bench regenerates the tables and figures of the
+// paper's evaluation (§6).
+//
+// Usage:
+//
+//	montsalvat-bench                      # run every experiment
+//	montsalvat-bench -experiment fig7     # one experiment
+//	montsalvat-bench -list                # list experiment IDs
+//	montsalvat-bench -quick               # reduced problem sizes
+//	montsalvat-bench -spin=false          # virtual-only cost accounting
+//
+// With -spin (the default), simulated costs — enclave transitions, MEE
+// traffic — are charged as real busy-wait time so wall-clock measurements
+// reflect them; -spin=false keeps runs fast and fully deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"montsalvat/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "montsalvat-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("montsalvat-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment ID (see -list) or \"all\"")
+		quick      = fs.Bool("quick", false, "reduced problem sizes")
+		spin       = fs.Bool("spin", true, "charge simulated costs as real busy-wait time")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		format     = fs.String("format", "text", "output format: text or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want text or csv)", *format)
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(out, "%-22s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opts := bench.Options{Quick: *quick, Spin: *spin}
+	experiments := bench.All()
+	if *experiment != "all" {
+		e, err := bench.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		table, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *format == "csv" {
+			fmt.Fprintf(out, "# %s: %s\n", table.ID, table.Title)
+			fmt.Fprint(out, table.RenderCSV())
+			fmt.Fprintln(out)
+			continue
+		}
+		fmt.Fprint(out, table.Render())
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig3", "fig12", "table1", "ablation-tcb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleExperimentQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table1", "-quick", "-spin=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gain over SCONE+JVM") || !strings.Contains(out, "montecarlo") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig99"}, &sb); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "ablation-tcb", "-quick", "-spin=false", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# ablation-tcb:", "series,classes,methods", "partitioned+shim,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-format", "yaml"}, &sb); err == nil {
+		t.Fatal("accepted bad format")
+	}
+}

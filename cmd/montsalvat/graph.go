@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/image"
+)
+
+// cmdGraph renders the reachable call graph of one image as Graphviz DOT
+// — the paper's Fig. 2 ("determining reachable methods for the
+// relayAccount / main entry points"). Entry points are boxes, proxy-class
+// methods are dashed, call edges are solid and allocation edges dotted.
+func cmdGraph(which string) error {
+	build, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	var img *image.Image
+	switch which {
+	case "trusted":
+		img = build.TrustedImage
+	case "untrusted":
+		img = build.UntrustedImage
+	default:
+		return fmt.Errorf("graph: want trusted or untrusted, got %q", which)
+	}
+	fmt.Print(renderDOT(img))
+	return nil
+}
+
+func renderDOT(img *image.Image) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Reachable methods of the %s image (paper Fig. 2).\n", img.Kind())
+	sb.WriteString("digraph reachability {\n")
+	sb.WriteString("    rankdir=LR;\n")
+	sb.WriteString("    node [fontname=\"monospace\" shape=ellipse];\n")
+
+	entry := make(map[classmodel.MethodRef]bool)
+	for _, ep := range img.EntryPoints() {
+		entry[ep] = true
+	}
+
+	prog := img.Program()
+	for _, c := range img.Classes() {
+		if classmodel.IsBuiltin(c.Name) {
+			continue
+		}
+		for _, m := range c.Methods {
+			ref := classmodel.MethodRef{Class: c.Name, Method: m.Name}
+			if !img.MethodCompiled(ref) {
+				continue
+			}
+			attrs := []string{fmt.Sprintf("label=%q", ref.String())}
+			if entry[ref] {
+				attrs = append(attrs, "shape=box", "penwidth=2")
+			}
+			if c.Proxy {
+				attrs = append(attrs, "style=dashed", `color=gray40`)
+			}
+			fmt.Fprintf(&sb, "    %q [%s];\n", nodeID(ref), strings.Join(attrs, " "))
+			for _, call := range m.Calls {
+				if !img.MethodCompiled(call) {
+					continue
+				}
+				fmt.Fprintf(&sb, "    %q -> %q;\n", nodeID(ref), nodeID(call))
+			}
+			for _, alloc := range m.Allocates {
+				ctor := classmodel.MethodRef{Class: alloc, Method: classmodel.CtorName}
+				if ac, ok := prog.Class(alloc); !ok || classmodel.IsBuiltin(ac.Name) {
+					continue
+				}
+				if !img.MethodCompiled(ctor) {
+					continue
+				}
+				fmt.Fprintf(&sb, "    %q -> %q [style=dotted];\n", nodeID(ref), nodeID(ctor))
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func nodeID(ref classmodel.MethodRef) string {
+	return ref.Class + "." + ref.Method
+}

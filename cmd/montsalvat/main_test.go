@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllSubcommands(t *testing.T) {
+	for _, cmd := range []string{"build", "edl", "edgec", "run", "modes", "attest", "help"} {
+		cmd := cmd
+		t.Run(cmd, func(t *testing.T) {
+			if err := run([]string{cmd}); err != nil {
+				t.Fatalf("run(%s): %v", cmd, err)
+			}
+		})
+	}
+}
+
+func TestDefaultIsBuild(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run(): %v", err)
+	}
+}
+
+func TestGraphCommand(t *testing.T) {
+	for _, which := range []string{"trusted", "untrusted"} {
+		if err := run([]string{"graph", which}); err != nil {
+			t.Fatalf("graph %s: %v", which, err)
+		}
+	}
+	if err := run([]string{"graph", "sideways"}); err == nil {
+		t.Fatal("accepted bad graph target")
+	}
+}
+
+func TestGraphDOTShape(t *testing.T) {
+	build, err := buildDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := renderDOT(build.UntrustedImage)
+	for _, want := range []string{
+		"digraph reachability",
+		`"Main.main" [label="Main.main" shape=box penwidth=2];`, // entry point
+		`"Account.<init>" [label="Account.<init>" style=dashed`, // proxy node
+		`"Main.main" -> "Person.transfer";`,                     // call edge
+		`"Main.main" -> "Person.<init>" [style=dotted];`,        // alloc edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Pruned elements never appear in the trusted graph.
+	tdot := renderDOT(build.TrustedImage)
+	if strings.Contains(tdot, "Person.") {
+		t.Fatalf("trusted graph contains pruned Person proxy:\n%s", tdot)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	err := run([]string{"frobnicate"})
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}

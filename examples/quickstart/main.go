@@ -1,0 +1,292 @@
+// Quickstart: the paper's Listing 1 bank application, written against the
+// public montsalvat API.
+//
+// Two classes are annotated @Trusted (Account, AccountRegistry) and run
+// inside the simulated SGX enclave; Person and Main are @Untrusted and
+// run outside. Montsalvat partitions the program, generates proxies and
+// relay methods, builds the two native images, creates and attests the
+// enclave, and runs main — transfers cross the enclave boundary as
+// remote method invocations on proxy objects.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"montsalvat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	prog, err := bankProgram()
+	if err != nil {
+		return err
+	}
+
+	w, build, err := montsalvat.NewPartitionedWorld(prog, montsalvat.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	w.StartGCHelpers()
+
+	fmt.Println("Montsalvat quickstart: the Listing 1 bank application")
+	rep := build.Transform.Report
+	fmt.Printf("build: %d trusted / %d untrusted classes, %d relays, %d methods stripped\n",
+		rep.TrustedClasses, rep.UntrustedClasses, rep.RelaysAdded, rep.MethodsStripped)
+	meas := build.TrustedImage.Measurement()
+	fmt.Printf("enclave measurement: %x...\n\n", meas[:8])
+
+	result, err := w.RunMain()
+	if err != nil {
+		return err
+	}
+	vals, _ := result.AsList()
+	alice, _ := vals[0].AsInt()
+	bob, _ := vals[1].AsInt()
+	size, _ := vals[2].AsInt()
+	fmt.Printf("after transfer: Alice=%d, Bob=%d, accounts registered=%d\n", alice, bob, size)
+
+	s := w.Stats()
+	fmt.Printf("\nenclave transitions: %d ecalls, %d ocalls\n", s.Enclave.Ecalls, s.Enclave.Ocalls)
+	fmt.Printf("mirror-proxy registry: %d mirrors in enclave, %d proxies outside\n",
+		s.Trusted.RegistrySize, s.Untrusted.WeakListLen)
+	fmt.Printf("MEE traffic: %d cache lines encrypted\n", s.Enclave.MEE.LinesEncrypted)
+	return nil
+}
+
+// bankProgram declares Listing 1 with the public API.
+func bankProgram() (*montsalvat.Program, error) {
+	p := montsalvat.NewProgram()
+
+	account := montsalvat.NewClass("Account", montsalvat.Trusted)
+	if err := account.AddField(montsalvat.Field{Name: "owner", Kind: montsalvat.FieldString}); err != nil {
+		return nil, err
+	}
+	if err := account.AddField(montsalvat.Field{Name: "balance", Kind: montsalvat.FieldInt}); err != nil {
+		return nil, err
+	}
+	if err := account.AddMethod(&montsalvat.Method{
+		Name: montsalvat.CtorName, Public: true,
+		Params: []montsalvat.Param{{Name: "s", Kind: montsalvat.KindString}, {Name: "b", Kind: montsalvat.KindInt}},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			if err := env.SetField(self, "owner", args[0]); err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.Null(), env.SetField(self, "balance", args[1])
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := account.AddMethod(&montsalvat.Method{
+		Name: "updateBalance", Public: true,
+		Params: []montsalvat.Param{{Name: "v", Kind: montsalvat.KindInt}},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			cur, err := env.GetField(self, "balance")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			b, _ := cur.AsInt()
+			v, _ := args[0].AsInt()
+			return montsalvat.Null(), env.SetField(self, "balance", montsalvat.Int(b+v))
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := account.AddMethod(&montsalvat.Method{
+		Name: "getBalance", Public: true, Returns: montsalvat.KindInt,
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			return env.GetField(self, "balance")
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(account); err != nil {
+		return nil, err
+	}
+
+	person := montsalvat.NewClass("Person", montsalvat.Untrusted)
+	if err := person.AddField(montsalvat.Field{Name: "name", Kind: montsalvat.FieldString}); err != nil {
+		return nil, err
+	}
+	if err := person.AddField(montsalvat.Field{Name: "account", Kind: montsalvat.FieldRef, ClassName: "Account"}); err != nil {
+		return nil, err
+	}
+	if err := person.AddMethod(&montsalvat.Method{
+		Name: montsalvat.CtorName, Public: true,
+		Params:    []montsalvat.Param{{Name: "s", Kind: montsalvat.KindString}, {Name: "v", Kind: montsalvat.KindInt}},
+		Allocates: []string{"Account"},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			if err := env.SetField(self, "name", args[0]); err != nil {
+				return montsalvat.Null(), err
+			}
+			// Trusted object inside an untrusted one: this creates a
+			// proxy here and the mirror inside the enclave.
+			acct, err := env.New("Account", args[0], args[1])
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.Null(), env.SetField(self, "account", acct)
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := person.AddMethod(&montsalvat.Method{
+		Name: "getAccount", Public: true, Returns: montsalvat.KindRef,
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			return env.GetField(self, "account")
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := person.AddMethod(&montsalvat.Method{
+		Name: "transfer", Public: true,
+		Params: []montsalvat.Param{
+			{Name: "p", Kind: montsalvat.KindRef, ClassName: "Person"},
+			{Name: "v", Kind: montsalvat.KindInt},
+		},
+		Calls: []montsalvat.MethodRef{
+			{Class: "Person", Method: "getAccount"},
+			{Class: "Account", Method: "updateBalance"},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			v, _ := args[1].AsInt()
+			theirs, err := env.Call(args[0], "getAccount")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			if _, err := env.Call(theirs, "updateBalance", montsalvat.Int(v)); err != nil {
+				return montsalvat.Null(), err
+			}
+			mine, err := env.GetField(self, "account")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			_, err = env.Call(mine, "updateBalance", montsalvat.Int(-v))
+			return montsalvat.Null(), err
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(person); err != nil {
+		return nil, err
+	}
+
+	registry := montsalvat.NewClass("AccountRegistry", montsalvat.Trusted)
+	if err := registry.AddField(montsalvat.Field{Name: "reg", Kind: montsalvat.FieldRef, ClassName: "List"}); err != nil {
+		return nil, err
+	}
+	if err := registry.AddMethod(&montsalvat.Method{
+		Name: montsalvat.CtorName, Public: true,
+		Allocates: []string{"List"},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.New("List")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.Null(), env.SetField(self, "reg", list)
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := registry.AddMethod(&montsalvat.Method{
+		Name: "addAccount", Public: true,
+		Params: []montsalvat.Param{{Name: "a", Kind: montsalvat.KindRef, ClassName: "Account"}},
+		Calls:  []montsalvat.MethodRef{{Class: "List", Method: "add"}},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.GetField(self, "reg")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return env.Call(list, "add", args[0])
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := registry.AddMethod(&montsalvat.Method{
+		Name: "size", Public: true, Returns: montsalvat.KindInt,
+		Calls: []montsalvat.MethodRef{{Class: "List", Method: "size"}},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.GetField(self, "reg")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return env.Call(list, "size")
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(registry); err != nil {
+		return nil, err
+	}
+
+	mainClass := montsalvat.NewClass("Main", montsalvat.Untrusted)
+	if err := mainClass.AddMethod(&montsalvat.Method{
+		Name: montsalvat.MainMethodName, Static: true, Public: true,
+		Returns:   montsalvat.KindList,
+		Allocates: []string{"Person", "AccountRegistry"},
+		Calls: []montsalvat.MethodRef{
+			{Class: "Person", Method: "transfer"},
+			{Class: "Person", Method: "getAccount"},
+			{Class: "AccountRegistry", Method: "addAccount"},
+			{Class: "AccountRegistry", Method: "size"},
+			{Class: "Account", Method: "getBalance"},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			p1, err := env.New("Person", montsalvat.Str("Alice"), montsalvat.Int(100))
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			p2, err := env.New("Person", montsalvat.Str("Bob"), montsalvat.Int(25))
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			if _, err := env.Call(p1, "transfer", p2, montsalvat.Int(25)); err != nil {
+				return montsalvat.Null(), err
+			}
+			reg, err := env.New("AccountRegistry")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			a1, err := env.Call(p1, "getAccount")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			if _, err := env.Call(reg, "addAccount", a1); err != nil {
+				return montsalvat.Null(), err
+			}
+			aliceBal, err := env.Call(a1, "getBalance")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			a2, err := env.Call(p2, "getAccount")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			bobBal, err := env.Call(a2, "getBalance")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			size, err := env.Call(reg, "size")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.List(aliceBal, bobBal, size), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(mainClass); err != nil {
+		return nil, err
+	}
+	p.MainClass = "Main"
+	return p, nil
+}

@@ -1,0 +1,310 @@
+// Secure key-value store: the paper's §6.7 use case, built with the
+// public montsalvat API.
+//
+// "The classes/business logic for storing and retrieving key/value pairs
+// ... can be secured in the enclave, while classes for network-related
+// functionality are kept out of the enclave."
+//
+// KVStore is @Trusted: the table and its entries live on the enclave
+// heap, encrypted by the MEE; every key and value crosses the boundary
+// through the generated relay methods. FrontEnd is @Untrusted: it parses
+// "requests" and forwards operations through the KVStore proxy. The
+// workload is reproduced under the RTWU-style partitioning and then
+// unpartitioned for comparison.
+//
+//	go run ./examples/securekv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"montsalvat"
+)
+
+const requests = 300
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "securekv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Secure KV store (paper §6.7): storage logic in the enclave, front end outside")
+
+	prog, err := kvProgram()
+	if err != nil {
+		return err
+	}
+	w, _, err := montsalvat.NewPartitionedWorld(prog, montsalvat.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	w.StartGCHelpers()
+
+	result, err := w.RunMain()
+	if err != nil {
+		return err
+	}
+	vals, _ := result.AsList()
+	hits, _ := vals[0].AsInt()
+	misses, _ := vals[1].AsInt()
+	stored, _ := vals[2].AsInt()
+	fmt.Printf("served %d requests: %d hits, %d misses, %d entries resident in the enclave\n",
+		requests, hits, misses, stored)
+
+	s := w.Stats()
+	fmt.Printf("boundary crossings: %d ecalls (every put/get is a relay into the enclave)\n", s.Enclave.Ecalls)
+	fmt.Printf("enclave heap: %d B live, %d GC cycles, %d MEE lines encrypted\n",
+		s.TrustedHeap.LiveBytes, s.TrustedHeap.Collections, s.Enclave.MEE.LinesEncrypted)
+
+	// Persist the store's master secret sealed to this enclave image:
+	// only the identical enclave on this machine can recover it after a
+	// restart.
+	secret, err := montsalvat.NewPlatformSecret()
+	if err != nil {
+		return err
+	}
+	blob, err := w.Enclave().Seal(secret, montsalvat.SealToMRENCLAVE, []byte("kv-master-key-0xC0FFEE"), []byte("securekv/v1"))
+	if err != nil {
+		return err
+	}
+	if err := w.HostFS().WriteAt("kv.sealed", 0, blob); err != nil {
+		return err
+	}
+	recovered, err := w.Enclave().Unseal(secret, montsalvat.SealToMRENCLAVE, blob, []byte("securekv/v1"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("master key sealed to enclave identity (%d-byte blob on untrusted disk), recovered %d bytes after unseal\n",
+		len(blob), len(recovered))
+	return nil
+}
+
+func kvProgram() (*montsalvat.Program, error) {
+	p := montsalvat.NewProgram()
+
+	// Entry is a trusted key/value cell.
+	entry := montsalvat.NewClass("Entry", montsalvat.Trusted)
+	for _, f := range []montsalvat.Field{
+		{Name: "key", Kind: montsalvat.FieldString},
+		{Name: "value", Kind: montsalvat.FieldString},
+	} {
+		if err := entry.AddField(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := entry.AddMethod(&montsalvat.Method{
+		Name: montsalvat.CtorName, Public: true,
+		Params: []montsalvat.Param{
+			{Name: "k", Kind: montsalvat.KindString},
+			{Name: "v", Kind: montsalvat.KindString},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			if err := env.SetField(self, "key", args[0]); err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.Null(), env.SetField(self, "value", args[1])
+		},
+	}); err != nil {
+		return nil, err
+	}
+	for _, m := range []string{"key", "value"} {
+		field := m
+		if err := entry.AddMethod(&montsalvat.Method{
+			Name: "get" + field, Public: true, Returns: montsalvat.KindString,
+			Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+				return env.GetField(self, field)
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.AddClass(entry); err != nil {
+		return nil, err
+	}
+
+	// KVStore holds Entry objects in an enclave-resident list.
+	store := montsalvat.NewClass("KVStore", montsalvat.Trusted)
+	if err := store.AddField(montsalvat.Field{Name: "entries", Kind: montsalvat.FieldRef, ClassName: "List"}); err != nil {
+		return nil, err
+	}
+	if err := store.AddMethod(&montsalvat.Method{
+		Name: montsalvat.CtorName, Public: true,
+		Allocates: []string{"List"},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.New("List")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.Null(), env.SetField(self, "entries", list)
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := store.AddMethod(&montsalvat.Method{
+		Name: "put", Public: true,
+		Params: []montsalvat.Param{
+			{Name: "k", Kind: montsalvat.KindString},
+			{Name: "v", Kind: montsalvat.KindString},
+		},
+		Allocates: []string{"Entry"},
+		Calls: []montsalvat.MethodRef{
+			{Class: "List", Method: "add"},
+			{Class: "List", Method: "size"},
+			{Class: "List", Method: "get"},
+			{Class: "List", Method: "set"},
+			{Class: "Entry", Method: "getkey"},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			// Overwrite existing key if present.
+			idx, err := kvFind(env, list, args[0])
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			e, err := env.New("Entry", args[0], args[1])
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			if idx >= 0 {
+				return env.Call(list, "set", montsalvat.Int(idx), e)
+			}
+			return env.Call(list, "add", e)
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := store.AddMethod(&montsalvat.Method{
+		Name: "get", Public: true,
+		Params:  []montsalvat.Param{{Name: "k", Kind: montsalvat.KindString}},
+		Returns: montsalvat.KindString,
+		Calls: []montsalvat.MethodRef{
+			{Class: "List", Method: "size"},
+			{Class: "List", Method: "get"},
+			{Class: "Entry", Method: "getkey"},
+			{Class: "Entry", Method: "getvalue"},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			idx, err := kvFind(env, list, args[0])
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			if idx < 0 {
+				return montsalvat.Null(), nil
+			}
+			e, err := env.Call(list, "get", montsalvat.Int(idx))
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return env.Call(e, "getvalue")
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := store.AddMethod(&montsalvat.Method{
+		Name: "size", Public: true, Returns: montsalvat.KindInt,
+		Calls: []montsalvat.MethodRef{{Class: "List", Method: "size"}},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return env.Call(list, "size")
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(store); err != nil {
+		return nil, err
+	}
+
+	// FrontEnd (untrusted) drives the workload: a mix of puts and gets
+	// with some misses.
+	front := montsalvat.NewClass("FrontEnd", montsalvat.Untrusted)
+	if err := front.AddMethod(&montsalvat.Method{
+		Name: montsalvat.MainMethodName, Static: true, Public: true,
+		Returns:   montsalvat.KindList,
+		Allocates: []string{"KVStore"},
+		Calls: []montsalvat.MethodRef{
+			{Class: "KVStore", Method: "put"},
+			{Class: "KVStore", Method: "get"},
+			{Class: "KVStore", Method: "size"},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			store, err := env.New("KVStore")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			var hits, misses int64
+			for i := 0; i < requests; i++ {
+				key := montsalvat.Str(fmt.Sprintf("user:%04d", i%64))
+				switch {
+				case i%3 == 0:
+					val := montsalvat.Str(fmt.Sprintf("session-token-%08x", i*2654435761))
+					if _, err := env.Call(store, "put", key, val); err != nil {
+						return montsalvat.Null(), err
+					}
+				default:
+					got, err := env.Call(store, "get", key)
+					if err != nil {
+						return montsalvat.Null(), err
+					}
+					if got.IsNull() {
+						misses++
+					} else {
+						hits++
+					}
+				}
+			}
+			size, err := env.Call(store, "size")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.List(montsalvat.Int(hits), montsalvat.Int(misses), size), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(front); err != nil {
+		return nil, err
+	}
+	p.MainClass = "FrontEnd"
+	return p, nil
+}
+
+// kvFind scans the entry list for a key (runs inside the enclave as part
+// of KVStore's methods) and returns its index or -1.
+func kvFind(env montsalvat.Env, list, key montsalvat.Value) (int64, error) {
+	sz, err := env.Call(list, "size")
+	if err != nil {
+		return 0, err
+	}
+	n, _ := sz.AsInt()
+	want, _ := key.AsStr()
+	for i := int64(0); i < n; i++ {
+		e, err := env.Call(list, "get", montsalvat.Int(i))
+		if err != nil {
+			return 0, err
+		}
+		k, err := env.Call(e, "getkey")
+		if err != nil {
+			return 0, err
+		}
+		got, _ := k.AsStr()
+		if got == want {
+			return i, nil
+		}
+	}
+	return -1, nil
+}

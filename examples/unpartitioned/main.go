@@ -1,0 +1,181 @@
+// Unpartitioned deployment (paper §5.6): sometimes it is easier to run
+// the whole application as one native image inside the enclave — no
+// annotations, no bytecode transformation, a single image linked entirely
+// into the enclave object.
+//
+// This example builds a small log-processing application (every class
+// handles sensitive data, so none qualifies as untrusted), runs it whole
+// inside the enclave, and contrasts the costs with the NoSGX baseline:
+// identical results, but the enclave run pays an ecall for main, shim
+// ocalls for every file operation, and MEE encryption for all heap
+// traffic.
+//
+//	go run ./examples/unpartitioned
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"montsalvat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "unpartitioned:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Unpartitioned native image (paper §5.6): whole application in the enclave")
+
+	for _, inEnclave := range []bool{true, false} {
+		prog, err := logProgram()
+		if err != nil {
+			return err
+		}
+		w, img, err := montsalvat.NewUnpartitionedWorld(prog, montsalvat.DefaultOptions(), inEnclave)
+		if err != nil {
+			return err
+		}
+		result, err := w.RunMain()
+		if err != nil {
+			w.Close()
+			return err
+		}
+		vals, _ := result.AsList()
+		lines, _ := vals[0].AsInt()
+		alerts, _ := vals[1].AsInt()
+		s := w.Stats()
+
+		label := "NoSGX    "
+		detail := "no enclave"
+		if inEnclave {
+			meas := img.Measurement()
+			label = "SGX      "
+			detail = fmt.Sprintf("measurement %x..., %d ecall, %d shim ocalls, %d MEE lines",
+				meas[:6], s.Enclave.Ecalls, s.Enclave.Ocalls, s.Enclave.MEE.LinesEncrypted)
+		}
+		fmt.Printf("%s processed %d lines, flagged %d alerts  (%s)\n", label, lines, alerts, detail)
+		w.Close()
+	}
+	return nil
+}
+
+// logProgram builds an application whose single LogAnalyzer class ingests
+// a log file and counts alert lines. Nothing is annotated: the whole
+// image is the TCB.
+func logProgram() (*montsalvat.Program, error) {
+	p := montsalvat.NewProgram()
+	analyzer := montsalvat.NewClass("LogAnalyzer", montsalvat.Neutral)
+	if err := analyzer.AddField(montsalvat.Field{Name: "alerts", Kind: montsalvat.FieldInt}); err != nil {
+		return nil, err
+	}
+	if err := analyzer.AddMethod(&montsalvat.Method{
+		Name: montsalvat.CtorName, Public: true,
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			return montsalvat.Null(), env.SetField(self, "alerts", montsalvat.Int(0))
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := analyzer.AddMethod(&montsalvat.Method{
+		Name: "ingest", Public: true,
+		Params:  []montsalvat.Param{{Name: "file", Kind: montsalvat.KindString}},
+		Returns: montsalvat.KindInt,
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			name, _ := args[0].AsStr()
+			size, err := env.FS().Size(name)
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			data, err := env.FS().ReadAt(name, 0, int(size))
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			env.MemTouch(len(data))
+			lines := strings.Split(string(data), "\n")
+			var alerts int64
+			var count int64
+			for _, line := range lines {
+				if line == "" {
+					continue
+				}
+				count++
+				if strings.Contains(line, "FAILED LOGIN") {
+					alerts++
+				}
+			}
+			cur, err := env.GetField(self, "alerts")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			prev, _ := cur.AsInt()
+			if err := env.SetField(self, "alerts", montsalvat.Int(prev+alerts)); err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.Int(count), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := analyzer.AddMethod(&montsalvat.Method{
+		Name: "alerts", Public: true, Returns: montsalvat.KindInt,
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			return env.GetField(self, "alerts")
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(analyzer); err != nil {
+		return nil, err
+	}
+
+	mainC := montsalvat.NewClass("Main", montsalvat.Neutral)
+	if err := mainC.AddMethod(&montsalvat.Method{
+		Name: montsalvat.MainMethodName, Static: true, Public: true,
+		Returns:   montsalvat.KindList,
+		Allocates: []string{"LogAnalyzer"},
+		Calls: []montsalvat.MethodRef{
+			{Class: "LogAnalyzer", Method: "ingest"},
+			{Class: "LogAnalyzer", Method: "alerts"},
+		},
+		Body: func(env montsalvat.Env, self montsalvat.Value, args []montsalvat.Value) (montsalvat.Value, error) {
+			// Produce the input log, then analyse it.
+			var sb strings.Builder
+			for i := 0; i < 500; i++ {
+				if i%17 == 0 {
+					fmt.Fprintf(&sb, "2026-07-04T10:%02d:00 FAILED LOGIN user=%d\n", i%60, i)
+				} else {
+					fmt.Fprintf(&sb, "2026-07-04T10:%02d:00 ok user=%d\n", i%60, i)
+				}
+			}
+			if err := env.FS().WriteAt("auth.log", 0, []byte(sb.String())); err != nil {
+				return montsalvat.Null(), err
+			}
+
+			an, err := env.New("LogAnalyzer")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			lines, err := env.Call(an, "ingest", montsalvat.Str("auth.log"))
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			alerts, err := env.Call(an, "alerts")
+			if err != nil {
+				return montsalvat.Null(), err
+			}
+			return montsalvat.List(lines, alerts), nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(mainC); err != nil {
+		return nil, err
+	}
+	p.MainClass = "Main"
+	return p, nil
+}

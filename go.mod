@@ -1,0 +1,3 @@
+module montsalvat
+
+go 1.22

@@ -1,0 +1,410 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"montsalvat/internal/rmat"
+)
+
+// quickOpts runs experiments at reduced scale with virtual cost
+// accounting — deterministic and fast.
+func quickOpts() Options { return Options{Quick: true} }
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		"fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7",
+		"fig9", "fig10", "fig11", "fig12", "table1",
+		"ablation-switchless", "ablation-tcb", "ablation-transition",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	if _, err := ByID("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyOut, _ := tab.Row("proxy-out->in")
+	proxyIn, _ := tab.Row("proxy-in->out")
+	concOut, _ := tab.Row("concrete-out")
+	concIn, _ := tab.Row("concrete-in")
+	for i := range proxyOut.Values {
+		// Paper §6.2: proxy creation is orders of magnitude dearer than
+		// concrete creation on the same side. We require >= 100x.
+		if proxyOut.Values[i] < 100*concOut.Values[i] {
+			t.Errorf("col %d: proxy-out %.3g < 100x concrete-out %.3g", i, proxyOut.Values[i], concOut.Values[i])
+		}
+		if proxyIn.Values[i] < 50*concIn.Values[i] {
+			t.Errorf("col %d: proxy-in %.3g < 50x concrete-in %.3g", i, proxyIn.Values[i], concIn.Values[i])
+		}
+	}
+	// Concrete creation inside the enclave is dearer than outside (MEE).
+	var inSum, outSum float64
+	for i := range concIn.Values {
+		inSum += concIn.Values[i]
+		outSum += concOut.Values[i]
+	}
+	if inSum <= outSum {
+		t.Errorf("concrete-in total %.3g <= concrete-out total %.3g", inSum, outSum)
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tab, err := Fig4a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyOut, _ := tab.Row("proxy-out->in")
+	concOut, _ := tab.Row("concrete-out")
+	for i := range proxyOut.Values {
+		if proxyOut.Values[i] < 100*concOut.Values[i] {
+			t.Errorf("col %d: RMI %.3g < 100x concrete %.3g", i, proxyOut.Values[i], concOut.Values[i])
+		}
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	tab, err := Fig4b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, _ := tab.Row("proxy-in->out+s")
+	plain, _ := tab.Row("proxy-in->out")
+	// Serialized RMIs cost more, and the gap widens with list size.
+	last := len(ser.Values) - 1
+	if ser.Values[last] <= plain.Values[last] {
+		t.Errorf("serialized RMI %.3g <= plain %.3g", ser.Values[last], plain.Values[last])
+	}
+	ratioFirst := ser.Values[0] / plain.Values[0]
+	ratioLast := ser.Values[last] / plain.Values[last]
+	if ratioLast <= ratioFirst*0.8 {
+		t.Errorf("serialization ratio fell with list size: %.2f -> %.2f", ratioFirst, ratioLast)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tab, err := Fig5a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := tab.Row("GC-in (concrete-in)")
+	out, _ := tab.Row("GC-out (concrete-out)")
+	var inSum, outSum float64
+	for i := range in.Values {
+		inSum += in.Values[i]
+		outSum += out.Values[i]
+	}
+	// Paper §6.4: "the enclave adds an order of magnitude more overhead
+	// to the garbage collection operation". Require >= 3x in aggregate.
+	if inSum < 3*outSum {
+		t.Errorf("GC-in total %.3g < 3x GC-out total %.3g", inSum, outSum)
+	}
+}
+
+func TestFig5bConsistency(t *testing.T) {
+	tab, err := Fig5b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies, _ := tab.Row("proxy-objs-out")
+	mirrors, _ := tab.Row("mirror-objs-in")
+	rose := false
+	fell := false
+	for i := range proxies.Values {
+		if proxies.Values[i] != mirrors.Values[i] {
+			t.Errorf("step %d: proxies %v != mirrors %v", i, proxies.Values[i], mirrors.Values[i])
+		}
+		if i > 0 && proxies.Values[i] > proxies.Values[i-1] {
+			rose = true
+		}
+		if i > 0 && proxies.Values[i] < proxies.Values[i-1] {
+			fell = true
+		}
+	}
+	if !rose || !fell {
+		t.Error("timeline did not both rise and fall")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"CPU-intensive", "I/O-intensive"} {
+		row, ok := tab.Row(name)
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		first := row.Values[0]
+		last := row.Values[len(row.Values)-1]
+		// Runtime improves as classes move out of the enclave (with a
+		// little wall-noise slack for loaded machines).
+		if last >= 1.1*first {
+			t.Errorf("%s: 0%%-untrusted %.3g <= 100%%-untrusted %.3g, want improvement", name, first, last)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSGX, _ := tab.Row("NoSGX")
+	noPart, _ := tab.Row("NoPart")
+	rtwu, _ := tab.Row("Part(RTWU)")
+	wtru, _ := tab.Row("Part(WTRU)")
+	var sums [4]float64
+	for i := range noSGX.Values {
+		sums[0] += noSGX.Values[i]
+		sums[1] += noPart.Values[i]
+		sums[2] += rtwu.Values[i]
+		sums[3] += wtru.Values[i]
+	}
+	// Paper Fig. 7: RTWU clearly beats NoPart and runs close to native
+	// (no-SGX); WTRU is close to NoPart.
+	if sums[0] > 1.5*sums[2] {
+		t.Errorf("NoSGX %.3g not close to RTWU %.3g", sums[0], sums[2])
+	}
+	if !(sums[2] < sums[1]) {
+		t.Errorf("RTWU %.3g !< NoPart %.3g", sums[2], sums[1])
+	}
+	if sums[1] > 0 && sums[2] > 0 {
+		rtwuGain := sums[1] / sums[2]
+		wtruGain := sums[1] / sums[3]
+		if rtwuGain < 1.3 {
+			t.Errorf("RTWU gain over NoPart = %.2f, want >= 1.3 (paper: 2.5)", rtwuGain)
+		}
+		if wtruGain > rtwuGain {
+			t.Errorf("WTRU gain %.2f exceeds RTWU gain %.2f", wtruGain, rtwuGain)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPart, _ := tab.Row("NoPart total")
+	part, _ := tab.Row("Part total")
+	noSGXShard, _ := tab.Row("NoSGX sharding")
+	partShard, _ := tab.Row("Part sharding")
+	noPartShard, _ := tab.Row("NoPart sharding")
+	var sums [5]float64
+	for i := range noPart.Values {
+		sums[0] += noPart.Values[i]
+		sums[1] += part.Values[i]
+		sums[2] += noSGXShard.Values[i]
+		sums[3] += partShard.Values[i]
+		sums[4] += noPartShard.Values[i]
+	}
+	// Wall-clock assertions are sanity bounds only: the tight Part vs
+	// NoPart gaps invert under machine load (e.g. when the whole suite
+	// runs alongside `go test -bench`), so the strict comparison below
+	// uses the deterministic cycle ledger instead.
+	if sums[1] > 1.5*sums[0] {
+		t.Errorf("Part total %.3g not below NoPart total %.3g", sums[1], sums[0])
+	}
+	if sums[3] > 1.5*sums[4] {
+		t.Errorf("Part sharding %.3g not below NoPart sharding %.3g", sums[3], sums[4])
+	}
+	if sums[3] > 3*sums[2] {
+		t.Errorf("Part sharding %.3g not close to native %.3g", sums[3], sums[2])
+	}
+
+	// Deterministic: partitioning strictly reduces the simulated cost
+	// (the sharder's ocalls disappear), and NoSGX charges nothing.
+	g, err := rmat.Generate(3000, 30000, 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partRun, err := runGraphChi(quickOpts(), graphchiConfig{name: "Part", partitioned: true}, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPartRun, err := runGraphChi(quickOpts(), graphchiConfig{name: "NoPart", inEnclave: true}, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSGXRun, err := runGraphChi(quickOpts(), graphchiConfig{name: "NoSGX"}, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partRun.cycles >= noPartRun.cycles {
+		t.Errorf("Part cycles %d >= NoPart cycles %d", partRun.cycles, noPartRun.cycles)
+	}
+	if noSGXRun.cycles >= partRun.cycles {
+		t.Errorf("NoSGX cycles %d >= Part cycles %d", noSGXRun.cycles, partRun.cycles)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab, err := Fig10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scone, _ := tab.Row("SCONE+JVM")
+	rtwu, _ := tab.Row("Part(RTWU)")
+	noPart, _ := tab.Row("NoPart-NI")
+	var sums [3]float64
+	for i := range scone.Values {
+		sums[0] += scone.Values[i]
+		sums[1] += rtwu.Values[i]
+		sums[2] += noPart.Values[i]
+	}
+	// Paper: RTWU 6.6x and NoPart 2.6x faster than SCONE+JVM.
+	if sums[1] <= 0 || sums[0]/sums[1] < 2 {
+		t.Errorf("RTWU gain over SCONE = %.2f, want >= 2 (paper: 6.6)", sums[0]/sums[1])
+	}
+	if sums[2] <= 0 || sums[0]/sums[2] < 1.2 {
+		t.Errorf("NoPart gain over SCONE = %.2f, want >= 1.2 (paper: 2.6)", sums[0]/sums[2])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab, err := Fig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scone, _ := tab.Row("SCONE+JVM")
+	part, _ := tab.Row("Part-NI")
+	noPart, _ := tab.Row("NoPart-NI")
+	noSGX, _ := tab.Row("NoSGX-NI")
+	var sums [4]float64
+	for i := range scone.Values {
+		sums[0] += scone.Values[i]
+		sums[1] += part.Values[i]
+		sums[2] += noPart.Values[i]
+		sums[3] += noSGX.Values[i]
+	}
+	// Paper Fig. 11 ordering: NoSGX-NI < Part-NI < NoPart-NI < SCONE+JVM,
+	// with 10% wall-noise tolerance on the adjacent (tight) pairs; the
+	// deterministic Part-vs-NoPart cycle comparison is covered by
+	// TestFig9Shape.
+	// NoSGX vs Part is the tightest pair (the gap is only the engine's
+	// enclave tax); allow generous wall noise — the strict version is
+	// the cycle-ledger assertion in TestFig9Shape.
+	if sums[3] > 1.4*sums[1] {
+		t.Errorf("NoSGX %.3g not below Part %.3g", sums[3], sums[1])
+	}
+	// Part vs NoPart wall times are within tens of percent at quick
+	// scale and invert under machine load; the strict, deterministic
+	// version of this claim is TestFig9Shape's cycle-ledger check.
+	if sums[1] > 1.5*sums[2] {
+		t.Errorf("Part %.3g not below NoPart %.3g", sums[1], sums[2])
+	}
+	if !(sums[2] < sums[0]) {
+		t.Errorf("NoPart %.3g !< SCONE %.3g", sums[2], sums[0])
+	}
+}
+
+func TestFig12AndTable1Shape(t *testing.T) {
+	tab, err := Fig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, _ := tab.Row("NoSGX-NI")
+	sgx, _ := tab.Row("SGX-NI")
+	for i := range ni.Values {
+		if sgx.Values[i] < ni.Values[i] {
+			t.Errorf("kernel %s: SGX-NI %.3g < NoSGX-NI %.3g", tab.Columns[i], sgx.Values[i], ni.Values[i])
+		}
+	}
+
+	t1, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains, _ := t1.Row("gain over SCONE+JVM")
+	for i, col := range t1.Columns {
+		if col == "montecarlo" {
+			if gains.Values[i] >= 1 {
+				t.Errorf("montecarlo gain %.2f >= 1, want the paper's anomaly (< 1)", gains.Values[i])
+			}
+		} else if gains.Values[i] <= 1 {
+			t.Errorf("%s gain %.2f <= 1", col, gains.Values[i])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sw, err := AblationSwitchless(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := sw.Row("regular ecall/ocall")
+	fast, _ := sw.Row("switchless")
+	for i := range reg.Values {
+		if fast.Values[i] >= reg.Values[i] {
+			t.Errorf("switchless %.3g >= regular %.3g", fast.Values[i], reg.Values[i])
+		}
+	}
+
+	tcb, err := AblationTCB(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	partRow, _ := tcb.Row("partitioned+shim")
+	wholeRow, _ := tcb.Row("whole-app (LibOS-style)")
+	if partRow.Values[1] >= wholeRow.Values[1] {
+		t.Errorf("partitioned TCB %v not smaller than whole-app %v", partRow.Values, wholeRow.Values)
+	}
+
+	tr, err := AblationTransitionCost(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmi, _ := tr.Row("RMI (proxy-out->in)")
+	if rmi.Values[len(rmi.Values)-1] <= rmi.Values[0] {
+		t.Errorf("RMI latency did not grow with transition cost: %v", rmi.Values)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", XLabel: "series", Unit: "s", Columns: []string{"a", "b"}}
+	tab.AddRow("row1", 1.5, 0.25)
+	tab.AddNote("hello %d", 42)
+	out := tab.Render()
+	for _, want := range []string{"== x: demo ==", "row1", "1.5", "0.25", "note: hello 42", "unit: s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepHelper(t *testing.T) {
+	got := sweep(10, 100, 10)
+	if len(got) != 10 || got[0] != 10 || got[9] != 100 {
+		t.Fatalf("sweep = %v", got)
+	}
+	if got := sweep(5, 5, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("single sweep = %v", got)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b,c"}}
+	tab.AddRow("row,1", 1.5, 0.25)
+	out := tab.RenderCSV()
+	want := "series,a,\"b,c\"\n\"row,1\",1.5,0.25\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}

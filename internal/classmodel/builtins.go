@@ -1,0 +1,81 @@
+package classmodel
+
+import "montsalvat/internal/wire"
+
+// Builtin runtime class names. These are the analog of java.lang/java.util
+// classes: neutral utility classes that exist in BOTH images and never use
+// proxies (§5.1: "utility classes (i.e., Arrays, Vector, String) ... can
+// be accessed in or out of the enclave without the use of proxies").
+// Their method implementations are provided natively by the runtime
+// (internal/world), so their Method.Body fields are nil here.
+const (
+	BuiltinString = "String"
+	BuiltinBytes  = "Bytes"
+	// BuiltinBlob holds one arbitrary serialized neutral value.
+	BuiltinBlob = "Blob"
+	// BuiltinList is a growable reference list (ArrayList analog).
+	BuiltinList = "List"
+	// BuiltinArray is the fixed-size backing store of BuiltinList.
+	BuiltinArray = "Array"
+)
+
+// IsBuiltin reports whether name is a runtime-provided class.
+func IsBuiltin(name string) bool {
+	switch name {
+	case BuiltinString, BuiltinBytes, BuiltinBlob, BuiltinList, BuiltinArray:
+		return true
+	default:
+		return false
+	}
+}
+
+// Builtins returns fresh declarations of the runtime-provided neutral
+// classes, for registration into a Program. Bodies are nil — the runtime
+// dispatches them natively.
+func Builtins() []*Class {
+	str := NewClass(BuiltinString, Neutral)
+	mustAdd(str, &Method{Name: CtorName, Public: true, Params: []Param{{Name: "value", Kind: wire.KindString}}, Returns: wire.KindRef})
+	mustAdd(str, &Method{Name: "value", Public: true, Returns: wire.KindString})
+	mustAdd(str, &Method{Name: "length", Public: true, Returns: wire.KindInt})
+
+	byt := NewClass(BuiltinBytes, Neutral)
+	mustAdd(byt, &Method{Name: CtorName, Public: true, Params: []Param{{Name: "value", Kind: wire.KindBytes}}, Returns: wire.KindRef})
+	mustAdd(byt, &Method{Name: "value", Public: true, Returns: wire.KindBytes})
+	mustAdd(byt, &Method{Name: "length", Public: true, Returns: wire.KindInt})
+
+	blob := NewClass(BuiltinBlob, Neutral)
+	mustAdd(blob, &Method{Name: CtorName, Public: true, Params: []Param{{Name: "value", Kind: wire.KindList}}, Returns: wire.KindRef})
+	mustAdd(blob, &Method{Name: "value", Public: true, Returns: wire.KindList})
+
+	arr := NewClass(BuiltinArray, Neutral)
+	mustAdd(arr, &Method{Name: CtorName, Public: true, Params: []Param{{Name: "capacity", Kind: wire.KindInt}}, Returns: wire.KindRef})
+
+	list := NewClass(BuiltinList, Neutral)
+	mustAdd(list, &Method{Name: CtorName, Public: true, Returns: wire.KindRef})
+	mustAdd(list, &Method{Name: "add", Public: true, Params: []Param{{Name: "element", Kind: wire.KindRef}}, Returns: wire.KindNull})
+	mustAdd(list, &Method{Name: "get", Public: true, Params: []Param{{Name: "index", Kind: wire.KindInt}}, Returns: wire.KindRef})
+	mustAdd(list, &Method{Name: "set", Public: true, Params: []Param{{Name: "index", Kind: wire.KindInt}, {Name: "element", Kind: wire.KindRef}}, Returns: wire.KindNull})
+	mustAdd(list, &Method{Name: "size", Public: true, Returns: wire.KindInt})
+
+	return []*Class{str, byt, blob, arr, list}
+}
+
+// AddBuiltins registers the builtin classes into a program, skipping any
+// already present.
+func AddBuiltins(p *Program) error {
+	for _, c := range Builtins() {
+		if _, exists := p.Class(c.Name); exists {
+			continue
+		}
+		if err := p.AddClass(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mustAdd(c *Class, m *Method) {
+	if err := c.AddMethod(m); err != nil {
+		panic(err) // static construction of builtins cannot fail
+	}
+}

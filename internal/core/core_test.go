@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+func TestBuildPartitionedArtefacts(t *testing.T) {
+	build, err := BuildPartitioned(demo.MustBankProgram())
+	if err != nil {
+		t.Fatalf("BuildPartitioned: %v", err)
+	}
+	if build.TrustedImage == nil || build.UntrustedImage == nil {
+		t.Fatal("missing images")
+	}
+	edl := build.EDL()
+	for _, want := range []string{"enclave {", "trusted {", "untrusted {", "ecall_relay_Account", "ocall_relay_Person"} {
+		if !strings.Contains(edl, want) {
+			t.Fatalf("EDL missing %q:\n%s", want, edl)
+		}
+	}
+	edgec := build.EdgeC()
+	for _, want := range []string{"Isolate ctx", "getEnclaveIsolate()", "getHostIsolate()"} {
+		if !strings.Contains(edgec, want) {
+			t.Fatalf("EdgeC missing %q", want)
+		}
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	prog := demo.MustBankProgram()
+	before := len(prog.Classes())
+	if _, err := BuildPartitioned(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.Classes()); got != before {
+		t.Fatalf("input program grew from %d to %d classes (builtins leaked in)", before, got)
+	}
+	// The program is reusable: build again.
+	if _, err := BuildPartitioned(prog); err != nil {
+		t.Fatalf("second build: %v", err)
+	}
+}
+
+func TestTCBAccounting(t *testing.T) {
+	build, err := BuildPartitioned(demo.MustBankProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb := build.TCB()
+	if tcb.TrustedClasses == 0 || tcb.TrustedMethods == 0 {
+		t.Fatalf("empty TCB: %+v", tcb)
+	}
+	if tcb.TrustedClasses >= tcb.TotalClasses {
+		t.Fatalf("TCB not smaller than total: %+v", tcb)
+	}
+	if tcb.ProxiesPruned == 0 {
+		t.Fatalf("no proxies pruned: %+v", tcb)
+	}
+}
+
+func TestBuildUnpartitioned(t *testing.T) {
+	img, err := BuildUnpartitioned(demo.MustBankProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No relays, no proxies in an unpartitioned image.
+	for _, c := range img.Classes() {
+		if c.Proxy {
+			t.Fatalf("unpartitioned image contains proxy %s", c.Name)
+		}
+		for _, m := range c.Methods {
+			if m.Relay {
+				t.Fatalf("unpartitioned image contains relay %s.%s", c.Name, m.Name)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsInvalidPrograms(t *testing.T) {
+	p := classmodel.NewProgram()
+	c := classmodel.NewClass("C", classmodel.Trusted)
+	if err := c.AddField(classmodel.Field{Name: "x", Kind: classmodel.FieldInt, Public: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddClass(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPartitioned(p); err == nil {
+		t.Fatal("accepted program violating encapsulation")
+	}
+	if _, err := BuildUnpartitioned(p); err == nil {
+		t.Fatal("unpartitioned build accepted invalid program")
+	}
+}
+
+func TestNewWorldsRunnable(t *testing.T) {
+	w, build, err := NewPartitionedWorld(demo.MustBankProgram(), world.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if build == nil {
+		t.Fatal("nil build result")
+	}
+	r, err := w.RunMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(wire.List(wire.Int(75), wire.Int(50), wire.Int(1))) {
+		t.Fatalf("result = %v", r)
+	}
+}
+
+func TestProgramsWithNeutralHelperClasses(t *testing.T) {
+	// A neutral application class (not builtin) used from both sides.
+	p := demo.MustBankProgram()
+	util := classmodel.NewClass("MathUtil", classmodel.Neutral)
+	if err := util.AddMethod(&classmodel.Method{
+		Name: "double", Static: true, Public: true,
+		Params:  []classmodel.Param{{Name: "v", Kind: wire.KindInt}},
+		Returns: wire.KindInt,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			v, _ := args[0].AsInt()
+			return wire.Int(v * 2), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddClass(util); err != nil {
+		t.Fatal(err)
+	}
+	// Wire it into both a trusted and an untrusted method. The call edge
+	// from main keeps MathUtil reachable in the untrusted image.
+	mainC, _ := p.Class(demo.Main)
+	mm, _ := mainC.Method(classmodel.MainMethodName)
+	mm.Calls = append(mm.Calls, classmodel.MethodRef{Class: "MathUtil", Method: "double"})
+	acct, _ := p.Class(demo.Account)
+	if err := acct.AddMethod(&classmodel.Method{
+		Name: "doubleBalance", Public: true, Returns: wire.KindInt,
+		Calls: []classmodel.MethodRef{{Class: "MathUtil", Method: "double"}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			bal, err := env.GetField(self, "balance")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			return env.CallStatic("MathUtil", "double", bal)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w, _, err := NewPartitionedWorld(p, world.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Exec(false, func(env classmodel.Env) error {
+		// Neutral code runs locally in the untrusted runtime...
+		v, err := env.CallStatic("MathUtil", "double", wire.Int(21))
+		if err != nil {
+			return err
+		}
+		if !v.Equal(wire.Int(42)) {
+			t.Errorf("untrusted MathUtil.double = %v", v)
+		}
+		// ...and the same class runs inside the enclave when called from
+		// a trusted method (no proxies for neutral classes).
+		acct, err := env.New(demo.Account, wire.Str("N"), wire.Int(10))
+		if err != nil {
+			return err
+		}
+		d, err := env.Call(acct, "doubleBalance")
+		if err != nil {
+			return err
+		}
+		if !d.Equal(wire.Int(20)) {
+			t.Errorf("trusted doubleBalance = %v", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectionRootsEndToEnd(t *testing.T) {
+	// A method invoked only dynamically (no declared call edge) works
+	// when listed as a reflection root and fails closed-world otherwise
+	// (§2.2).
+	// The hook lives on a NEUTRAL class: annotated classes keep all
+	// public methods reachable through their relay entry points, but a
+	// neutral method with no static call edge is pruned unless listed.
+	build := func(withRoot bool) (*world.World, error) {
+		p := demo.MustBankProgram()
+		util := classmodel.NewClass("DynUtil", classmodel.Neutral)
+		if err := util.AddMethod(&classmodel.Method{
+			Name: "dynamicHook", Static: true, Public: true, Returns: wire.KindInt,
+			Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+				return wire.Int(77), nil
+			},
+		}); err != nil {
+			return nil, err
+		}
+		if err := p.AddClass(util); err != nil {
+			return nil, err
+		}
+		cfg := BuildConfig{}
+		if withRoot {
+			cfg.UntrustedReflection = []classmodel.MethodRef{{Class: "DynUtil", Method: "dynamicHook"}}
+		}
+		res, err := BuildPartitionedConfig(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return world.NewPartitioned(world.DefaultOptions(), res.TrustedImage, res.UntrustedImage, res.Transform.Interface)
+	}
+
+	// Without the root: pruned, closed-world violation at call time.
+	w1, err := build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	err = w1.Exec(false, func(env classmodel.Env) error {
+		_, cerr := env.CallStatic("DynUtil", "dynamicHook")
+		if cerr == nil {
+			t.Error("pruned dynamic method was callable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With the root: always included, callable.
+	w2, err := build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	err = w2.Exec(false, func(env classmodel.Env) error {
+		v, cerr := env.CallStatic("DynUtil", "dynamicHook")
+		if cerr != nil {
+			return cerr
+		}
+		if !v.Equal(wire.Int(77)) {
+			t.Errorf("dynamicHook = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package cycles
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	c := New(3.8e9, false)
+	c.Charge(100)
+	c.Charge(250)
+	if got := c.Total(); got != 350 {
+		t.Fatalf("Total() = %d, want 350", got)
+	}
+	c.Reset()
+	if got := c.Total(); got != 0 {
+		t.Fatalf("Total() after Reset = %d, want 0", got)
+	}
+}
+
+func TestChargeIgnoresNonPositive(t *testing.T) {
+	c := New(1e9, false)
+	c.Charge(0)
+	c.Charge(-5)
+	if got := c.Total(); got != 0 {
+		t.Fatalf("Total() = %d, want 0", got)
+	}
+}
+
+func TestChargeBytes(t *testing.T) {
+	tests := []struct {
+		name          string
+		bytes         int
+		bytesPerCycle float64
+		want          int64
+	}{
+		{name: "one byte per cycle", bytes: 1000, bytesPerCycle: 1.0, want: 1000},
+		{name: "two bytes per cycle", bytes: 1000, bytesPerCycle: 2.0, want: 500},
+		{name: "zero bytes", bytes: 0, bytesPerCycle: 1.0, want: 0},
+		{name: "invalid throughput", bytes: 100, bytesPerCycle: 0, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New(1e9, false)
+			c.ChargeBytes(tt.bytes, tt.bytesPerCycle)
+			if got := c.Total(); got != tt.want {
+				t.Errorf("Total() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	c := New(1e9, false) // 1 GHz: 1 cycle == 1 ns
+	if got := c.Duration(1000); got != time.Microsecond {
+		t.Fatalf("Duration(1000) = %v, want 1µs", got)
+	}
+	if got := c.Cycles(time.Microsecond); got != 1000 {
+		t.Fatalf("Cycles(1µs) = %d, want 1000", got)
+	}
+}
+
+func TestDefaultHzOnInvalid(t *testing.T) {
+	c := New(0, false)
+	if c.Hz() != 1e9 {
+		t.Fatalf("Hz() = %v, want fallback 1e9", c.Hz())
+	}
+}
+
+func TestSpinningChargesWallClock(t *testing.T) {
+	c := New(1e9, true) // 1 cycle == 1 ns
+	start := time.Now()
+	c.Charge(2_000_000) // 2 ms
+	elapsed := time.Since(start)
+	if elapsed < 1500*time.Microsecond {
+		t.Fatalf("spin charge of 2ms elapsed only %v", elapsed)
+	}
+	if !c.Spinning() {
+		t.Fatal("Spinning() = false, want true")
+	}
+}
+
+func TestConcurrentCharge(t *testing.T) {
+	c := New(1e9, false)
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Charge(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Total(), int64(goroutines*perG*3); got != want {
+		t.Fatalf("Total() = %d, want %d", got, want)
+	}
+}

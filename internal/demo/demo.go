@@ -1,0 +1,338 @@
+// Package demo builds the paper's illustrative bank-account application
+// (Listing 1): trusted Account and AccountRegistry classes, an untrusted
+// Person class, and an untrusted Main whose main method creates two
+// persons, transfers money between their (enclave-resident) accounts and
+// registers one account in the registry.
+//
+// The program is shared by the integration tests, the examples and the
+// benchmark harness.
+package demo
+
+import (
+	"fmt"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/wire"
+)
+
+// Class and method names of the demo program.
+const (
+	Account         = "Account"
+	AccountRegistry = "AccountRegistry"
+	Person          = "Person"
+	Main            = "Main"
+)
+
+// BankProgram constructs the annotated program of Listing 1. main returns
+// [aliceBalance, bobBalance, registrySize] so callers can verify the
+// computation end-to-end.
+func BankProgram() (*classmodel.Program, error) {
+	p := classmodel.NewProgram()
+
+	if err := p.AddClass(accountClass()); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(registryClass()); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(personClass()); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(mainClass()); err != nil {
+		return nil, err
+	}
+	p.MainClass = Main
+	return p, nil
+}
+
+// MustBankProgram is BankProgram for tests and examples where
+// construction cannot fail.
+func MustBankProgram() *classmodel.Program {
+	p, err := BankProgram()
+	if err != nil {
+		panic(fmt.Sprintf("demo: %v", err))
+	}
+	return p
+}
+
+// accountClass models Listing 1 lines 1-12 (@Trusted).
+func accountClass() *classmodel.Class {
+	c := classmodel.NewClass(Account, classmodel.Trusted)
+	mustField(c, classmodel.Field{Name: "owner", Kind: classmodel.FieldString})
+	mustField(c, classmodel.Field{Name: "balance", Kind: classmodel.FieldInt})
+
+	mustMethod(c, &classmodel.Method{
+		Name:   classmodel.CtorName,
+		Public: true,
+		Params: []classmodel.Param{
+			{Name: "s", Kind: wire.KindString},
+			{Name: "b", Kind: wire.KindInt},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			if err := env.SetField(self, "owner", args[0]); err != nil {
+				return wire.Value{}, err
+			}
+			return wire.Null(), env.SetField(self, "balance", args[1])
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:   "updateBalance",
+		Public: true,
+		Params: []classmodel.Param{{Name: "v", Kind: wire.KindInt}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			cur, err := env.GetField(self, "balance")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			b, _ := cur.AsInt()
+			v, _ := args[0].AsInt()
+			return wire.Null(), env.SetField(self, "balance", wire.Int(b+v))
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:    "getBalance",
+		Public:  true,
+		Returns: wire.KindInt,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return env.GetField(self, "balance")
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:    "getOwner",
+		Public:  true,
+		Returns: wire.KindString,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return env.GetField(self, "owner")
+		},
+	})
+	return c
+}
+
+// registryClass models Listing 1 lines 13-21 (@Trusted).
+func registryClass() *classmodel.Class {
+	c := classmodel.NewClass(AccountRegistry, classmodel.Trusted)
+	mustField(c, classmodel.Field{Name: "reg", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
+
+	mustMethod(c, &classmodel.Method{
+		Name:      classmodel.CtorName,
+		Public:    true,
+		Allocates: []string{classmodel.BuiltinList},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.New(classmodel.BuiltinList)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			return wire.Null(), env.SetField(self, "reg", list)
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:   "addAccount",
+		Public: true,
+		Params: []classmodel.Param{{Name: "a", Kind: wire.KindRef, ClassName: Account}},
+		Calls:  []classmodel.MethodRef{{Class: classmodel.BuiltinList, Method: "add"}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "reg")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			return env.Call(list, "add", args[0])
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:    "size",
+		Public:  true,
+		Returns: wire.KindInt,
+		Calls:   []classmodel.MethodRef{{Class: classmodel.BuiltinList, Method: "size"}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "reg")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			return env.Call(list, "size")
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:    "totalBalance",
+		Public:  true,
+		Returns: wire.KindInt,
+		Calls: []classmodel.MethodRef{
+			{Class: classmodel.BuiltinList, Method: "size"},
+			{Class: classmodel.BuiltinList, Method: "get"},
+			{Class: Account, Method: "getBalance"},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "reg")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			sizeV, err := env.Call(list, "size")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			n, _ := sizeV.AsInt()
+			var total int64
+			for i := int64(0); i < n; i++ {
+				acct, err := env.Call(list, "get", wire.Int(i))
+				if err != nil {
+					return wire.Value{}, err
+				}
+				bal, err := env.Call(acct, "getBalance")
+				if err != nil {
+					return wire.Value{}, err
+				}
+				b, _ := bal.AsInt()
+				total += b
+			}
+			return wire.Int(total), nil
+		},
+	})
+	return c
+}
+
+// personClass models Listing 1 lines 22-37 (@Untrusted).
+func personClass() *classmodel.Class {
+	c := classmodel.NewClass(Person, classmodel.Untrusted)
+	mustField(c, classmodel.Field{Name: "name", Kind: classmodel.FieldString})
+	mustField(c, classmodel.Field{Name: "account", Kind: classmodel.FieldRef, ClassName: Account})
+
+	mustMethod(c, &classmodel.Method{
+		Name:   classmodel.CtorName,
+		Public: true,
+		Params: []classmodel.Param{
+			{Name: "s", Kind: wire.KindString},
+			{Name: "v", Kind: wire.KindInt},
+		},
+		Allocates: []string{Account},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			if err := env.SetField(self, "name", args[0]); err != nil {
+				return wire.Value{}, err
+			}
+			// Trusted in untrusted obj: instantiating Account from the
+			// untrusted runtime creates a proxy + enclave mirror.
+			acct, err := env.New(Account, args[0], args[1])
+			if err != nil {
+				return wire.Value{}, err
+			}
+			return wire.Null(), env.SetField(self, "account", acct)
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:    "getAccount",
+		Public:  true,
+		Returns: wire.KindRef,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return env.GetField(self, "account")
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:    "getName",
+		Public:  true,
+		Returns: wire.KindString,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return env.GetField(self, "name")
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name:   "transfer",
+		Public: true,
+		Params: []classmodel.Param{
+			{Name: "p", Kind: wire.KindRef, ClassName: Person},
+			{Name: "v", Kind: wire.KindInt},
+		},
+		Calls: []classmodel.MethodRef{
+			{Class: Person, Method: "getAccount"},
+			{Class: Account, Method: "updateBalance"},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			v, _ := args[1].AsInt()
+			theirs, err := env.Call(args[0], "getAccount")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			if _, err := env.Call(theirs, "updateBalance", wire.Int(v)); err != nil {
+				return wire.Value{}, err
+			}
+			mine, err := env.GetField(self, "account")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			_, err = env.Call(mine, "updateBalance", wire.Int(-v))
+			return wire.Null(), err
+		},
+	})
+	return c
+}
+
+// mainClass models Listing 1 lines 38-47 (@Untrusted).
+func mainClass() *classmodel.Class {
+	c := classmodel.NewClass(Main, classmodel.Untrusted)
+	mustMethod(c, &classmodel.Method{
+		Name:      classmodel.MainMethodName,
+		Static:    true,
+		Public:    true,
+		Returns:   wire.KindList,
+		Allocates: []string{Person, AccountRegistry},
+		Calls: []classmodel.MethodRef{
+			{Class: Person, Method: "transfer"},
+			{Class: Person, Method: "getAccount"},
+			{Class: AccountRegistry, Method: "addAccount"},
+			{Class: AccountRegistry, Method: "size"},
+			{Class: Account, Method: "getBalance"},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			p1, err := env.New(Person, wire.Str("Alice"), wire.Int(100))
+			if err != nil {
+				return wire.Value{}, err
+			}
+			p2, err := env.New(Person, wire.Str("Bob"), wire.Int(25))
+			if err != nil {
+				return wire.Value{}, err
+			}
+			if _, err := env.Call(p1, "transfer", p2, wire.Int(25)); err != nil {
+				return wire.Value{}, err
+			}
+			reg, err := env.New(AccountRegistry)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			a1, err := env.Call(p1, "getAccount")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			if _, err := env.Call(reg, "addAccount", a1); err != nil {
+				return wire.Value{}, err
+			}
+
+			aliceBal, err := env.Call(a1, "getBalance")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			a2, err := env.Call(p2, "getAccount")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			bobBal, err := env.Call(a2, "getBalance")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			size, err := env.Call(reg, "size")
+			if err != nil {
+				return wire.Value{}, err
+			}
+			return wire.List(aliceBal, bobBal, size), nil
+		},
+	})
+	return c
+}
+
+func mustField(c *classmodel.Class, f classmodel.Field) {
+	if err := c.AddField(f); err != nil {
+		panic(fmt.Sprintf("demo: %v", err))
+	}
+}
+
+func mustMethod(c *classmodel.Class, m *classmodel.Method) {
+	if err := c.AddMethod(m); err != nil {
+		panic(fmt.Sprintf("demo: %v", err))
+	}
+}

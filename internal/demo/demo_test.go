@@ -1,0 +1,71 @@
+package demo
+
+import (
+	"testing"
+
+	"montsalvat/internal/classmodel"
+)
+
+func TestBankProgramValidates(t *testing.T) {
+	p, err := BankProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := classmodel.AddBuiltins(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBankProgramShape(t *testing.T) {
+	p := MustBankProgram()
+	tr, un, ne := p.ByAnnotation()
+	if len(tr) != 2 || tr[0] != Account || tr[1] != AccountRegistry {
+		t.Fatalf("trusted = %v", tr)
+	}
+	if len(un) != 2 || un[0] != Main || un[1] != Person {
+		t.Fatalf("untrusted = %v", un)
+	}
+	if len(ne) != 0 {
+		t.Fatalf("neutral = %v", ne)
+	}
+	if p.MainClass != Main {
+		t.Fatalf("MainClass = %q", p.MainClass)
+	}
+	// Listing 1 surface.
+	acct, _ := p.Class(Account)
+	for _, m := range []string{classmodel.CtorName, "updateBalance", "getBalance", "getOwner"} {
+		if _, ok := acct.Method(m); !ok {
+			t.Fatalf("Account missing %s", m)
+		}
+	}
+	person, _ := p.Class(Person)
+	for _, m := range []string{classmodel.CtorName, "getAccount", "transfer"} {
+		if _, ok := person.Method(m); !ok {
+			t.Fatalf("Person missing %s", m)
+		}
+	}
+	// Encapsulation: all fields private.
+	for _, c := range p.Classes() {
+		for _, f := range c.Fields {
+			if f.Public {
+				t.Fatalf("%s.%s is public", c.Name, f.Name)
+			}
+		}
+	}
+}
+
+func TestMustBankProgramFresh(t *testing.T) {
+	p1 := MustBankProgram()
+	p2 := MustBankProgram()
+	c1, _ := p1.Class(Account)
+	if err := c1.AddField(classmodel.Field{Name: "extra", Kind: classmodel.FieldInt}); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := p2.Class(Account)
+	if _, ok := c2.Field("extra"); ok {
+		t.Fatal("programs share class instances")
+	}
+}

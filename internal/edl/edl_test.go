@@ -1,0 +1,120 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/wire"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	f := NewFile()
+	r, err := f.Add(Ecall, "Account", "relay$updateBalance",
+		[]classmodel.Param{{Name: "v", Kind: wire.KindInt}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 1 {
+		t.Fatalf("first routine ID = %d, want 1", r.ID)
+	}
+	if r.Name != "ecall_relay_Account_relay_updateBalance" {
+		t.Fatalf("Name = %q", r.Name)
+	}
+	got, ok := f.Lookup(Ecall, "Account", "relay$updateBalance")
+	if !ok || got.ID != r.ID {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := f.Lookup(Ocall, "Account", "relay$updateBalance"); ok {
+		t.Fatal("found routine in wrong direction")
+	}
+}
+
+func TestIDsAreUniqueAcrossDirections(t *testing.T) {
+	f := NewFile()
+	r1, _ := f.Add(Ecall, "A", "m1", nil, false)
+	r2, _ := f.Add(Ocall, "B", "m2", nil, false)
+	r3, _ := f.Add(Ecall, "C", "m3", nil, true)
+	if r1.ID == r2.ID || r2.ID == r3.ID || r1.ID == r3.ID {
+		t.Fatalf("duplicate IDs: %d %d %d", r1.ID, r2.ID, r3.ID)
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	f := NewFile()
+	if _, err := f.Add(Ecall, "A", "m", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add(Ecall, "A", "m", nil, false); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	// Same name in the other direction is fine.
+	if _, err := f.Add(Ocall, "A", "m", nil, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderEDL(t *testing.T) {
+	f := NewFile()
+	if _, err := f.Add(Ecall, "Account", "relay$<init>", []classmodel.Param{
+		{Name: "s", Kind: wire.KindString},
+		{Name: "b", Kind: wire.KindInt},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add(Ocall, "Person", "relay$getAccount", nil, true); err != nil {
+		t.Fatal(err)
+	}
+	text := f.Render()
+	for _, want := range []string{
+		"enclave {",
+		"trusted {",
+		"untrusted {",
+		"public void ecall_relay_Account_relay__init_(int hash, [user_check] const char* s, int64_t b);",
+		"uint64_t ocall_relay_Person_relay_getAccount(int hash);",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EDL missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRenderEdgeC(t *testing.T) {
+	f := NewFile()
+	if _, err := f.Add(Ecall, "AccountRegistry", "relay$addAccount",
+		[]classmodel.Param{{Name: "acc", Kind: wire.KindRef, ClassName: "Account"}}, false); err != nil {
+		t.Fatal(err)
+	}
+	text := f.RenderEdgeC()
+	// Listing 6 shape: fetch the isolate, forward hash + args.
+	for _, want := range []string{
+		"void ecall_relay_AccountRegistry_relay_addAccount(int hash, int acc)",
+		"Isolate ctx = getEnclaveIsolate();",
+		"relay_AccountRegistry_relay_addAccount(ctx, hash, acc);",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("edge C missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAccessorsCopy(t *testing.T) {
+	f := NewFile()
+	if _, err := f.Add(Ecall, "A", "m", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	ecalls := f.Ecalls()
+	ecalls[0].Name = "mutated"
+	if got := f.Ecalls()[0].Name; got == "mutated" {
+		t.Fatal("Ecalls returns internal slice")
+	}
+	if len(f.Ocalls()) != 0 {
+		t.Fatal("unexpected ocalls")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Ecall.String() != "ecall" || Ocall.String() != "ocall" {
+		t.Fatal("Direction.String broken")
+	}
+}

@@ -1,0 +1,335 @@
+// Package epc simulates the SGX enclave page cache.
+//
+// Enclave memory is a flat address space whose backing bytes are always
+// stored encrypted (paper §2.1: "All EPC pages in DRAM are encrypted and
+// only decrypted by a memory encryption engine (MEE) when they are loaded
+// into a CPU cache line"). Every Read and Write passes through the MEE at
+// 64-byte cache-line granularity, performing real AES work and charging
+// MEE cycles.
+//
+// The usable EPC is limited (93.5 MB on the paper's machine, §6.1) and is
+// shared by all memory regions of an enclave, so residency is tracked by a
+// Residency object shared across Memory instances. When the resident set
+// of 4 KB pages exceeds the limit, the least recently used page is evicted
+// — the analog of the Linux SGX driver swapping pages between the EPC and
+// regular DRAM, "at a significant cost" (§2.1). Each fault charges fixed
+// eviction/load cycle costs on top of the crypto work.
+package epc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/mee"
+	"montsalvat/internal/simcfg"
+)
+
+const (
+	lineBytes = mee.LineBytes
+	pageBytes = simcfg.PageBytes
+)
+
+// ErrOutOfRange is returned for accesses beyond the memory size.
+var ErrOutOfRange = errors.New("epc: access out of range")
+
+// ResidencyStats holds cumulative paging counters.
+type ResidencyStats struct {
+	// PageFaults counts accesses to non-resident pages.
+	PageFaults uint64
+	// Evictions counts pages written back to untrusted DRAM.
+	Evictions uint64
+	// ResidentPages is the current number of EPC-resident pages.
+	ResidentPages int
+	// CapacityPages is the maximum resident set.
+	CapacityPages int
+}
+
+// Residency models the limited EPC resident set shared by all memory
+// regions of one enclave. It is safe for concurrent use.
+type Residency struct {
+	mu sync.Mutex
+
+	clock       *cycles.Clock
+	maxResident int
+	resident    map[pageKey]*lruNode
+	lruHead     *lruNode
+	lruTail     *lruNode
+
+	faults    uint64
+	evictions uint64
+}
+
+type pageKey struct {
+	mem  *Memory
+	page int
+}
+
+type lruNode struct {
+	key        pageKey
+	prev, next *lruNode
+}
+
+// NewResidency creates a residency tracker for an EPC of the given size.
+func NewResidency(epcBytes int, clock *cycles.Clock) (*Residency, error) {
+	if epcBytes < pageBytes {
+		return nil, fmt.Errorf("epc: EPC size %d smaller than one page", epcBytes)
+	}
+	if clock == nil {
+		return nil, errors.New("epc: nil clock")
+	}
+	return &Residency{
+		clock:       clock,
+		maxResident: epcBytes / pageBytes,
+		resident:    make(map[pageKey]*lruNode),
+	}, nil
+}
+
+// Stats returns a snapshot of the paging counters.
+func (r *Residency) Stats() ResidencyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ResidencyStats{
+		PageFaults:    r.faults,
+		Evictions:     r.evictions,
+		ResidentPages: len(r.resident),
+		CapacityPages: r.maxResident,
+	}
+}
+
+// touch marks a page most-recently-used, charging fault/eviction costs.
+func (r *Residency) touch(m *Memory, page int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := pageKey{mem: m, page: page}
+	if node, ok := r.resident[key]; ok {
+		r.moveFront(node)
+		return
+	}
+	r.faults++
+	r.clock.Charge(simcfg.EPCPageLoadCycles)
+	for len(r.resident) >= r.maxResident {
+		victim := r.lruTail
+		if victim == nil {
+			break
+		}
+		r.remove(victim)
+		delete(r.resident, victim.key)
+		r.evictions++
+		r.clock.Charge(simcfg.EPCPageEvictCycles)
+	}
+	node := &lruNode{key: key}
+	r.resident[key] = node
+	r.pushFront(node)
+}
+
+func (r *Residency) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = r.lruHead
+	if r.lruHead != nil {
+		r.lruHead.prev = n
+	}
+	r.lruHead = n
+	if r.lruTail == nil {
+		r.lruTail = n
+	}
+}
+
+func (r *Residency) remove(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		r.lruHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		r.lruTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (r *Residency) moveFront(n *lruNode) {
+	if r.lruHead == n {
+		return
+	}
+	r.remove(n)
+	r.pushFront(n)
+}
+
+// Memory is an encrypted, integrity-protected address space inside the
+// EPC. It is safe for concurrent use; accesses are serialised, matching
+// the stop-the-world discipline of the isolate GC that owns it.
+type Memory struct {
+	mu sync.Mutex
+
+	eng   *mee.Engine
+	clock *cycles.Clock
+	res   *Residency // nil disables paging accounting
+
+	ct       []byte    // ciphertext backing store
+	versions []uint64  // per-line write counters (freshness)
+	tags     []mee.Tag // per-line integrity tags
+	inited   []bool    // per-line "has been written" flags
+}
+
+// New creates an encrypted memory of the given size. res may be nil, in
+// which case no paging costs are modelled (the region always fits).
+func New(size int, res *Residency, eng *mee.Engine, clock *cycles.Clock) (*Memory, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("epc: negative size %d", size)
+	}
+	if eng == nil {
+		return nil, errors.New("epc: nil mee engine")
+	}
+	if clock == nil {
+		return nil, errors.New("epc: nil clock")
+	}
+	nLines := (size + lineBytes - 1) / lineBytes
+	return &Memory{
+		eng:      eng,
+		clock:    clock,
+		res:      res,
+		ct:       make([]byte, nLines*lineBytes),
+		versions: make([]uint64, nLines),
+		tags:     make([]mee.Tag, nLines),
+		inited:   make([]bool, nLines),
+	}, nil
+}
+
+// Size returns the addressable size in bytes.
+func (m *Memory) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ct)
+}
+
+// Read decrypts len(dst) bytes starting at off into dst.
+func (m *Memory) Read(off int, dst []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(off, len(dst)); err != nil {
+		return err
+	}
+	m.clock.ChargeBytes(len(dst), simcfg.MEEBytesPerCycle)
+	var line [lineBytes]byte
+	for n := 0; n < len(dst); {
+		li := (off + n) / lineBytes
+		m.touchPage(li * lineBytes / pageBytes)
+		if err := m.loadLine(li, &line); err != nil {
+			return err
+		}
+		lo := (off + n) % lineBytes
+		c := copy(dst[n:], line[lo:])
+		n += c
+	}
+	return nil
+}
+
+// Write encrypts src into the memory starting at off. Partial lines are
+// handled read-modify-write, as a real cache does.
+func (m *Memory) Write(off int, src []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(off, len(src)); err != nil {
+		return err
+	}
+	m.clock.ChargeBytes(len(src), simcfg.MEEBytesPerCycle)
+	var line [lineBytes]byte
+	for n := 0; n < len(src); {
+		li := (off + n) / lineBytes
+		m.touchPage(li * lineBytes / pageBytes)
+		lo := (off + n) % lineBytes
+		span := lineBytes - lo
+		if span > len(src)-n {
+			span = len(src) - n
+		}
+		if span < lineBytes {
+			if err := m.loadLine(li, &line); err != nil {
+				return err
+			}
+		}
+		copy(line[lo:lo+span], src[n:n+span])
+		if err := m.storeLine(li, &line); err != nil {
+			return err
+		}
+		n += span
+	}
+	return nil
+}
+
+// Grow extends the address space to at least newSize bytes. Existing
+// contents are preserved. Growth models the enclave heap expanding within
+// its configured bound; the caller enforces the bound.
+func (m *Memory) Grow(newSize int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if newSize < 0 {
+		return fmt.Errorf("epc: negative size %d", newSize)
+	}
+	nLines := (newSize + lineBytes - 1) / lineBytes
+	if nLines*lineBytes <= len(m.ct) {
+		return nil
+	}
+	ct := make([]byte, nLines*lineBytes)
+	copy(ct, m.ct)
+	m.ct = ct
+	versions := make([]uint64, nLines)
+	copy(versions, m.versions)
+	m.versions = versions
+	tags := make([]mee.Tag, nLines)
+	copy(tags, m.tags)
+	m.tags = tags
+	inited := make([]bool, nLines)
+	copy(inited, m.inited)
+	m.inited = inited
+	return nil
+}
+
+// Tamper XORs a byte of the ciphertext backing store directly, bypassing
+// the MEE — the simulation analog of a physical attacker flipping bits in
+// DRAM. A subsequent Read of that line fails integrity verification.
+func (m *Memory) Tamper(off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off >= len(m.ct) {
+		return ErrOutOfRange
+	}
+	m.ct[off] ^= 0xff
+	return nil
+}
+
+func (m *Memory) check(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(m.ct) {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, n, len(m.ct))
+	}
+	return nil
+}
+
+// loadLine decrypts line li into dst. Never-written lines read as zero.
+func (m *Memory) loadLine(li int, dst *[lineBytes]byte) error {
+	if !m.inited[li] {
+		*dst = [lineBytes]byte{}
+		return nil
+	}
+	return m.eng.DecryptLine(dst[:], m.ct[li*lineBytes:(li+1)*lineBytes], uint64(li), m.versions[li], m.tags[li])
+}
+
+// storeLine bumps the line version and encrypts src into the backing store.
+func (m *Memory) storeLine(li int, src *[lineBytes]byte) error {
+	m.versions[li]++
+	tag, err := m.eng.EncryptLine(m.ct[li*lineBytes:(li+1)*lineBytes], src[:], uint64(li), m.versions[li])
+	if err != nil {
+		return err
+	}
+	m.tags[li] = tag
+	m.inited[li] = true
+	return nil
+}
+
+func (m *Memory) touchPage(page int) {
+	if m.res != nil {
+		m.res.touch(m, page)
+	}
+}

@@ -1,0 +1,81 @@
+package graphchi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"montsalvat/internal/shim"
+)
+
+// RunConnectedComponents computes weakly connected components over the
+// shard set with label propagation — a second GraphChi program besides
+// PageRank (GraphChi ships both as example applications). Every vertex
+// starts with its own id as label; each iteration propagates the minimum
+// label across every edge (in both directions, for weak connectivity)
+// until a fixpoint. The returned slice maps vertex id to its component
+// label (the smallest vertex id in the component).
+//
+// Like RunPageRank, shards stream through the supplied FS (ocalls when
+// enclosed) and the touch hook charges the memory traffic.
+func RunConnectedComponents(fs shim.FS, set ShardSet, maxIterations int, touch func(n int)) ([]int32, EngineStats, error) {
+	var stats EngineStats
+	if touch == nil {
+		touch = func(int) {}
+	}
+	n := set.NumVertices
+	if n == 0 {
+		return nil, stats, errors.New("graphchi: empty shard set")
+	}
+	if maxIterations <= 0 {
+		maxIterations = n // label propagation converges in <= diameter iterations
+	}
+
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+
+	for it := 0; it < maxIterations; it++ {
+		changed := false
+		touch(4 * n)
+		stats.BytesStreamed += int64(4 * n)
+		for s := 0; s < set.NumShards; s++ {
+			size := set.EdgeCounts[s] * edgeBytes
+			if size == 0 {
+				continue
+			}
+			name := set.shardFile(s)
+			for off := 0; off < size; off += readBlockBytes {
+				blk := readBlockBytes
+				if off+blk > size {
+					blk = size - off
+				}
+				data, err := fs.ReadAt(name, int64(off), blk)
+				if err != nil {
+					return nil, stats, fmt.Errorf("graphchi: shard %d: %w", s, err)
+				}
+				stats.ReadOps++
+				stats.BytesRead += int64(blk)
+				for i := 0; i+edgeBytes <= len(data); i += edgeBytes {
+					src := int32(binary.LittleEndian.Uint32(data[i:]))
+					dst := int32(binary.LittleEndian.Uint32(data[i+4:]))
+					if labels[src] < labels[dst] {
+						labels[dst] = labels[src]
+						changed = true
+					} else if labels[dst] < labels[src] {
+						labels[src] = labels[dst]
+						changed = true
+					}
+					stats.EdgesProcessed++
+				}
+				touch(blk + (blk/edgeBytes)*8)
+				stats.BytesStreamed += int64(blk + (blk/edgeBytes)*8)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels, stats, nil
+}

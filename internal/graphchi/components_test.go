@@ -1,0 +1,124 @@
+package graphchi
+
+import (
+	"testing"
+
+	"montsalvat/internal/rmat"
+	"montsalvat/internal/shim"
+)
+
+// referenceComponents computes weakly connected components with
+// union-find for verification.
+func referenceComponents(g rmat.Graph) []int32 {
+	parent := make([]int32, g.NumVertices)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		a, b := find(e.Src), find(e.Dst)
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	// The minimum vertex id of each set is its label only if the forest
+	// is rooted at the minimum; normalise by mapping each root to the
+	// minimum member.
+	min := make(map[int32]int32)
+	for v := range parent {
+		r := find(int32(v))
+		if cur, ok := min[r]; !ok || int32(v) < cur {
+			min[r] = int32(v)
+		}
+	}
+	out := make([]int32, g.NumVertices)
+	for v := range out {
+		out[v] = min[find(int32(v))]
+	}
+	return out
+}
+
+func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
+	g, err := rmat.Generate(300, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := shim.NewMemFS()
+	set, _, err := Shard(fs, g, 3, "cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := RunConnectedComponents(fs, set, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceComponents(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	if stats.EdgesProcessed == 0 || stats.ReadOps == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestConnectedComponentsTwoIslands(t *testing.T) {
+	g := rmat.Graph{
+		NumVertices: 6,
+		Edges: []rmat.Edge{
+			{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, // island {0,1,2}
+			{Src: 4, Dst: 3}, {Src: 4, Dst: 5}, // island {3,4,5}
+		},
+	}
+	fs := shim.NewMemFS()
+	set, _, err := Shard(fs, g, 2, "islands")
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _, err := RunConnectedComponents(fs, set, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1, 2} {
+		if labels[v] != 0 {
+			t.Fatalf("label[%d] = %d, want 0", v, labels[v])
+		}
+	}
+	for _, v := range []int{3, 4, 5} {
+		if labels[v] != 3 {
+			t.Fatalf("label[%d] = %d, want 3", v, labels[v])
+		}
+	}
+}
+
+func TestConnectedComponentsTouch(t *testing.T) {
+	g, err := rmat.Generate(64, 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := shim.NewMemFS()
+	set, _, err := Shard(fs, g, 2, "cct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var touched int64
+	_, stats, err := RunConnectedComponents(fs, set, 0, func(n int) { touched += int64(n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != stats.BytesStreamed {
+		t.Fatalf("touch %d != streamed %d", touched, stats.BytesStreamed)
+	}
+}

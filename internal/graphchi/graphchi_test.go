@@ -1,0 +1,252 @@
+package graphchi
+
+import (
+	"math"
+	"testing"
+
+	"montsalvat/internal/rmat"
+	"montsalvat/internal/shim"
+)
+
+func testGraph(t *testing.T, v, e int) rmat.Graph {
+	t.Helper()
+	g, err := rmat.Generate(v, e, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestShardPreservesEdges(t *testing.T) {
+	fs := shim.NewMemFS()
+	g := testGraph(t, 100, 1000)
+	set, stats, err := Shard(fs, g, 4, "g")
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	if stats.EdgesSharded != 1000 {
+		t.Fatalf("EdgesSharded = %d", stats.EdgesSharded)
+	}
+	total := 0
+	seen := make(map[rmat.Edge]int)
+	for s := 0; s < set.NumShards; s++ {
+		total += set.EdgeCounts[s]
+		size := set.EdgeCounts[s] * edgeBytes
+		if size == 0 {
+			continue
+		}
+		data, err := fs.ReadAt(set.shardFile(s), 0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := decodeEdges(data)
+		var upper int32 = set.UpperBounds[s]
+		var lower int32
+		if s > 0 {
+			lower = set.UpperBounds[s-1]
+		}
+		prev := int32(-1)
+		for _, e := range edges {
+			if e.Dst < lower || e.Dst >= upper {
+				t.Fatalf("shard %d edge %+v outside interval [%d,%d)", s, e, lower, upper)
+			}
+			if e.Src < prev {
+				t.Fatalf("shard %d not sorted by src", s)
+			}
+			prev = e.Src
+			seen[e]++
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("shard edge counts sum to %d", total)
+	}
+	// Multiset equality with the input.
+	want := make(map[rmat.Edge]int)
+	for _, e := range g.Edges {
+		want[e]++
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("distinct edges %d != %d", len(seen), len(want))
+	}
+	for e, c := range want {
+		if seen[e] != c {
+			t.Fatalf("edge %+v count %d != %d", e, seen[e], c)
+		}
+	}
+}
+
+func TestShardWriteOpsScaleWithEdges(t *testing.T) {
+	fs := shim.NewMemFS()
+	small := testGraph(t, 256, 2000)
+	_, sSmall, err := Shard(fs, small, 2, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testGraph(t, 256, 20000)
+	_, sBig, err := Shard(fs, big, 2, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBig.WriteOps <= sSmall.WriteOps {
+		t.Fatalf("write ops did not scale: %d vs %d", sSmall.WriteOps, sBig.WriteOps)
+	}
+	if sBig.BytesWritten <= sSmall.BytesWritten {
+		t.Fatalf("bytes written did not scale")
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	fs := shim.NewMemFS()
+	g := testGraph(t, 16, 32)
+	if _, _, err := Shard(fs, g, 0, "x"); err == nil {
+		t.Fatal("accepted 0 shards")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	fs := shim.NewMemFS()
+	g := testGraph(t, 200, 2000)
+	cfg := PageRankConfig{Iterations: 5}
+	want := ReferencePageRank(g, cfg)
+
+	for _, shards := range []int{1, 2, 3, 6} {
+		set, _, err := Shard(fs, g, shards, "pr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RunPageRank(fs, set, cfg, nil)
+		if err != nil {
+			t.Fatalf("RunPageRank(%d shards): %v", shards, err)
+		}
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-12 {
+				t.Fatalf("%d shards: rank[%d] = %v, want %v", shards, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPageRankOnKnownGraph(t *testing.T) {
+	// A 3-cycle has the uniform stationary distribution.
+	g := rmat.Graph{
+		NumVertices: 3,
+		Edges: []rmat.Edge{
+			{Src: 0, Dst: 1},
+			{Src: 1, Dst: 2},
+			{Src: 2, Dst: 0},
+		},
+	}
+	fs := shim.NewMemFS()
+	set, _, err := Shard(fs, g, 2, "cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, _, err := RunPageRank(fs, set, PageRankConfig{Iterations: 50}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range ranks {
+		if math.Abs(r-1.0/3) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want 1/3", v, r)
+		}
+	}
+}
+
+func TestPageRankPrefersHighInDegree(t *testing.T) {
+	// A star pointing at vertex 0: vertex 0 must out-rank the leaves.
+	edges := make([]rmat.Edge, 0, 9)
+	for v := int32(1); v < 10; v++ {
+		edges = append(edges, rmat.Edge{Src: v, Dst: 0})
+	}
+	g := rmat.Graph{NumVertices: 10, Edges: edges}
+	fs := shim.NewMemFS()
+	set, _, err := Shard(fs, g, 3, "star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, _, err := RunPageRank(fs, set, PageRankConfig{Iterations: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if ranks[0] <= ranks[v] {
+			t.Fatalf("rank[0]=%v not above leaf rank[%d]=%v", ranks[0], v, ranks[v])
+		}
+	}
+}
+
+func TestEngineStatsAndTouch(t *testing.T) {
+	fs := shim.NewMemFS()
+	g := testGraph(t, 300, 5000)
+	set, _, err := Shard(fs, g, 4, "st")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var touched int64
+	cfg := PageRankConfig{Iterations: 3}
+	_, stats, err := RunPageRank(fs, set, cfg, func(n int) { touched += int64(n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EdgesProcessed != int64(3*5000) {
+		t.Fatalf("EdgesProcessed = %d, want %d", stats.EdgesProcessed, 3*5000)
+	}
+	if stats.ReadOps == 0 || stats.BytesRead == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if touched != stats.BytesStreamed {
+		t.Fatalf("touch %d != BytesStreamed %d", touched, stats.BytesStreamed)
+	}
+}
+
+func TestReShardOverwritesOldFiles(t *testing.T) {
+	fs := shim.NewMemFS()
+	g1 := testGraph(t, 100, 5000)
+	if _, _, err := Shard(fs, g1, 2, "re"); err != nil {
+		t.Fatal(err)
+	}
+	g2 := testGraph(t, 100, 500)
+	set, _, err := Shard(fs, g2, 2, "re")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PageRankConfig{Iterations: 3}
+	got, _, err := RunPageRank(fs, set, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferencePageRank(g2, cfg)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("stale shard data: rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestMoreShardsMoreReadOps(t *testing.T) {
+	fs := shim.NewMemFS()
+	g := testGraph(t, 500, 20000)
+	cfg := PageRankConfig{Iterations: 2}
+	set1, _, err := Shard(fs, g, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := RunPageRank(fs, set1, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set6, _, err := Shard(fs, g, 6, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st6, err := RunPageRank(fs, set6, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st6.ReadOps < st1.ReadOps {
+		t.Fatalf("read ops fell with more shards: %d vs %d", st1.ReadOps, st6.ReadOps)
+	}
+	if st1.EdgesProcessed != st6.EdgesProcessed {
+		t.Fatalf("edge counts differ across shard counts")
+	}
+}

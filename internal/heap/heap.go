@@ -1,0 +1,538 @@
+// Package heap implements the managed heap embedded in Montsalvat native
+// images.
+//
+// GraalVM native images "embed a serial stop and copy GC" (paper §6.4);
+// each isolate operates on a separate heap collected independently (§2.2).
+// This package is that runtime component: a semispace heap with bump
+// allocation, a Cheney stop-and-copy collector, a strong handle table (the
+// analog of pinned/JNI references, used by the mirror–proxy registry), and
+// weak references (the basis of the GC helper in §5.5).
+//
+// Objects are addressed by Addr values that are INVALIDATED by every
+// collection; anything that must survive a collection — or any call that
+// may allocate — must be held via a Handle or WeakRef. This matches the
+// discipline of a real moving collector.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+const (
+	wordBytes   = 8
+	headerBytes = 16
+	// magic tags valid object headers so stale or corrupt addresses are
+	// caught immediately instead of silently misreading memory.
+	magic = 0xA5
+
+	flagForwarded = 1 << 0
+)
+
+// Addr is the address of an object in the current from-space. The zero
+// Addr is the null reference. Addrs are invalidated by garbage collection.
+type Addr uint64
+
+// Handle is a GC-stable strong reference to an object. Objects reachable
+// from a handle are never collected until the handle is released.
+type Handle uint64
+
+// WeakRef is a GC-stable weak reference: it does not keep its target
+// alive, and reads as cleared once the target has been collected. This is
+// the primitive the Montsalvat GC helper scans (§5.5).
+type WeakRef uint64
+
+// Errors returned by heap operations.
+var (
+	ErrOutOfMemory    = errors.New("heap: out of memory")
+	ErrBadAddress     = errors.New("heap: bad object address")
+	ErrBadHandle      = errors.New("heap: unknown handle")
+	ErrBadWeak        = errors.New("heap: unknown weak reference")
+	ErrBadSlot        = errors.New("heap: reference slot out of range")
+	ErrDataOutOfRange = errors.New("heap: data access out of range")
+)
+
+// Stats describes heap and collector state.
+type Stats struct {
+	// Collections is the number of completed GC cycles.
+	Collections uint64
+	// ObjectsCopied and BytesCopied accumulate over all collections.
+	ObjectsCopied uint64
+	BytesCopied   uint64
+	// LastPause and TotalPause are wall-clock collection times.
+	LastPause  time.Duration
+	TotalPause time.Duration
+	// LiveBytes is the bytes in use after the last collection (or
+	// allocated so far if none has run). AllocatedBytes counts all
+	// allocation ever performed.
+	LiveBytes      int
+	AllocatedBytes uint64
+	// SemiSize is the current semispace size; Handles and Weaks count
+	// live external references.
+	SemiSize int
+	Handles  int
+	Weaks    int
+}
+
+// Config sizes a heap.
+type Config struct {
+	// InitialSemi is the initial semispace size in bytes.
+	InitialSemi int
+	// MaxSemi bounds semispace growth (the enclave heap bound, §6.1).
+	MaxSemi int
+}
+
+// DefaultConfig returns a small heap suitable for tests.
+func DefaultConfig() Config {
+	return Config{InitialSemi: 1 << 20, MaxSemi: 64 << 20}
+}
+
+// Heap is a semispace managed heap. It is not safe for concurrent use;
+// each isolate serialises access to its heap (stop-the-world discipline).
+type Heap struct {
+	newBackend func(size int) (Backend, error)
+	from       Backend
+	to         Backend
+	semiSize   int
+	maxSemi    int
+	allocPtr   int
+
+	handles    map[Handle]Addr
+	nextHandle Handle
+	weaks      map[WeakRef]Addr
+	nextWeak   WeakRef
+
+	stats Stats
+}
+
+// New creates a heap whose semispaces are produced by newBackend — plain
+// memory for an untrusted heap, EPC-encrypted memory for an enclave heap.
+func New(cfg Config, newBackend func(size int) (Backend, error)) (*Heap, error) {
+	if cfg.InitialSemi <= headerBytes {
+		return nil, fmt.Errorf("heap: initial semispace too small: %d", cfg.InitialSemi)
+	}
+	if cfg.MaxSemi < cfg.InitialSemi {
+		cfg.MaxSemi = cfg.InitialSemi
+	}
+	if newBackend == nil {
+		return nil, errors.New("heap: nil backend factory")
+	}
+	from, err := newBackend(cfg.InitialSemi)
+	if err != nil {
+		return nil, fmt.Errorf("heap: from-space: %w", err)
+	}
+	to, err := newBackend(cfg.InitialSemi)
+	if err != nil {
+		return nil, fmt.Errorf("heap: to-space: %w", err)
+	}
+	return &Heap{
+		newBackend: newBackend,
+		from:       from,
+		to:         to,
+		semiSize:   cfg.InitialSemi,
+		maxSemi:    cfg.MaxSemi,
+		allocPtr:   wordBytes, // Addr 0 is reserved for null.
+		handles:    make(map[Handle]Addr),
+		weaks:      make(map[WeakRef]Addr),
+	}, nil
+}
+
+// NewPlain creates a heap over ordinary process memory.
+func NewPlain(cfg Config) (*Heap, error) {
+	return New(cfg, func(size int) (Backend, error) {
+		return NewPlainMemory(size), nil
+	})
+}
+
+// Alloc allocates an object with the given class, number of reference
+// slots, and raw data payload size. Reference slots are initialised to
+// null and data to zero. Alloc may trigger a collection, invalidating all
+// outstanding Addrs; callers holding raw Addrs must re-derive them from
+// Handles afterwards.
+func (h *Heap) Alloc(classID int32, nRefs int, dataBytes int) (Addr, error) {
+	if nRefs < 0 || dataBytes < 0 {
+		return 0, fmt.Errorf("heap: invalid allocation: nRefs=%d dataBytes=%d", nRefs, dataBytes)
+	}
+	// Sizes are exact (no alignment padding) so DataBytes reports the
+	// requested payload size; the simulated memory handles any offset.
+	size := headerBytes + nRefs*wordBytes + dataBytes
+	if h.allocPtr+size > h.semiSize {
+		if err := h.Collect(); err != nil {
+			return 0, err
+		}
+		for h.allocPtr+size > h.semiSize {
+			if err := h.grow(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	addr := Addr(h.allocPtr)
+	h.allocPtr += size
+	h.stats.AllocatedBytes += uint64(size)
+	h.stats.LiveBytes = h.allocPtr
+
+	buf := make([]byte, size)
+	putHeader(buf, classID, uint16(nRefs), 0, uint64(size))
+	if err := h.from.Write(int(addr), buf); err != nil {
+		return 0, fmt.Errorf("heap: init object: %w", err)
+	}
+	return addr, nil
+}
+
+// ClassID returns the class identifier of the object at addr.
+func (h *Heap) ClassID(addr Addr) (int32, error) {
+	w0, _, err := h.header(addr)
+	if err != nil {
+		return 0, err
+	}
+	return int32(w0 >> 32), nil
+}
+
+// NumRefs returns the number of reference slots of the object at addr.
+func (h *Heap) NumRefs(addr Addr) (int, error) {
+	w0, _, err := h.header(addr)
+	if err != nil {
+		return 0, err
+	}
+	return int(uint16(w0 >> 16)), nil
+}
+
+// DataBytes returns the raw data payload size of the object at addr
+// (excluding padding).
+func (h *Heap) DataBytes(addr Addr) (int, error) {
+	w0, w1, err := h.header(addr)
+	if err != nil {
+		return 0, err
+	}
+	nRefs := int(uint16(w0 >> 16))
+	return int(w1) - headerBytes - nRefs*wordBytes, nil
+}
+
+// GetRef reads reference slot i of the object at addr.
+func (h *Heap) GetRef(addr Addr, i int) (Addr, error) {
+	off, err := h.refOff(addr, i)
+	if err != nil {
+		return 0, err
+	}
+	var buf [wordBytes]byte
+	if err := h.from.Read(off, buf[:]); err != nil {
+		return 0, err
+	}
+	return Addr(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// SetRef writes reference slot i of the object at addr.
+func (h *Heap) SetRef(addr Addr, i int, target Addr) error {
+	off, err := h.refOff(addr, i)
+	if err != nil {
+		return err
+	}
+	if target != 0 {
+		if _, _, err := h.header(target); err != nil {
+			return fmt.Errorf("heap: SetRef target: %w", err)
+		}
+	}
+	var buf [wordBytes]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(target))
+	return h.from.Write(off, buf[:])
+}
+
+// ReadData copies len(dst) bytes of the object's raw payload at offset off
+// into dst.
+func (h *Heap) ReadData(addr Addr, off int, dst []byte) error {
+	base, err := h.dataOff(addr, off, len(dst))
+	if err != nil {
+		return err
+	}
+	return h.from.Read(base, dst)
+}
+
+// WriteData copies src into the object's raw payload at offset off.
+func (h *Heap) WriteData(addr Addr, off int, src []byte) error {
+	base, err := h.dataOff(addr, off, len(src))
+	if err != nil {
+		return err
+	}
+	return h.from.Write(base, src)
+}
+
+// NewHandle registers a strong reference to the object at addr.
+func (h *Heap) NewHandle(addr Addr) (Handle, error) {
+	if _, _, err := h.header(addr); err != nil {
+		return 0, err
+	}
+	h.nextHandle++
+	h.handles[h.nextHandle] = addr
+	return h.nextHandle, nil
+}
+
+// Deref resolves a handle to the object's current address.
+func (h *Heap) Deref(hd Handle) (Addr, error) {
+	addr, ok := h.handles[hd]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadHandle, hd)
+	}
+	return addr, nil
+}
+
+// Release drops a strong handle. Releasing an unknown handle is an error.
+func (h *Heap) Release(hd Handle) error {
+	if _, ok := h.handles[hd]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadHandle, hd)
+	}
+	delete(h.handles, hd)
+	return nil
+}
+
+// NewWeak registers a weak reference to the object at addr.
+func (h *Heap) NewWeak(addr Addr) (WeakRef, error) {
+	if _, _, err := h.header(addr); err != nil {
+		return 0, err
+	}
+	h.nextWeak++
+	h.weaks[h.nextWeak] = addr
+	return h.nextWeak, nil
+}
+
+// WeakGet resolves a weak reference. ok is false once the referent has
+// been collected ("null referent", §5.5).
+func (h *Heap) WeakGet(w WeakRef) (Addr, bool, error) {
+	addr, present := h.weaks[w]
+	if !present {
+		return 0, false, fmt.Errorf("%w: %d", ErrBadWeak, w)
+	}
+	return addr, addr != 0, nil
+}
+
+// ReleaseWeak drops a weak reference.
+func (h *Heap) ReleaseWeak(w WeakRef) error {
+	if _, ok := h.weaks[w]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadWeak, w)
+	}
+	delete(h.weaks, w)
+	return nil
+}
+
+// Stats returns a snapshot of collector statistics.
+func (h *Heap) Stats() Stats {
+	s := h.stats
+	s.LiveBytes = h.allocPtr
+	s.SemiSize = h.semiSize
+	s.Handles = len(h.handles)
+	s.Weaks = len(h.weaks)
+	return s
+}
+
+// Collect runs one stop-and-copy cycle: objects reachable from the handle
+// table are evacuated to to-space (Cheney's algorithm), weak references to
+// unreached objects are cleared, and the spaces are flipped.
+func (h *Heap) Collect() error {
+	start := time.Now()
+
+	// Pre-grow if occupancy is high so that repeated collections are not
+	// needed for a single large allocation burst.
+	if h.allocPtr > h.semiSize*3/4 && h.semiSize < h.maxSemi {
+		if err := h.growTo(min(h.semiSize*2, h.maxSemi)); err != nil {
+			return err
+		}
+	}
+
+	scan := wordBytes
+	free := wordBytes
+
+	// Evacuate roots: the handle table.
+	for hd, addr := range h.handles {
+		if addr == 0 {
+			continue
+		}
+		na, nf, err := h.evacuate(addr, free)
+		if err != nil {
+			return err
+		}
+		h.handles[hd] = na
+		free = nf
+	}
+
+	// Cheney scan of to-space.
+	for scan < free {
+		w0, w1, err := h.headerIn(h.to, Addr(scan))
+		if err != nil {
+			return fmt.Errorf("heap: scan: %w", err)
+		}
+		nRefs := int(uint16(w0 >> 16))
+		size := int(w1)
+		for i := 0; i < nRefs; i++ {
+			slotOff := scan + headerBytes + i*wordBytes
+			var buf [wordBytes]byte
+			if err := h.to.Read(slotOff, buf[:]); err != nil {
+				return err
+			}
+			target := Addr(binary.LittleEndian.Uint64(buf[:]))
+			if target == 0 {
+				continue
+			}
+			na, nf, err := h.evacuate(target, free)
+			if err != nil {
+				return err
+			}
+			free = nf
+			binary.LittleEndian.PutUint64(buf[:], uint64(na))
+			if err := h.to.Write(slotOff, buf[:]); err != nil {
+				return err
+			}
+		}
+		scan += size
+	}
+
+	// Fix up weak references: forwarded targets are updated, unreached
+	// targets are cleared.
+	for w, addr := range h.weaks {
+		if addr == 0 {
+			continue
+		}
+		w0, w1, err := h.header(addr)
+		if err != nil {
+			return fmt.Errorf("heap: weak fixup: %w", err)
+		}
+		if w0&uint64(flagForwarded) != 0 {
+			h.weaks[w] = Addr(w1)
+		} else {
+			h.weaks[w] = 0
+		}
+	}
+
+	// Flip.
+	h.from, h.to = h.to, h.from
+	h.allocPtr = free
+	if h.to.Size() < h.semiSize {
+		if err := h.to.Grow(h.semiSize); err != nil {
+			return err
+		}
+	}
+
+	pause := time.Since(start)
+	h.stats.Collections++
+	h.stats.LastPause = pause
+	h.stats.TotalPause += pause
+	h.stats.LiveBytes = h.allocPtr
+	return nil
+}
+
+// evacuate copies the object at addr (in from-space) to to-space unless it
+// has already been forwarded, and returns its new address plus the updated
+// free pointer.
+func (h *Heap) evacuate(addr Addr, free int) (Addr, int, error) {
+	w0, w1, err := h.header(addr)
+	if err != nil {
+		return 0, free, fmt.Errorf("heap: evacuate %#x: %w", uint64(addr), err)
+	}
+	if w0&uint64(flagForwarded) != 0 {
+		return Addr(w1), free, nil
+	}
+	size := int(w1)
+	buf := make([]byte, size)
+	if err := h.from.Read(int(addr), buf); err != nil {
+		return 0, free, err
+	}
+	if free+size > h.to.Size() {
+		return 0, free, fmt.Errorf("%w: to-space exhausted during collection", ErrOutOfMemory)
+	}
+	if err := h.to.Write(free, buf); err != nil {
+		return 0, free, err
+	}
+	// Install forwarding pointer in from-space.
+	var fwd [headerBytes]byte
+	binary.LittleEndian.PutUint64(fwd[0:8], w0|uint64(flagForwarded))
+	binary.LittleEndian.PutUint64(fwd[8:16], uint64(free))
+	if err := h.from.Write(int(addr), fwd[:]); err != nil {
+		return 0, free, err
+	}
+	h.stats.ObjectsCopied++
+	h.stats.BytesCopied += uint64(size)
+	return Addr(free), free + size, nil
+}
+
+func (h *Heap) grow() error {
+	if h.semiSize >= h.maxSemi {
+		return fmt.Errorf("%w: semispace at maximum %d bytes", ErrOutOfMemory, h.maxSemi)
+	}
+	if err := h.growTo(min(h.semiSize*2, h.maxSemi)); err != nil {
+		return err
+	}
+	return h.Collect()
+}
+
+// growTo enlarges the to-space (and records the new semispace size) so the
+// next collection evacuates into the larger space.
+func (h *Heap) growTo(newSize int) error {
+	if newSize <= h.semiSize {
+		return nil
+	}
+	if err := h.to.Grow(newSize); err != nil {
+		return err
+	}
+	h.semiSize = newSize
+	return nil
+}
+
+func (h *Heap) header(addr Addr) (uint64, uint64, error) {
+	return h.headerIn(h.from, addr)
+}
+
+func (h *Heap) headerIn(b Backend, addr Addr) (uint64, uint64, error) {
+	if addr == 0 || int(addr)+headerBytes > b.Size() {
+		return 0, 0, fmt.Errorf("%w: %#x", ErrBadAddress, uint64(addr))
+	}
+	var buf [headerBytes]byte
+	if err := b.Read(int(addr), buf[:]); err != nil {
+		return 0, 0, err
+	}
+	w0 := binary.LittleEndian.Uint64(buf[0:8])
+	w1 := binary.LittleEndian.Uint64(buf[8:16])
+	if byte(w0>>8) != magic {
+		return 0, 0, fmt.Errorf("%w: no object at %#x", ErrBadAddress, uint64(addr))
+	}
+	return w0, w1, nil
+}
+
+func (h *Heap) refOff(addr Addr, i int) (int, error) {
+	w0, _, err := h.header(addr)
+	if err != nil {
+		return 0, err
+	}
+	nRefs := int(uint16(w0 >> 16))
+	if i < 0 || i >= nRefs {
+		return 0, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, i, nRefs)
+	}
+	return int(addr) + headerBytes + i*wordBytes, nil
+}
+
+func (h *Heap) dataOff(addr Addr, off, n int) (int, error) {
+	w0, w1, err := h.header(addr)
+	if err != nil {
+		return 0, err
+	}
+	nRefs := int(uint16(w0 >> 16))
+	dataBytes := int(w1) - headerBytes - nRefs*wordBytes
+	if off < 0 || n < 0 || off+n > dataBytes {
+		return 0, fmt.Errorf("%w: off=%d len=%d data=%d", ErrDataOutOfRange, off, n, dataBytes)
+	}
+	return int(addr) + headerBytes + nRefs*wordBytes + off, nil
+}
+
+// putHeader encodes an object header into buf:
+// word0 = classID<<32 | nRefs<<16 | magic<<8 | flags, word1 = size.
+func putHeader(buf []byte, classID int32, nRefs uint16, flags uint8, size uint64) {
+	w0 := uint64(uint32(classID))<<32 | uint64(nRefs)<<16 | uint64(magic)<<8 | uint64(flags)
+	binary.LittleEndian.PutUint64(buf[0:8], w0)
+	binary.LittleEndian.PutUint64(buf[8:16], size)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

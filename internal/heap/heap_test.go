@@ -1,0 +1,565 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/epc"
+	"montsalvat/internal/mee"
+)
+
+func testHeap(t *testing.T, cfg Config) *Heap {
+	t.Helper()
+	h, err := NewPlain(cfg)
+	if err != nil {
+		t.Fatalf("NewPlain: %v", err)
+	}
+	return h
+}
+
+func smallCfg() Config {
+	return Config{InitialSemi: 4096, MaxSemi: 1 << 20}
+}
+
+func TestAllocAndAccessors(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	addr, err := h.Alloc(42, 3, 20)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if cid, err := h.ClassID(addr); err != nil || cid != 42 {
+		t.Fatalf("ClassID = %d, %v; want 42", cid, err)
+	}
+	if n, err := h.NumRefs(addr); err != nil || n != 3 {
+		t.Fatalf("NumRefs = %d, %v; want 3", n, err)
+	}
+	if n, err := h.DataBytes(addr); err != nil || n < 20 {
+		t.Fatalf("DataBytes = %d, %v; want >= 20", n, err)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	addr, err := h.Alloc(1, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("some object payload data here")
+	if err := h.WriteData(addr, 5, src); err != nil {
+		t.Fatalf("WriteData: %v", err)
+	}
+	dst := make([]byte, len(src))
+	if err := h.ReadData(addr, 5, dst); err != nil {
+		t.Fatalf("ReadData: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("data = %q, want %q", dst, src)
+	}
+}
+
+func TestDataOutOfRange(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	addr, _ := h.Alloc(1, 0, 16)
+	if err := h.WriteData(addr, 20, make([]byte, 8)); !errors.Is(err, ErrDataOutOfRange) {
+		t.Fatalf("err = %v, want ErrDataOutOfRange", err)
+	}
+	if err := h.ReadData(addr, -1, make([]byte, 1)); !errors.Is(err, ErrDataOutOfRange) {
+		t.Fatalf("err = %v, want ErrDataOutOfRange", err)
+	}
+}
+
+func TestRefSlots(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	a, _ := h.Alloc(1, 2, 0)
+	b, _ := h.Alloc(2, 0, 8)
+	if err := h.SetRef(a, 0, b); err != nil {
+		t.Fatalf("SetRef: %v", err)
+	}
+	got, err := h.GetRef(a, 0)
+	if err != nil {
+		t.Fatalf("GetRef: %v", err)
+	}
+	if got != b {
+		t.Fatalf("GetRef = %#x, want %#x", got, b)
+	}
+	// Unset slot reads null.
+	if got, _ := h.GetRef(a, 1); got != 0 {
+		t.Fatalf("unset slot = %#x, want 0", got)
+	}
+	// Out-of-range slot.
+	if _, err := h.GetRef(a, 2); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("err = %v, want ErrBadSlot", err)
+	}
+	// Null target is allowed (clearing a field).
+	if err := h.SetRef(a, 0, 0); err != nil {
+		t.Fatalf("SetRef null: %v", err)
+	}
+	// Garbage target is rejected.
+	if err := h.SetRef(a, 0, Addr(3)); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestBadAddress(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	if _, err := h.ClassID(0); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("null addr: err = %v, want ErrBadAddress", err)
+	}
+	if _, err := h.ClassID(Addr(1 << 40)); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("huge addr: err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestCollectPreservesReachableGraph(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	// root -> a -> b, with payload on each.
+	b, _ := h.Alloc(3, 0, 8)
+	if err := h.WriteData(b, 0, []byte("leafleaf")); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := h.Alloc(2, 1, 8)
+	if err := h.SetRef(a, 0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteData(a, 0, []byte("midmidmi")); err != nil {
+		t.Fatal(err)
+	}
+	root, err := h.NewHandle(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.Collect(); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+
+	na, err := h.Deref(root)
+	if err != nil {
+		t.Fatalf("Deref after GC: %v", err)
+	}
+	if cid, _ := h.ClassID(na); cid != 2 {
+		t.Fatalf("class after GC = %d, want 2", cid)
+	}
+	buf := make([]byte, 8)
+	if err := h.ReadData(na, 0, buf); err != nil || string(buf) != "midmidmi" {
+		t.Fatalf("mid data after GC = %q, %v", buf, err)
+	}
+	nb, err := h.GetRef(na, 0)
+	if err != nil || nb == 0 {
+		t.Fatalf("child ref after GC = %#x, %v", nb, err)
+	}
+	if err := h.ReadData(nb, 0, buf); err != nil || string(buf) != "leafleaf" {
+		t.Fatalf("leaf data after GC = %q, %v", buf, err)
+	}
+}
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	h := testHeap(t, Config{InitialSemi: 1 << 16, MaxSemi: 1 << 16})
+	keep, _ := h.Alloc(1, 0, 16)
+	hd, _ := h.NewHandle(keep)
+	for i := 0; i < 100; i++ {
+		if _, err := h.Alloc(2, 0, 32); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+	before := h.Stats().LiveBytes
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	after := h.Stats().LiveBytes
+	if after >= before {
+		t.Fatalf("LiveBytes %d -> %d, want reclamation", before, after)
+	}
+	// Exactly one object should have been copied.
+	if got := h.Stats().ObjectsCopied; got != 1 {
+		t.Fatalf("ObjectsCopied = %d, want 1", got)
+	}
+	if _, err := h.Deref(hd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedObjectCopiedOnce(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	shared, _ := h.Alloc(9, 0, 8)
+	a, _ := h.Alloc(1, 1, 0)
+	b, _ := h.Alloc(2, 1, 0)
+	if err := h.SetRef(a, 0, shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRef(b, 0, shared); err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := h.NewHandle(a)
+	hb, _ := h.NewHandle(b)
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := h.Deref(ha)
+	nb, _ := h.Deref(hb)
+	sa, _ := h.GetRef(na, 0)
+	sb, _ := h.GetRef(nb, 0)
+	if sa != sb || sa == 0 {
+		t.Fatalf("shared object duplicated: %#x vs %#x", sa, sb)
+	}
+	if got := h.Stats().ObjectsCopied; got != 3 {
+		t.Fatalf("ObjectsCopied = %d, want 3", got)
+	}
+}
+
+func TestCycleSurvivesCollection(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	a, _ := h.Alloc(1, 1, 0)
+	b, _ := h.Alloc(2, 1, 0)
+	if err := h.SetRef(a, 0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRef(b, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := h.NewHandle(a)
+	if err := h.Collect(); err != nil {
+		t.Fatalf("Collect on cyclic graph: %v", err)
+	}
+	na, _ := h.Deref(ha)
+	nb, _ := h.GetRef(na, 0)
+	back, _ := h.GetRef(nb, 0)
+	if back != na {
+		t.Fatalf("cycle broken: back=%#x, want %#x", back, na)
+	}
+}
+
+func TestWeakRefClearedForGarbage(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	obj, _ := h.Alloc(1, 0, 8)
+	w, err := h.NewWeak(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.WeakGet(w); !ok {
+		t.Fatal("weak ref cleared before GC")
+	}
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := h.WeakGet(w); err != nil || ok {
+		t.Fatalf("weak ref to garbage still live: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWeakRefUpdatedForSurvivor(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	obj, _ := h.Alloc(7, 0, 8)
+	if err := h.WriteData(obj, 0, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	hd, _ := h.NewHandle(obj)
+	w, _ := h.NewWeak(obj)
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	addr, ok, err := h.WeakGet(w)
+	if err != nil || !ok {
+		t.Fatalf("weak ref lost survivor: ok=%v err=%v", ok, err)
+	}
+	want, _ := h.Deref(hd)
+	if addr != want {
+		t.Fatalf("weak addr = %#x, want %#x", addr, want)
+	}
+	buf := make([]byte, 8)
+	if err := h.ReadData(addr, 0, buf); err != nil || string(buf) != "survivor" {
+		t.Fatalf("weak target data = %q, %v", buf, err)
+	}
+}
+
+func TestWeakDoesNotKeepAlive(t *testing.T) {
+	h := testHeap(t, Config{InitialSemi: 1 << 14, MaxSemi: 1 << 14})
+	obj, _ := h.Alloc(1, 0, 1024)
+	if _, err := h.NewWeak(obj); err != nil {
+		t.Fatal(err)
+	}
+	// Allocate enough to force collections; the weakly-referenced object
+	// must not pin memory, so this succeeds within a fixed-size heap.
+	for i := 0; i < 64; i++ {
+		if _, err := h.Alloc(2, 0, 512); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+}
+
+func TestHandleReleaseMakesGarbage(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	obj, _ := h.Alloc(1, 0, 8)
+	hd, _ := h.NewHandle(obj)
+	w, _ := h.NewWeak(obj)
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.WeakGet(w); !ok {
+		t.Fatal("handle did not keep object alive")
+	}
+	if err := h.Release(hd); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.WeakGet(w); ok {
+		t.Fatal("object survived after handle release")
+	}
+	// Double release errors.
+	if err := h.Release(hd); !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("double release: err = %v, want ErrBadHandle", err)
+	}
+}
+
+func TestAutoCollectOnExhaustion(t *testing.T) {
+	h := testHeap(t, Config{InitialSemi: 1 << 13, MaxSemi: 1 << 13})
+	// Fill with garbage repeatedly: automatic collection must kick in.
+	for i := 0; i < 200; i++ {
+		if _, err := h.Alloc(1, 0, 128); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+	if h.Stats().Collections == 0 {
+		t.Fatal("no automatic collection happened")
+	}
+}
+
+func TestOutOfMemoryAtMax(t *testing.T) {
+	h := testHeap(t, Config{InitialSemi: 1 << 13, MaxSemi: 1 << 13})
+	var handles []Handle
+	var err error
+	for i := 0; i < 1000; i++ {
+		var addr Addr
+		addr, err = h.Alloc(1, 0, 128)
+		if err != nil {
+			break
+		}
+		var hd Handle
+		hd, err = h.NewHandle(addr)
+		if err != nil {
+			break
+		}
+		handles = append(handles, hd)
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	_ = handles
+}
+
+func TestHeapGrowsUpToMax(t *testing.T) {
+	h := testHeap(t, Config{InitialSemi: 1 << 12, MaxSemi: 1 << 16})
+	var handles []Handle
+	for i := 0; i < 100; i++ {
+		addr, err := h.Alloc(1, 0, 256)
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		hd, err := h.NewHandle(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, hd)
+	}
+	if got := h.Stats().SemiSize; got <= 1<<12 {
+		t.Fatalf("SemiSize = %d, want growth beyond %d", got, 1<<12)
+	}
+	// All objects still intact.
+	for _, hd := range handles {
+		if _, err := h.Deref(hd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEPCBackedHeap(t *testing.T) {
+	eng, err := mee.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := cycles.New(3.8e9, false)
+	h, err := New(Config{InitialSemi: 1 << 14, MaxSemi: 1 << 18}, func(size int) (Backend, error) {
+		return epc.New(size, nil, eng, clk)
+	})
+	if err != nil {
+		t.Fatalf("New EPC heap: %v", err)
+	}
+	obj, err := h.Alloc(5, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteData(obj, 0, []byte("secret in the enclave heap!!")); err != nil {
+		t.Fatal(err)
+	}
+	hd, _ := h.NewHandle(obj)
+	if err := h.Collect(); err != nil {
+		t.Fatalf("Collect on EPC heap: %v", err)
+	}
+	na, _ := h.Deref(hd)
+	buf := make([]byte, 28)
+	if err := h.ReadData(na, 0, buf); err != nil || string(buf) != "secret in the enclave heap!!" {
+		t.Fatalf("EPC heap data after GC = %q, %v", buf, err)
+	}
+	if clk.Total() == 0 {
+		t.Fatal("EPC heap charged no MEE cycles")
+	}
+	if eng.Stats().LinesEncrypted == 0 {
+		t.Fatal("EPC heap performed no encryption")
+	}
+}
+
+func TestStatsProgression(t *testing.T) {
+	h := testHeap(t, smallCfg())
+	addr, _ := h.Alloc(1, 0, 8)
+	if _, err := h.NewHandle(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Stats()
+	if s.Collections != 1 || s.ObjectsCopied != 1 || s.BytesCopied == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Handles != 1 {
+		t.Fatalf("Handles = %d, want 1", s.Handles)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewPlain(Config{InitialSemi: 4}); err == nil {
+		t.Fatal("accepted tiny semispace")
+	}
+	if _, err := New(smallCfg(), nil); err == nil {
+		t.Fatal("accepted nil backend factory")
+	}
+}
+
+// Property: a randomly built object graph survives collection with all
+// payloads and topology intact (checked via a shadow model).
+func TestQuickGCPreservesGraph(t *testing.T) {
+	type node struct {
+		handle  Handle
+		refs    []int // indices into nodes
+		payload []byte
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, err := NewPlain(Config{InitialSemi: 1 << 14, MaxSemi: 1 << 20})
+		if err != nil {
+			return false
+		}
+		n := 2 + r.Intn(20)
+		nodes := make([]node, n)
+		addrs := make([]Addr, n)
+		// Allocate all nodes first (no GC can trigger: heap is large
+		// enough for this phase), then wire references.
+		for i := range nodes {
+			nRefs := r.Intn(3)
+			payload := make([]byte, 1+r.Intn(24))
+			r.Read(payload)
+			addr, err := h.Alloc(int32(i), nRefs, len(payload))
+			if err != nil {
+				return false
+			}
+			if err := h.WriteData(addr, 0, payload); err != nil {
+				return false
+			}
+			addrs[i] = addr
+			nodes[i] = node{payload: payload, refs: make([]int, nRefs)}
+		}
+		for i := range nodes {
+			for s := range nodes[i].refs {
+				target := r.Intn(n)
+				nodes[i].refs[s] = target
+				if err := h.SetRef(addrs[i], s, addrs[target]); err != nil {
+					return false
+				}
+			}
+			hd, err := h.NewHandle(addrs[i])
+			if err != nil {
+				return false
+			}
+			nodes[i].handle = hd
+		}
+		for c := 0; c < 2; c++ {
+			if err := h.Collect(); err != nil {
+				return false
+			}
+		}
+		// Verify the shadow model.
+		newAddrs := make([]Addr, n)
+		for i := range nodes {
+			addr, err := h.Deref(nodes[i].handle)
+			if err != nil {
+				return false
+			}
+			newAddrs[i] = addr
+		}
+		for i := range nodes {
+			cid, err := h.ClassID(newAddrs[i])
+			if err != nil || cid != int32(i) {
+				return false
+			}
+			buf := make([]byte, len(nodes[i].payload))
+			if err := h.ReadData(newAddrs[i], 0, buf); err != nil {
+				return false
+			}
+			if !bytes.Equal(buf, nodes[i].payload) {
+				return false
+			}
+			for s, target := range nodes[i].refs {
+				got, err := h.GetRef(newAddrs[i], s)
+				if err != nil || got != newAddrs[target] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeObjectForcesGrowth(t *testing.T) {
+	h := testHeap(t, Config{InitialSemi: 1 << 12, MaxSemi: 1 << 20})
+	// A single object far larger than the current semispace must grow
+	// the heap rather than fail.
+	addr, err := h.Alloc(1, 0, 200_000)
+	if err != nil {
+		t.Fatalf("huge alloc: %v", err)
+	}
+	hd, err := h.NewHandle(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5a}, 200_000)
+	if err := h.WriteData(addr, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	na, err := h.Deref(hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 200_000)
+	if err := h.ReadData(na, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("huge object corrupted by growth/collection")
+	}
+	// An object that can never fit is rejected cleanly.
+	if _, err := h.Alloc(1, 0, 1<<21); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("impossible alloc: %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package image implements the Montsalvat native-image builder.
+//
+// GraalVM native-image "takes as input compiled application classes
+// (bytecode) ... performs points-to analysis to find the reachable program
+// elements ... Only reachable methods are then compiled ahead-of-time into
+// the final native image" (paper §5.3). This package reproduces that
+// phase over the classmodel: given one of the transformed class sets, it
+// derives the entry points (relay methods and, for the untrusted image,
+// the application main), runs the reachability analysis, prunes
+// unreachable classes and methods — including unnecessary proxies — and
+// produces a relocatable Image whose deterministic byte serialisation is
+// what gets measured into the enclave (the trusted.o / enclave.so of
+// Fig. 1).
+//
+// The closed-world assumption is enforced at run time: looking up a
+// method that was not reachable at build time fails with
+// ErrClosedWorld, the analog of a missing method in an AOT-compiled
+// binary.
+package image
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/pointsto"
+)
+
+// ErrClosedWorld is returned when code invokes a program element that the
+// build-time analysis did not include in the image.
+var ErrClosedWorld = errors.New("image: closed-world violation: element not compiled into image")
+
+// Build-time validation errors.
+var (
+	errMissingMain   = errors.New("image: untrusted image requires a main entry point")
+	errTrustedMain   = errors.New("image: trusted image must not contain the main entry point (§5.3)")
+	errNoEntryPoints = errors.New("image: no entry points")
+)
+
+// Kind labels which side of the partition an image serves.
+type Kind int
+
+// Image kinds.
+const (
+	// TrustedImage is linked into the enclave (trusted.o).
+	TrustedImage Kind = iota + 1
+	// UntrustedImage hosts the application main (untrusted.o).
+	UntrustedImage
+)
+
+func (k Kind) String() string {
+	if k == TrustedImage {
+		return "trusted"
+	}
+	return "untrusted"
+}
+
+// Report summarises a build.
+type Report struct {
+	Kind             Kind
+	EntryPoints      int
+	TotalClasses     int
+	ReachableClasses int
+	TotalMethods     int
+	CompiledMethods  int
+	// ProxiesPruned counts proxy classes removed because no reachable
+	// method used them (§5.2: "The points-to analysis of GraalVM
+	// native-image automatically prunes/removes proxies for classes that
+	// are not reachable").
+	ProxiesPruned int
+	ProxiesKept   int
+}
+
+// Image is a built native image: the compiled subset of a class set.
+type Image struct {
+	kind    Kind
+	program *classmodel.Program
+	reach   *pointsto.Result
+
+	classIDs map[string]int32
+	entries  []classmodel.MethodRef
+	report   Report
+	payload  []byte
+}
+
+// Build compiles a class set into an image. Entry points are derived per
+// §5.3: every relay method (the @CEntryPoint analog) of a non-proxy
+// class, plus — for the untrusted image — the application main method.
+// Use BuildWithConfig to force additional reflection roots in.
+func Build(kind Kind, prog *classmodel.Program) (*Image, error) {
+	return BuildWithConfig(kind, prog, Config{})
+}
+
+// Kind returns which side of the partition the image serves.
+func (img *Image) Kind() Kind { return img.kind }
+
+// Program returns the class set the image was built from.
+func (img *Image) Program() *classmodel.Program { return img.program }
+
+// EntryPoints returns the image's entry points.
+func (img *Image) EntryPoints() []classmodel.MethodRef {
+	return append([]classmodel.MethodRef(nil), img.entries...)
+}
+
+// Report returns the build report.
+func (img *Image) Report() Report { return img.report }
+
+// ClassID returns the compiled class identifier, or an ErrClosedWorld
+// error if the class was not reachable at build time.
+func (img *Image) ClassID(name string) (int32, error) {
+	id, ok := img.classIDs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: class %s", ErrClosedWorld, name)
+	}
+	return id, nil
+}
+
+// Classes returns the reachable classes in deterministic order.
+func (img *Image) Classes() []*classmodel.Class {
+	names := img.reach.Classes()
+	out := make([]*classmodel.Class, 0, len(names))
+	for _, name := range names {
+		if c, ok := img.program.Class(name); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Lookup resolves a method, enforcing the closed-world assumption.
+func (img *Image) Lookup(ref classmodel.MethodRef) (*classmodel.Class, *classmodel.Method, error) {
+	c, m, ok := img.program.Lookup(ref)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: method %s", ErrClosedWorld, ref)
+	}
+	if !img.reach.MethodReachable(ref) {
+		return nil, nil, fmt.Errorf("%w: method %s (pruned at build time)", ErrClosedWorld, ref)
+	}
+	return c, m, nil
+}
+
+// MethodCompiled reports whether a method was compiled into the image.
+func (img *Image) MethodCompiled(ref classmodel.MethodRef) bool {
+	return img.reach.MethodReachable(ref)
+}
+
+// Bytes returns the deterministic serialised form of the image — the
+// relocatable object file content that is added to the enclave and
+// measured (Fig. 1: trusted.o linked into enclave.so).
+func (img *Image) Bytes() []byte {
+	return append([]byte(nil), img.payload...)
+}
+
+// Measurement returns the MRENCLAVE an enclave loaded with exactly this
+// image will report: the EADD/EEXTEND hash chain over the image bytes,
+// starting from the empty-enclave measurement. Verifiers compare
+// attestation quotes against this value.
+func (img *Image) Measurement() [32]byte {
+	empty := sha256.Sum256(nil)
+	h := sha256.New()
+	h.Write(empty[:])
+	h.Write(img.payload)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// serialize renders a deterministic description of every compiled program
+// element: class names, annotations, fields, reachable method signatures
+// and their call/allocation edges.
+func (img *Image) serialize() []byte {
+	buf := make([]byte, 0, 4096)
+	appendStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	appendStr("montsalvat-image-v1")
+	buf = append(buf, byte(img.kind))
+	names := img.reach.Classes()
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := img.program.Class(name)
+		if !ok {
+			continue
+		}
+		appendStr(c.Name)
+		buf = append(buf, byte(c.Ann))
+		if c.Proxy {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, f := range c.Fields {
+			appendStr(f.Name)
+			buf = append(buf, byte(f.Kind))
+			appendStr(f.ClassName)
+		}
+		for _, m := range c.Methods {
+			ref := classmodel.MethodRef{Class: c.Name, Method: m.Name}
+			if !img.reach.MethodReachable(ref) {
+				continue
+			}
+			appendStr(m.Name)
+			flags := byte(0)
+			if m.Static {
+				flags |= 1
+			}
+			if m.Relay {
+				flags |= 2
+			}
+			if m.EntryPoint {
+				flags |= 4
+			}
+			buf = append(buf, flags)
+			for _, p := range m.Params {
+				appendStr(p.Name)
+				buf = append(buf, byte(p.Kind))
+			}
+			buf = append(buf, byte(m.Returns))
+			for _, call := range m.Calls {
+				appendStr(call.Class)
+				appendStr(call.Method)
+			}
+			for _, alloc := range m.Allocates {
+				appendStr(alloc)
+			}
+		}
+	}
+	return buf
+}

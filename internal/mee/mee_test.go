@@ -1,0 +1,196 @@
+package mee
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	e, err := NewWithKey(key)
+	if err != nil {
+		t.Fatalf("NewWithKey: %v", err)
+	}
+	return e
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	plain := make([]byte, LineBytes)
+	for i := range plain {
+		plain[i] = byte(i)
+	}
+	ct := make([]byte, LineBytes)
+	tag, err := e.EncryptLine(ct, plain, 0x1000, 1)
+	if err != nil {
+		t.Fatalf("EncryptLine: %v", err)
+	}
+	if bytes.Equal(ct, plain) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	out := make([]byte, LineBytes)
+	if err := e.DecryptLine(out, ct, 0x1000, 1, tag); err != nil {
+		t.Fatalf("DecryptLine: %v", err)
+	}
+	if !bytes.Equal(out, plain) {
+		t.Fatalf("round trip mismatch: got %x want %x", out, plain)
+	}
+}
+
+func TestDecryptDetectsTampering(t *testing.T) {
+	e := testEngine(t)
+	plain := make([]byte, LineBytes)
+	ct := make([]byte, LineBytes)
+	tag, err := e.EncryptLine(ct, plain, 64, 3)
+	if err != nil {
+		t.Fatalf("EncryptLine: %v", err)
+	}
+	ct[5] ^= 0x80
+	out := make([]byte, LineBytes)
+	err = e.DecryptLine(out, ct, 64, 3, tag)
+	if err == nil {
+		t.Fatal("DecryptLine accepted tampered ciphertext")
+	}
+	if got := e.Stats().IntegrityFailures; got != 1 {
+		t.Fatalf("IntegrityFailures = %d, want 1", got)
+	}
+}
+
+func TestDecryptDetectsReplay(t *testing.T) {
+	e := testEngine(t)
+	plain := make([]byte, LineBytes)
+	plain[0] = 0xaa
+	ct := make([]byte, LineBytes)
+	oldTag, err := e.EncryptLine(ct, plain, 128, 1)
+	if err != nil {
+		t.Fatalf("EncryptLine: %v", err)
+	}
+	oldCT := append([]byte(nil), ct...)
+
+	// Overwrite the same address with fresh data (version bump).
+	plain[0] = 0xbb
+	if _, err := e.EncryptLine(ct, plain, 128, 2); err != nil {
+		t.Fatalf("EncryptLine v2: %v", err)
+	}
+
+	// Replaying the stale ciphertext against the current version fails.
+	out := make([]byte, LineBytes)
+	if err := e.DecryptLine(out, oldCT, 128, 2, oldTag); err == nil {
+		t.Fatal("DecryptLine accepted replayed stale line")
+	}
+}
+
+func TestDecryptDetectsRelocation(t *testing.T) {
+	e := testEngine(t)
+	plain := make([]byte, LineBytes)
+	ct := make([]byte, LineBytes)
+	tag, err := e.EncryptLine(ct, plain, 0, 1)
+	if err != nil {
+		t.Fatalf("EncryptLine: %v", err)
+	}
+	out := make([]byte, LineBytes)
+	if err := e.DecryptLine(out, ct, 64, 1, tag); err == nil {
+		t.Fatal("DecryptLine accepted line moved to a different address")
+	}
+}
+
+func TestEncryptRejectsBadSizes(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.EncryptLine(make([]byte, 10), make([]byte, 10), 0, 1); err == nil {
+		t.Fatal("EncryptLine accepted short line")
+	}
+	if err := e.DecryptLine(make([]byte, 10), make([]byte, 10), 0, 1, Tag{}); err == nil {
+		t.Fatal("DecryptLine accepted short line")
+	}
+}
+
+func TestNewWithKeyValidatesLength(t *testing.T) {
+	if _, err := NewWithKey(make([]byte, 16)); err == nil {
+		t.Fatal("NewWithKey accepted 16-byte key")
+	}
+}
+
+func TestNewGeneratesDistinctKeys(t *testing.T) {
+	e1, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e2, err := New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	plain := make([]byte, LineBytes)
+	ct1 := make([]byte, LineBytes)
+	ct2 := make([]byte, LineBytes)
+	if _, err := e1.EncryptLine(ct1, plain, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.EncryptLine(ct2, plain, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("two fresh engines produced identical ciphertext")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	e := testEngine(t)
+	plain := make([]byte, LineBytes)
+	ct := make([]byte, LineBytes)
+	tag, _ := e.EncryptLine(ct, plain, 0, 1)
+	out := make([]byte, LineBytes)
+	if err := e.DecryptLine(out, ct, 0, 1, tag); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.LinesEncrypted != 1 || s.LinesDecrypted != 1 {
+		t.Fatalf("stats = %+v, want 1 enc / 1 dec", s)
+	}
+	if s.BytesEncrypted != LineBytes || s.BytesDecrypted != LineBytes {
+		t.Fatalf("stats bytes = %+v, want %d each", s, LineBytes)
+	}
+}
+
+// Property: any line round-trips at any (addr, version).
+func TestQuickRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	f := func(data [LineBytes]byte, addr uint64, version uint64) bool {
+		ct := make([]byte, LineBytes)
+		tag, err := e.EncryptLine(ct, data[:], addr, version)
+		if err != nil {
+			return false
+		}
+		out := make([]byte, LineBytes)
+		if err := e.DecryptLine(out, ct, addr, version, tag); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in-place encryption (dst aliasing src) round-trips.
+func TestQuickInPlace(t *testing.T) {
+	e := testEngine(t)
+	f := func(data [LineBytes]byte, addr uint64, version uint64) bool {
+		buf := append([]byte(nil), data[:]...)
+		tag, err := e.EncryptLine(buf, buf, addr, version)
+		if err != nil {
+			return false
+		}
+		if err := e.DecryptLine(buf, buf, addr, version, tag); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package paldb
+
+import (
+	"fmt"
+)
+
+// Iterator walks all records of a sealed store in insertion order, like
+// PalDB's StoreReader.iterable(). It reads from the reader's memory map,
+// so iteration inside an enclave pays MEE cost through the touch hook.
+type Iterator struct {
+	r   *Reader
+	off int64
+	idx int
+
+	key []byte
+	val []byte
+	err error
+}
+
+// Iterate returns an iterator positioned before the first record.
+func (r *Reader) Iterate() *Iterator {
+	return &Iterator{r: r, off: headerSize}
+}
+
+// Next advances to the next record, returning false at the end of the
+// store or on error (check Err).
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.idx >= it.r.count {
+		return false
+	}
+	if it.off >= it.r.indexOff {
+		it.err = fmt.Errorf("%w: record %d overruns the data section", ErrCorrupt, it.idx)
+		return false
+	}
+	key, val, n, err := it.r.record(it.off)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.key = key
+	it.val = val
+	it.off += int64(n)
+	it.idx++
+	it.r.stats.BytesAccessed += int64(n)
+	if it.r.touch != nil {
+		it.r.touch(n)
+	}
+	return true
+}
+
+// Key returns the current record's key. The slice aliases the store map;
+// copy it to retain it past the next call to Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current record's value (aliases the store map).
+func (it *Iterator) Value() []byte { return it.val }
+
+// Err returns the error that stopped iteration, if any.
+func (it *Iterator) Err() error { return it.err }

@@ -1,0 +1,93 @@
+package paldb
+
+import (
+	"strconv"
+	"testing"
+
+	"montsalvat/internal/shim"
+)
+
+func TestIteratorVisitsAllRecords(t *testing.T) {
+	fs := shim.NewMemFS()
+	w, err := NewWriter(fs, "it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := w.Put([]byte("k"+strconv.Itoa(i)), []byte("v"+strconv.Itoa(i*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(fs, "it")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	it := r.Iterate()
+	seen := 0
+	for it.Next() {
+		// Records come back in insertion order.
+		wantK := "k" + strconv.Itoa(seen)
+		wantV := "v" + strconv.Itoa(seen*seen)
+		if string(it.Key()) != wantK || string(it.Value()) != wantV {
+			t.Fatalf("record %d = (%q,%q), want (%q,%q)", seen, it.Key(), it.Value(), wantK, wantV)
+		}
+		seen++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if seen != n {
+		t.Fatalf("visited %d records, want %d", seen, n)
+	}
+	// Exhausted iterator stays exhausted.
+	if it.Next() {
+		t.Fatal("Next() after end returned true")
+	}
+}
+
+func TestIteratorEmptyStore(t *testing.T) {
+	fs := shim.NewMemFS()
+	w, err := NewWriter(fs, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(fs, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := r.Iterate()
+	if it.Next() {
+		t.Fatal("empty store iterated")
+	}
+	if it.Err() != nil {
+		t.Fatalf("Err: %v", it.Err())
+	}
+}
+
+func TestIteratorTouchHook(t *testing.T) {
+	fs := shim.NewMemFS()
+	buildStore(t, fs, "touch", map[string]string{"a": "1", "b": "2"})
+	r, err := Open(fs, "touch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var touched int
+	r.SetTouch(func(n int) { touched += n })
+	it := r.Iterate()
+	for it.Next() {
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if touched == 0 {
+		t.Fatal("iteration did not touch the map")
+	}
+}

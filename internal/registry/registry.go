@@ -1,0 +1,196 @@
+// Package registry implements the mirror–proxy registry and the weak
+// reference list that Montsalvat's GC synchronisation is built on (§5.2,
+// §5.5).
+//
+// Each runtime owns one Registry mapping proxy identity hashes to strong
+// handles of the local mirror objects ("code to add the mirror object
+// strong reference and associated proxy hash to a global registry, which
+// we call the mirror-proxy registry"). Entries are reference counted by
+// the number of live proxy instances in the opposite runtime, so that a
+// hash exported more than once is only released when the last proxy dies.
+//
+// Each runtime also owns one WeakList tracking (weak reference, hash)
+// pairs for the proxy objects living locally ("When a proxy object is
+// created, Montsalvat stores a weak reference and the hash of the former
+// in a global list"). The GC helper periodically sweeps the list for
+// dead proxies and releases the corresponding mirrors in the opposite
+// registry (§5.5).
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"montsalvat/internal/heap"
+)
+
+// Registry is one runtime's mirror–proxy registry. It is safe for
+// concurrent use (the GC helper thread and the mutator both touch it).
+type Registry struct {
+	mu      sync.Mutex
+	heap    *heap.Heap
+	entries map[int64]*entry
+}
+
+type entry struct {
+	handle heap.Handle
+	count  int
+}
+
+// New creates a registry whose strong references live on h.
+func New(h *heap.Heap) *Registry {
+	return &Registry{heap: h, entries: make(map[int64]*entry)}
+}
+
+// Export records that a proxy instance for hash now exists in the
+// opposite runtime, keeping the local mirror object (already referenced
+// by handle) strongly reachable. Re-exports of a live hash increment the
+// reference count and release the redundant handle.
+func (r *Registry) Export(hash int64, handle heap.Handle) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[hash]; ok {
+		e.count++
+		// The existing strong handle already pins the mirror.
+		if err := r.heap.Release(handle); err != nil {
+			return fmt.Errorf("registry: release duplicate handle: %w", err)
+		}
+		return nil
+	}
+	r.entries[hash] = &entry{handle: handle, count: 1}
+	return nil
+}
+
+// Resolve returns the strong handle of the mirror for hash.
+func (r *Registry) Resolve(hash int64) (heap.Handle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[hash]
+	if !ok {
+		return 0, false
+	}
+	return e.handle, true
+}
+
+// Release records the death of one proxy instance for hash. When the
+// last instance dies the strong handle is dropped, making the mirror
+// "eligible for GC if it is not strongly referenced anywhere else"
+// (§5.5). It reports whether the entry was fully removed.
+func (r *Registry) Release(hash int64) (removed bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[hash]
+	if !ok {
+		return false, fmt.Errorf("registry: release of unknown hash %d", hash)
+	}
+	e.count--
+	if e.count > 0 {
+		return false, nil
+	}
+	delete(r.entries, hash)
+	if err := r.heap.Release(e.handle); err != nil {
+		return true, fmt.Errorf("registry: drop mirror handle: %w", err)
+	}
+	return true, nil
+}
+
+// Size returns the number of registered mirrors (Fig. 5b's
+// mirror-objs-in series).
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Hashes returns the registered hashes in ascending order.
+func (r *Registry) Hashes() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int64, 0, len(r.entries))
+	for h := range r.entries {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WeakList tracks the proxies living in one runtime via weak references.
+// It is safe for concurrent use.
+type WeakList struct {
+	mu      sync.Mutex
+	heap    *heap.Heap
+	entries []weakEntry
+}
+
+type weakEntry struct {
+	weak heap.WeakRef
+	hash int64
+}
+
+// NewWeakList creates a weak list over h.
+func NewWeakList(h *heap.Heap) *WeakList {
+	return &WeakList{heap: h}
+}
+
+// Track registers a freshly created proxy object.
+func (l *WeakList) Track(w heap.WeakRef, hash int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, weakEntry{weak: w, hash: hash})
+}
+
+// Len returns the number of tracked (live or not-yet-swept) proxies.
+func (l *WeakList) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// LiveHash returns the address of a live proxy for hash, so a runtime can
+// reuse a canonical proxy instance instead of duplicating it.
+func (l *WeakList) LiveHash(hash int64) (heap.Addr, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if e.hash != hash {
+			continue
+		}
+		addr, ok, err := l.heap.WeakGet(e.weak)
+		if err == nil && ok {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// SweepDead scans for "null referents of weak references" (§5.5):
+// entries whose proxy has been collected are removed from the list, their
+// weak references released, and their hashes returned so the caller can
+// release the mirrors in the opposite runtime's registry.
+func (l *WeakList) SweepDead() ([]int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var dead []int64
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		_, alive, err := l.heap.WeakGet(e.weak)
+		if err != nil {
+			return nil, fmt.Errorf("registry: sweep: %w", err)
+		}
+		if alive {
+			kept = append(kept, e)
+			continue
+		}
+		dead = append(dead, e.hash)
+		if err := l.heap.ReleaseWeak(e.weak); err != nil {
+			return nil, fmt.Errorf("registry: sweep: %w", err)
+		}
+	}
+	// Zero the tail so dropped entries do not pin the backing array.
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = weakEntry{}
+	}
+	l.entries = kept
+	return dead, nil
+}

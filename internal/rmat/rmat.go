@@ -1,0 +1,87 @@
+// Package rmat generates synthetic power-law directed graphs with the
+// R-MAT recursive-matrix algorithm [Chakrabarti et al., SDM'04], the
+// generator the paper uses for its GraphChi PageRank inputs (§6.5: "We
+// run the PageRank algorithm on synthetic directed graphs generated using
+// the RMAT algorithm").
+package rmat
+
+import "fmt"
+
+// Edge is one directed edge.
+type Edge struct {
+	Src int32
+	Dst int32
+}
+
+// Graph is an edge-list graph.
+type Graph struct {
+	NumVertices int
+	Edges       []Edge
+}
+
+// Default R-MAT partition probabilities (the common (0.57, 0.19, 0.19,
+// 0.05) parameterisation).
+const (
+	probA = 0.57
+	probB = 0.19
+	probC = 0.19
+)
+
+// Generate produces a graph with numVertices vertices (rounded up to a
+// power of two internally for quadrant recursion; emitted vertex ids are
+// folded into range) and numEdges edges. Generation is deterministic for
+// a given seed.
+func Generate(numVertices, numEdges int, seed int64) (Graph, error) {
+	if numVertices < 2 {
+		return Graph{}, fmt.Errorf("rmat: need at least 2 vertices, got %d", numVertices)
+	}
+	if numEdges < 1 {
+		return Graph{}, fmt.Errorf("rmat: need at least 1 edge, got %d", numEdges)
+	}
+	scale := 1
+	for 1<<scale < numVertices {
+		scale++
+	}
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / float64(1<<53)
+	}
+	g := Graph{NumVertices: numVertices, Edges: make([]Edge, 0, numEdges)}
+	for len(g.Edges) < numEdges {
+		var src, dst int
+		for level := scale - 1; level >= 0; level-- {
+			r := next()
+			switch {
+			case r < probA:
+				// top-left: neither bit set
+			case r < probA+probB:
+				dst |= 1 << level
+			case r < probA+probB+probC:
+				src |= 1 << level
+			default:
+				src |= 1 << level
+				dst |= 1 << level
+			}
+		}
+		src %= numVertices
+		dst %= numVertices
+		if src == dst {
+			// Skip self loops, as GraphChi's sharder does.
+			src, dst = 0, 0
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{Src: int32(src), Dst: int32(dst)})
+		src, dst = 0, 0
+	}
+	return g, nil
+}
+
+// OutDegrees computes the out-degree of every vertex.
+func (g Graph) OutDegrees() []int {
+	deg := make([]int, g.NumVertices)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+	}
+	return deg
+}

@@ -1,0 +1,106 @@
+package rmat
+
+import "testing"
+
+func TestGenerateBasics(t *testing.T) {
+	g, err := Generate(1000, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 1000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices)
+	}
+	if len(g.Edges) != 5000 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.Src < 0 || int(e.Src) >= 1000 || e.Dst < 0 || int(e.Dst) >= 1000 {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self loop: %+v", e)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := Generate(512, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(512, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, g1.Edges[i], g2.Edges[i])
+		}
+	}
+	g3, err := Generate(512, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range g1.Edges {
+		if g1.Edges[i] == g3.Edges[i] {
+			same++
+		}
+	}
+	if same == len(g1.Edges) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// R-MAT with a=0.57 concentrates edges on low-id vertices: the top
+	// 10% of vertices by id must carry well under 10% of the sources,
+	// and vertex 0's neighbourhood must be dense.
+	g, err := Generate(1024, 50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.OutDegrees()
+	lowTenth, total := 0, 0
+	for v, d := range deg {
+		total += d
+		if v < 103 {
+			lowTenth += d
+		}
+	}
+	if total != len(g.Edges) {
+		t.Fatalf("degree sum %d != edges %d", total, len(g.Edges))
+	}
+	// The lowest 10% of ids should hold far more than 10% of edges.
+	if float64(lowTenth) < 0.2*float64(total) {
+		t.Fatalf("no power-law skew: low tenth holds %d of %d", lowTenth, total)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, 10, 0); err == nil {
+		t.Fatal("accepted 1 vertex")
+	}
+	if _, err := Generate(10, 0, 0); err == nil {
+		t.Fatal("accepted 0 edges")
+	}
+}
+
+func TestNonPowerOfTwoVertices(t *testing.T) {
+	g, err := Generate(1000, 3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxV := int32(0)
+	for _, e := range g.Edges {
+		if e.Src > maxV {
+			maxV = e.Src
+		}
+		if e.Dst > maxV {
+			maxV = e.Dst
+		}
+	}
+	if int(maxV) >= 1000 {
+		t.Fatalf("vertex %d out of range", maxV)
+	}
+}

@@ -1,0 +1,143 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Sealing — the EGETKEY/seal-data facility of the SGX SDK. An enclave
+// derives a sealing key bound to its identity and encrypts data so that
+// only the same enclave (MRENCLAVE policy) or any enclave from the same
+// author (MRSIGNER policy) on the same platform can recover it. Sealed
+// blobs survive enclave teardown: persist them through the untrusted
+// filesystem and unseal after restart + re-attestation.
+//
+// Keys are derived HKDF-style from a per-platform hardware secret (the
+// analog of the CPU's fused seal key) plus the chosen identity.
+
+// SealPolicy selects the identity the sealing key binds to.
+type SealPolicy int
+
+// Seal policies.
+const (
+	// SealToMRENCLAVE binds sealed data to this exact enclave image.
+	SealToMRENCLAVE SealPolicy = iota + 1
+	// SealToMRSIGNER binds sealed data to the enclave author, so
+	// upgraded enclave versions can unseal old data.
+	SealToMRSIGNER
+)
+
+func (p SealPolicy) String() string {
+	if p == SealToMRENCLAVE {
+		return "MRENCLAVE"
+	}
+	return "MRSIGNER"
+}
+
+// ErrUnseal is returned when a sealed blob cannot be recovered: wrong
+// enclave identity, wrong platform, or tampered ciphertext.
+var ErrUnseal = errors.New("sgx: unseal failed")
+
+// sealedOverhead is nonce + GCM tag.
+const sealedOverhead = 12 + 16
+
+// PlatformSecret is the per-machine hardware seal secret. A Platform
+// owns one; enclaves on the same Platform derive their keys from it.
+type PlatformSecret [32]byte
+
+// NewPlatformSecret generates a fresh per-platform seal secret.
+func NewPlatformSecret() (PlatformSecret, error) {
+	var s PlatformSecret
+	if _, err := rand.Read(s[:]); err != nil {
+		return PlatformSecret{}, fmt.Errorf("sgx: platform secret: %w", err)
+	}
+	return s, nil
+}
+
+// SealingKey derives the enclave's sealing key for a policy (EGETKEY).
+// The enclave must be initialized: MRSIGNER is only known after EINIT.
+func (e *Enclave) SealingKey(secret PlatformSecret, policy SealPolicy) ([32]byte, error) {
+	e.mu.Lock()
+	st := e.st
+	meas := e.measurement
+	signer := e.mrsigner
+	e.mu.Unlock()
+	var key [32]byte
+	if st != stateInitialized {
+		return key, ErrNotInitialized
+	}
+	var identity [32]byte
+	switch policy {
+	case SealToMRENCLAVE:
+		identity = meas
+	case SealToMRSIGNER:
+		identity = signer
+	default:
+		return key, fmt.Errorf("sgx: unknown seal policy %d", policy)
+	}
+	mac := hmac.New(sha256.New, secret[:])
+	mac.Write([]byte("sgx-seal-key-v1"))
+	mac.Write([]byte{byte(policy)})
+	mac.Write(identity[:])
+	copy(key[:], mac.Sum(nil))
+	return key, nil
+}
+
+// Seal encrypts and authenticates data under the enclave's sealing key
+// (AES-256-GCM with a random nonce), with additionalData bound into the
+// tag (like the SDK's AAD parameter).
+func (e *Enclave) Seal(secret PlatformSecret, policy SealPolicy, data, additionalData []byte) ([]byte, error) {
+	key, err := e.SealingKey(secret, policy)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := newSealAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("sgx: seal nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, data, additionalData), nil
+}
+
+// Unseal recovers data sealed by Seal. It fails for blobs sealed by a
+// different enclave identity (under MRENCLAVE policy), by a different
+// author (MRSIGNER), on a different platform, or tampered with.
+func (e *Enclave) Unseal(secret PlatformSecret, policy SealPolicy, blob, additionalData []byte) ([]byte, error) {
+	key, err := e.SealingKey(secret, policy)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := newSealAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < sealedOverhead {
+		return nil, fmt.Errorf("%w: blob too short", ErrUnseal)
+	}
+	nonce, ct := blob[:aead.NonceSize()], blob[aead.NonceSize():]
+	plain, err := aead.Open(nil, nonce, ct, additionalData)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnseal, err)
+	}
+	return plain, nil
+}
+
+func newSealAEAD(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal gcm: %w", err)
+	}
+	return aead, nil
+}

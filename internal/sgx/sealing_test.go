@@ -1,0 +1,200 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/simcfg"
+)
+
+func testSecret(t *testing.T) PlatformSecret {
+	t.Helper()
+	s, err := NewPlatformSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("seal image"))
+	secret := testSecret(t)
+	data := []byte("the enclave's persistent secret state")
+	aad := []byte("store-v1")
+
+	for _, policy := range []SealPolicy{SealToMRENCLAVE, SealToMRSIGNER} {
+		blob, err := e.Seal(secret, policy, data, aad)
+		if err != nil {
+			t.Fatalf("Seal(%v): %v", policy, err)
+		}
+		if bytes.Contains(blob, data) {
+			t.Fatalf("sealed blob leaks plaintext (%v)", policy)
+		}
+		got, err := e.Unseal(secret, policy, blob, aad)
+		if err != nil {
+			t.Fatalf("Unseal(%v): %v", policy, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("Unseal(%v) = %q", policy, got)
+		}
+	}
+}
+
+func TestUnsealRejectsTamper(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("seal image"))
+	secret := testSecret(t)
+	blob, err := e.Seal(secret, SealToMRENCLAVE, []byte("data"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 1
+	if _, err := e.Unseal(secret, SealToMRENCLAVE, blob, nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("err = %v, want ErrUnseal", err)
+	}
+	// Wrong AAD fails too.
+	blob2, _ := e.Seal(secret, SealToMRENCLAVE, []byte("data"), []byte("v1"))
+	if _, err := e.Unseal(secret, SealToMRENCLAVE, blob2, []byte("v2")); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("wrong aad: %v", err)
+	}
+	// Truncated blob.
+	if _, err := e.Unseal(secret, SealToMRENCLAVE, blob2[:10], nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("short blob: %v", err)
+	}
+}
+
+func TestSealBindsEnclaveIdentity(t *testing.T) {
+	secret := testSecret(t)
+	e1, _ := initializedEnclave(t, []byte("image A"))
+	e2, _ := initializedEnclave(t, []byte("image B"))
+
+	blob, err := e1.Seal(secret, SealToMRENCLAVE, []byte("for A only"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different enclave image cannot unseal under MRENCLAVE policy.
+	if _, err := e2.Unseal(secret, SealToMRENCLAVE, blob, nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("foreign enclave unsealed: %v", err)
+	}
+	// But both are signed by the shared test signer: MRSIGNER policy
+	// lets the upgraded image unseal.
+	blobSigner, err := e1.Seal(secret, SealToMRSIGNER, []byte("for the author"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.Unseal(secret, SealToMRSIGNER, blobSigner, nil)
+	if err != nil {
+		t.Fatalf("MRSIGNER unseal across versions: %v", err)
+	}
+	if string(got) != "for the author" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSealBindsPlatform(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("image"))
+	s1 := testSecret(t)
+	s2 := testSecret(t)
+	blob, err := e.Seal(s1, SealToMRENCLAVE, []byte("local"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Unseal(s2, SealToMRENCLAVE, blob, nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("cross-platform unseal: %v", err)
+	}
+}
+
+func TestSealRequiresInit(t *testing.T) {
+	clk := cycles.New(simcfg.CPUHz, false)
+	e, err := Create(simcfg.ForTest(), clk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Seal(testSecret(t), SealToMRENCLAVE, []byte("x"), nil); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("err = %v, want ErrNotInitialized", err)
+	}
+}
+
+func TestSwitchlessPool(t *testing.T) {
+	e, clk := initializedEnclave(t, []byte("sw image"))
+	before := clk.Total()
+	pool, err := e.StartSwitchless(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startup := clk.Total() - before
+
+	// Calls run inside the enclave (ocalls are legal) at switchless cost.
+	before = clk.Total()
+	const calls = 50
+	for i := 0; i < calls; i++ {
+		ran := false
+		err := pool.Call(7, func() error {
+			ran = true
+			return e.Ocall(8, func() error { return nil })
+		})
+		if err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+		if !ran {
+			t.Fatal("body did not run")
+		}
+	}
+	perCall := (clk.Total() - before - calls*simcfg.OcallCycles) / calls
+	if perCall != simcfg.SwitchlessCallCycles {
+		t.Fatalf("per-call cost = %d cycles, want %d", perCall, simcfg.SwitchlessCallCycles)
+	}
+	// Workers paid their one-time entry ecalls.
+	if startup < 2*int64(simcfg.EcallCycles) {
+		t.Fatalf("startup charged %d, want >= 2 ecalls", startup)
+	}
+
+	// Errors propagate.
+	wantErr := errors.New("boom")
+	if err := pool.Call(7, func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Stats count switchless calls as ecalls per routine id.
+	if got := e.Stats().EcallsByID[7]; got != calls+1 {
+		t.Fatalf("EcallsByID[7] = %d, want %d", got, calls+1)
+	}
+
+	pool.Stop()
+	if err := pool.Call(7, func() error { return nil }); !errors.Is(err, ErrPoolStopped) {
+		t.Fatalf("after stop: %v", err)
+	}
+	// Stop is idempotent and releases the TCS slots: a regular ecall
+	// still works.
+	pool.Stop()
+	if err := e.Ecall(1, func() error { return nil }); err != nil {
+		t.Fatalf("ecall after pool stop: %v", err)
+	}
+}
+
+func TestSwitchlessConcurrentCallers(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("sw image"))
+	pool, err := e.StartSwitchless(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- pool.Call(1, func() error { return nil })
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sgx
+
+import (
+	"errors"
+	"sync"
+
+	"montsalvat/internal/simcfg"
+)
+
+// Switchless calls (Tian et al., SysTEX'18 [51], the paper's §7 future
+// work): instead of a context-switching ecall, the caller posts the
+// request into a shared mailbox served by a resident enclave worker
+// thread, paying only cross-core hand-off latency. The SGX SDK marks
+// individual routines switchless in the EDL; here the caller opts in per
+// call via SwitchlessPool.Call. Long-running calls (e.g. the GC helper
+// thread) should keep regular transitions — a resident worker blocked on
+// them would starve the mailbox.
+
+// ErrPoolStopped is returned for calls submitted after Stop.
+var ErrPoolStopped = errors.New("sgx: switchless pool stopped")
+
+// SwitchlessPool serves switchless ecalls with resident enclave worker
+// threads. Each worker occupies one TCS slot for the pool's lifetime.
+type SwitchlessPool struct {
+	e    *Enclave
+	reqs chan swReq
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type swReq struct {
+	id    int
+	fn    func() error
+	reply chan error
+}
+
+// StartSwitchless spawns a pool of resident enclave workers (<=0 means
+// 2). The enclave must be initialized; Stop the pool to release its TCS
+// slots.
+func (e *Enclave) StartSwitchless(workers int) (*SwitchlessPool, error) {
+	if err := e.checkRunnable(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	p := &SwitchlessPool{
+		e:    e,
+		reqs: make(chan swReq),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		// Each resident worker enters the enclave once (one regular
+		// ecall) and stays inside serving the mailbox.
+		<-e.tcs
+		e.clock.Charge(e.cfg.TransitionCycles(true))
+		e.ecalls.Add(1)
+		e.depth.Add(1)
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+func (p *SwitchlessPool) worker() {
+	defer func() {
+		p.e.depth.Add(-1)
+		p.e.tcs <- struct{}{}
+		p.wg.Done()
+	}()
+	for {
+		select {
+		case req := <-p.reqs:
+			p.e.mu.Lock()
+			p.e.ecallsByID[req.id]++
+			p.e.mu.Unlock()
+			req.reply <- req.fn()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Call executes fn inside the enclave via the worker mailbox, charging
+// only the switchless hand-off cost instead of a full transition.
+func (p *SwitchlessPool) Call(id int, fn func() error) error {
+	if err := p.e.checkRunnable(); err != nil {
+		return err
+	}
+	p.e.clock.Charge(simcfg.SwitchlessCallCycles)
+	req := swReq{id: id, fn: fn, reply: make(chan error, 1)}
+	select {
+	case p.reqs <- req:
+	case <-p.stop:
+		return ErrPoolStopped
+	}
+	p.e.ecalls.Add(1)
+	return <-req.reply
+}
+
+// Stop signals the workers to exit the enclave and waits for them,
+// releasing their TCS slots. In-flight calls complete first.
+func (p *SwitchlessPool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

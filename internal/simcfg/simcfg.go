@@ -1,0 +1,206 @@
+// Package simcfg centralises every calibrated constant of the Montsalvat
+// simulation. Each constant is annotated with the paper value (or cited
+// source) it is derived from, so the provenance of the cost model is
+// auditable in one place.
+//
+// Two kinds of cost exist in the simulation:
+//
+//   - transition costs (ecall/ocall), charged in CPU cycles;
+//   - memory-traffic costs (MEE encryption/decryption, EPC paging), charged
+//     per byte moved in or out of the enclave page cache.
+//
+// Tests use the deterministic virtual clock (no spinning); benchmarks spin
+// so that wall-clock time reflects the charged cycles.
+package simcfg
+
+import "time"
+
+// CPU and SGX platform constants, from the paper's experimental setup
+// (§6.1: quad-core Intel Xeon E3-1270 @ 3.80 GHz, EPC 128 MB of which
+// 93.5 MB usable) and §2.1 (transitions cost up to 13,100 cycles).
+const (
+	// CPUHz is the modelled clock frequency (§6.1: 3.80 GHz).
+	CPUHz = 3.8e9
+
+	// CacheLineBytes is the MEE encryption granularity: the MEE
+	// encrypts/decrypts EPC data at CPU cache-line granularity (§2.1).
+	CacheLineBytes = 64
+
+	// PageBytes is the EPC page size used by the SGX paging mechanism.
+	PageBytes = 4096
+
+	// DefaultEPCBytes is the usable EPC size (§6.1: 93.5 MB usable
+	// by enclaves on the evaluation machine).
+	DefaultEPCBytes = 93*1024*1024 + 512*1024
+
+	// EcallCycles is the cost of entering an enclave. §2.1 (citing
+	// sgx-perf [55] and Plinius [59]): "These calls induce costly context
+	// switches that last up to 13,100 CPU cycles".
+	EcallCycles = 13100
+
+	// OcallCycles is the cost of exiting an enclave. Ocalls are measured
+	// slightly cheaper than ecalls (sgx-perf [55] reports ~8,000-10,000
+	// cycles for the exit path).
+	OcallCycles = 8600
+
+	// SwitchlessCallCycles models the future-work switchless-call mode
+	// (§7, citing [51]): a worker-thread mailbox avoids the context
+	// switch, leaving only cross-core cache-coherence latency.
+	SwitchlessCallCycles = 1200
+
+	// EPCPageEvictCycles is the cost of evicting one EPC page (EWB):
+	// re-encryption with a paging key plus version-tree update. VAULT
+	// [50] reports tens of thousands of cycles per page; we charge the
+	// crypto work for the page plus this fixed kernel-driver overhead.
+	EPCPageEvictCycles = 12000
+
+	// EPCPageLoadCycles is the fixed cost of loading a page back (ELDU).
+	EPCPageLoadCycles = 14000
+
+	// MEEBytesPerCycle approximates MEE throughput: on-the-fly AES plus
+	// integrity-tree verification sustains roughly 1 byte/cycle extra
+	// cost relative to plain DRAM access (HotCalls [56] measures 2-6x
+	// slowdown on enclave memory-bound workloads). The simulator also
+	// performs real AES-CTR work; this constant is used only by the
+	// virtual ledger.
+	MEEBytesPerCycle = 1.0
+
+	// Modelled costs of AOT-compiled local operations, charged to the
+	// virtual ledger so that virtual time is a complete model: the
+	// micro-benchmarks compare these few-cycle operations against
+	// multi-thousand-cycle enclave transitions (the paper's 3-4 orders
+	// of magnitude, §6.2-§6.3).
+	LocalCallCycles   = 12 // compiled call + dispatch
+	LocalAllocCycles  = 10 // TLAB-style bump allocation
+	FieldAccessCycles = 4  // compiled field load/store
+
+	// Java-serialization cost per value element crossing the boundary
+	// (§6.3/Fig. 4b). Reflective serialization of an object costs on the
+	// order of 100 ns (~400 cycles); reconstructing it is cheaper.
+	// Performing either inside the enclave is several times dearer
+	// (MEE-taxed buffer construction) — the asymmetry behind the paper's
+	// 10x (in->out) vs 3x (out->in) serialization overheads.
+	SerializeCyclesPerValue   = 400
+	DeserializeCyclesPerValue = 80
+	EnclaveSerializeFactor    = 3.5
+)
+
+// JVM / SCONE runtime-model constants. §6.6 attributes the SCONE+JVM
+// slowdown to (1) class loading, bytecode interpretation and dynamic
+// compilation and (2) the in-enclave JVM inflating the enclave heap,
+// causing more MEE traffic; Table 1's Monte-Carlo anomaly is attributed
+// to the native image's serial GC losing to HotSpot's collectors [28].
+const (
+	// JVMStartupCycles is the flat class-loading/verification cost per
+	// run (SPECjvm-style runs amortise most JVM startup, so this term is
+	// modest).
+	JVMStartupCycles = 20_000_000
+
+	// JVMComputeOverhead is the net compute slowdown of the JVM relative
+	// to an AOT native image over a benchmark run: interpretation and
+	// JIT compilation of the warm-up phase plus residual dynamic-dispatch
+	// overhead.
+	JVMComputeOverhead = 0.25
+
+	// JVMHeapInflation is the multiplier on DRAM traffic inside the
+	// enclave when a full JVM shares the enclave heap with the
+	// application ("the in-enclave JVM increases the number of objects in
+	// the enclave heap, which leads to more data exchange between the EPC
+	// and CPU", §6.6).
+	JVMHeapInflation = 2.9
+
+	// SCONESyscallCycles is the cost of one relayed system call through
+	// SCONE's asynchronous syscall interface (sgx-perf [55] measures
+	// 10k-25k cycles per relayed call under queue contention).
+	SCONESyscallCycles = 22000
+
+	// Allocation + garbage-collection cost per allocated byte. The
+	// native image embeds a serial stop-and-copy GC (§6.4) that streams
+	// the heap on every cycle; HotSpot's generational collectors touch
+	// only live young data (TLAB allocation is nearly free), so the
+	// native image pays substantially more per allocated byte — the
+	// cause of Table 1's Monte-Carlo result (0.25x). Inside an enclave
+	// the GC's copy traffic additionally crosses the MEE, quadrupling
+	// the native-image cost.
+	NIAllocCyclesPerByte         = 1.0
+	NIAllocEnclaveCyclesPerByte  = 4.0
+	JVMAllocCyclesPerByte        = 0.25
+	JVMAllocEnclaveCyclesPerByte = 0.5
+)
+
+// Config carries the tunable parameters of one simulated platform.
+// The zero value is not valid; use Default.
+type Config struct {
+	// CPUHz is the modelled core frequency used to convert cycles to time.
+	CPUHz float64
+
+	// EcallCycles and OcallCycles are per-transition costs.
+	EcallCycles int64
+	OcallCycles int64
+
+	// Switchless enables the reduced-cost transition mode (§7 future
+	// work); when true both transition directions cost
+	// SwitchlessCallCycles.
+	Switchless bool
+
+	// EPCBytes is the usable EPC size; enclave heaps larger than this
+	// trigger paging.
+	EPCBytes int
+
+	// EnclaveHeapBytes and EnclaveStackBytes bound the enclave (§6.1:
+	// 4 GB heap, 8 MB stack). The simulator enforces the heap bound.
+	EnclaveHeapBytes  int
+	EnclaveStackBytes int
+
+	// Spin selects real busy-wait charging (benchmarks) versus pure
+	// virtual accounting (tests).
+	Spin bool
+
+	// GCHelperInterval is the scan period of the GC helper threads
+	// (§5.5 "periodically (e.g., every second)"; tests use milliseconds).
+	GCHelperInterval time.Duration
+}
+
+// Default returns the configuration matching the paper's evaluation
+// platform (§6.1).
+func Default() Config {
+	return Config{
+		CPUHz:             CPUHz,
+		EcallCycles:       EcallCycles,
+		OcallCycles:       OcallCycles,
+		EPCBytes:          DefaultEPCBytes,
+		EnclaveHeapBytes:  4 << 30,
+		EnclaveStackBytes: 8 << 20,
+		Spin:              false,
+		GCHelperInterval:  time.Second,
+	}
+}
+
+// ForBench returns a configuration with real busy-wait cost charging and a
+// fast GC-helper scan interval suitable for benchmarks.
+func ForBench() Config {
+	cfg := Default()
+	cfg.Spin = true
+	cfg.GCHelperInterval = 20 * time.Millisecond
+	return cfg
+}
+
+// ForTest returns a deterministic configuration with virtual-only cost
+// accounting and a fast GC-helper interval.
+func ForTest() Config {
+	cfg := Default()
+	cfg.GCHelperInterval = 2 * time.Millisecond
+	return cfg
+}
+
+// TransitionCycles returns the cycle cost of a transition entering
+// (in=true) or exiting (in=false) the enclave under this configuration.
+func (c Config) TransitionCycles(in bool) int64 {
+	if c.Switchless {
+		return SwitchlessCallCycles
+	}
+	if in {
+		return c.EcallCycles
+	}
+	return c.OcallCycles
+}

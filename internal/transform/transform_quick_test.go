@@ -1,0 +1,124 @@
+package transform
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/edl"
+	"montsalvat/internal/wire"
+)
+
+// randomProgram builds a random annotated program: classes with random
+// annotations and public/private methods, plus an untrusted main.
+func randomProgram(r *rand.Rand) (*classmodel.Program, error) {
+	p := classmodel.NewProgram()
+	n := 1 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		ann := []classmodel.Annotation{classmodel.Trusted, classmodel.Untrusted, classmodel.Neutral}[r.Intn(3)]
+		c := classmodel.NewClass("C"+strconv.Itoa(i), ann)
+		if err := c.AddMethod(&classmodel.Method{Name: classmodel.CtorName, Public: true}); err != nil {
+			return nil, err
+		}
+		for m := 0; m < r.Intn(4); m++ {
+			if err := c.AddMethod(&classmodel.Method{
+				Name:   "m" + strconv.Itoa(m),
+				Public: r.Intn(3) != 0,
+				Params: []classmodel.Param{{Name: "v", Kind: wire.KindInt}},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.AddClass(c); err != nil {
+			return nil, err
+		}
+	}
+	mainC := classmodel.NewClass("RandMain", classmodel.Untrusted)
+	if err := mainC.AddMethod(&classmodel.Method{Name: classmodel.MainMethodName, Static: true, Public: true}); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(mainC); err != nil {
+		return nil, err
+	}
+	p.MainClass = "RandMain"
+	return p, nil
+}
+
+// Property: for every random annotated program, the transformation
+// invariants of §5.2/§5.3 hold.
+func TestQuickTransformInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, err := randomProgram(r)
+		if err != nil {
+			return false
+		}
+		res, err := Partition(p)
+		if err != nil {
+			return false
+		}
+		for _, c := range p.Classes() {
+			tc, inT := res.Trusted.Class(c.Name)
+			uc, inU := res.Untrusted.Class(c.Name)
+			// Every class appears in both sets.
+			if !inT || !inU {
+				return false
+			}
+			switch c.Ann {
+			case classmodel.Neutral:
+				// Neutral classes unchanged in both sets.
+				if tc.Proxy || uc.Proxy {
+					return false
+				}
+				if len(tc.Methods) != len(c.Methods) || len(uc.Methods) != len(c.Methods) {
+					return false
+				}
+			case classmodel.Trusted, classmodel.Untrusted:
+				concrete, proxy := tc, uc
+				dir := edl.Ecall
+				if c.Ann == classmodel.Untrusted {
+					concrete, proxy = uc, tc
+					dir = edl.Ocall
+				}
+				if concrete.Proxy || !proxy.Proxy {
+					return false
+				}
+				if len(proxy.Fields) != 0 {
+					return false
+				}
+				for _, m := range c.Methods {
+					if !m.Public || m.Name == classmodel.StaticInitName {
+						// Private methods: no relay, not on the proxy.
+						if _, ok := concrete.Method(RelayName(m.Name)); ok {
+							return false
+						}
+						if _, ok := proxy.Method(m.Name); ok && !m.Public {
+							return false
+						}
+						continue
+					}
+					// Public method: relay on the concrete class,
+					// stripped stub on the proxy, routine in the EDL.
+					relay, ok := concrete.Method(RelayName(m.Name))
+					if !ok || !relay.Relay || !relay.EntryPoint || !relay.Static {
+						return false
+					}
+					pm, ok := proxy.Method(m.Name)
+					if !ok || pm.Body != nil || len(pm.Calls) != 0 {
+						return false
+					}
+					if _, ok := res.Interface.Lookup(dir, c.Name, RelayName(m.Name)); !ok {
+						return false
+					}
+				}
+			}
+		}
+		// Main stays untrusted-only.
+		return res.Untrusted.MainClass == p.MainClass && res.Trusted.MainClass == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,504 @@
+// Package wire implements the serialization format used to copy neutral
+// values across the enclave boundary.
+//
+// In the paper (§5.2), parameters of relay methods are restricted to
+// primitive types, pointers to serialized buffers of neutral objects, and
+// proxy/mirror hashes. This package provides exactly that vocabulary: a
+// tagged Value union (null, bool, int, float, string, bytes, list, map,
+// object reference) and a compact binary encoding used by the edge
+// routines that marshal data into and out of the enclave.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. KindInvalid is the zero Value's kind.
+const (
+	KindInvalid Kind = iota
+	KindNull
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindList
+	KindMap
+	// KindRef is a cross-runtime object reference: the identity hash of a
+	// proxy/mirror pair plus its class name (§5.2 "the hash of the
+	// corresponding proxy is passed as parameter").
+	KindRef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindList:
+		return "list"
+	case KindMap:
+		return "map"
+	case KindRef:
+		return "ref"
+	default:
+		return "invalid"
+	}
+}
+
+// Errors returned by decoding.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrBadTag    = errors.New("wire: unknown type tag")
+)
+
+// Pair is one entry of a map value. Map entries are kept sorted by key so
+// that encoding is deterministic.
+type Pair struct {
+	Key string
+	Val Value
+}
+
+// Value is an immutable tagged union of the types that may cross the
+// enclave boundary.
+type Value struct {
+	kind     Kind
+	b        bool
+	i        int64
+	f        float64
+	s        string
+	by       []byte
+	list     []Value
+	pairs    []Pair
+	refClass string
+}
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int wraps a 64-bit integer.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps a 64-bit float.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bytes wraps a byte slice; the slice is copied so the Value is immutable.
+func Bytes(b []byte) Value {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Value{kind: KindBytes, by: cp}
+}
+
+// List wraps a sequence of values; the slice is copied.
+func List(vs ...Value) Value {
+	cp := make([]Value, len(vs))
+	copy(cp, vs)
+	return Value{kind: KindList, list: cp}
+}
+
+// Map wraps key/value pairs; entries are copied and sorted by key.
+// Duplicate keys keep the last entry.
+func Map(pairs ...Pair) Value {
+	cp := make([]Pair, len(pairs))
+	copy(cp, pairs)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
+	// Deduplicate, keeping the last occurrence of each key.
+	out := cp[:0]
+	for i, p := range cp {
+		if i+1 < len(cp) && cp[i+1].Key == p.Key {
+			continue
+		}
+		out = append(out, p)
+	}
+	return Value{kind: KindMap, pairs: out}
+}
+
+// Ref wraps a cross-runtime object reference.
+func Ref(class string, hash int64) Value {
+	return Value{kind: KindRef, i: hash, refClass: class}
+}
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null (or invalid).
+func (v Value) IsNull() bool { return v.kind == KindNull || v.kind == KindInvalid }
+
+// AsBool returns the boolean payload; ok is false on kind mismatch.
+func (v Value) AsBool() (b bool, ok bool) { return v.b, v.kind == KindBool }
+
+// AsInt returns the integer payload; ok is false on kind mismatch.
+func (v Value) AsInt() (i int64, ok bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns the float payload; ok is false on kind mismatch.
+func (v Value) AsFloat() (f float64, ok bool) { return v.f, v.kind == KindFloat }
+
+// AsStr returns the string payload; ok is false on kind mismatch.
+func (v Value) AsStr() (s string, ok bool) { return v.s, v.kind == KindString }
+
+// AsBytes returns a copy of the bytes payload; ok is false on mismatch.
+func (v Value) AsBytes() (b []byte, ok bool) {
+	if v.kind != KindBytes {
+		return nil, false
+	}
+	cp := make([]byte, len(v.by))
+	copy(cp, v.by)
+	return cp, true
+}
+
+// AsList returns a copy of the list payload; ok is false on mismatch.
+func (v Value) AsList() (vs []Value, ok bool) {
+	if v.kind != KindList {
+		return nil, false
+	}
+	cp := make([]Value, len(v.list))
+	copy(cp, v.list)
+	return cp, true
+}
+
+// AsMap returns a copy of the map payload; ok is false on mismatch.
+func (v Value) AsMap() (pairs []Pair, ok bool) {
+	if v.kind != KindMap {
+		return nil, false
+	}
+	cp := make([]Pair, len(v.pairs))
+	copy(cp, v.pairs)
+	return cp, true
+}
+
+// AsRef returns the reference payload; ok is false on mismatch.
+func (v Value) AsRef() (class string, hash int64, ok bool) {
+	return v.refClass, v.i, v.kind == KindRef
+}
+
+// Get looks up a key in a map value.
+func (v Value) Get(key string) (Value, bool) {
+	if v.kind != KindMap {
+		return Value{}, false
+	}
+	i := sort.Search(len(v.pairs), func(i int) bool { return v.pairs[i].Key >= key })
+	if i < len(v.pairs) && v.pairs[i].Key == key {
+		return v.pairs[i].Val, true
+	}
+	return Value{}, false
+}
+
+// Len returns the number of elements of a list, map, bytes or string
+// value, and 0 otherwise.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindList:
+		return len(v.list)
+	case KindMap:
+		return len(v.pairs)
+	case KindBytes:
+		return len(v.by)
+	case KindString:
+		return len(v.s)
+	default:
+		return 0
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull, KindInvalid:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.s == o.s
+	case KindBytes:
+		return string(v.by) == string(o.by)
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.pairs) != len(o.pairs) {
+			return false
+		}
+		for i := range v.pairs {
+			if v.pairs[i].Key != o.pairs[i].Key || !v.pairs[i].Val.Equal(o.pairs[i].Val) {
+				return false
+			}
+		}
+		return true
+	case KindRef:
+		return v.i == o.i && v.refClass == o.refClass
+	default:
+		return false
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.format(&sb)
+	return sb.String()
+}
+
+func (v Value) format(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull, KindInvalid:
+		sb.WriteString("null")
+	case KindBool:
+		sb.WriteString(strconv.FormatBool(v.b))
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindFloat:
+		sb.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.s))
+	case KindBytes:
+		fmt.Fprintf(sb, "bytes[%d]", len(v.by))
+	case KindList:
+		sb.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			e.format(sb)
+		}
+		sb.WriteByte(']')
+	case KindMap:
+		sb.WriteByte('{')
+		for i, p := range v.pairs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Key)
+			sb.WriteString(": ")
+			p.Val.format(sb)
+		}
+		sb.WriteByte('}')
+	case KindRef:
+		fmt.Fprintf(sb, "ref(%s#%d)", v.refClass, v.i)
+	}
+}
+
+// Append encodes v onto dst and returns the extended slice.
+func Append(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull, KindInvalid:
+	case KindBool:
+		if v.b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindBytes:
+		dst = binary.AppendUvarint(dst, uint64(len(v.by)))
+		dst = append(dst, v.by...)
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
+		for _, e := range v.list {
+			dst = Append(dst, e)
+		}
+	case KindMap:
+		dst = binary.AppendUvarint(dst, uint64(len(v.pairs)))
+		for _, p := range v.pairs {
+			dst = binary.AppendUvarint(dst, uint64(len(p.Key)))
+			dst = append(dst, p.Key...)
+			dst = Append(dst, p.Val)
+		}
+	case KindRef:
+		dst = binary.AppendVarint(dst, v.i)
+		dst = binary.AppendUvarint(dst, uint64(len(v.refClass)))
+		dst = append(dst, v.refClass...)
+	}
+	return dst
+}
+
+// Marshal encodes v into a fresh buffer.
+func Marshal(v Value) []byte {
+	return Append(make([]byte, 0, 64), v)
+}
+
+// MarshalList encodes a sequence of values (e.g. a relay-method argument
+// vector) into a fresh buffer.
+func MarshalList(vs []Value) []byte {
+	return Append(make([]byte, 0, 64), List(vs...))
+}
+
+// Unmarshal decodes one value from the front of buf, returning the value
+// and the number of bytes consumed.
+func Unmarshal(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, ErrTruncated
+	}
+	kind := Kind(buf[0])
+	n := 1
+	switch kind {
+	case KindNull:
+		return Null(), n, nil
+	case KindBool:
+		if len(buf) < n+1 {
+			return Value{}, 0, ErrTruncated
+		}
+		return Bool(buf[n] != 0), n + 1, nil
+	case KindInt:
+		i, c := binary.Varint(buf[n:])
+		if c <= 0 {
+			return Value{}, 0, ErrTruncated
+		}
+		return Int(i), n + c, nil
+	case KindFloat:
+		if len(buf) < n+8 {
+			return Value{}, 0, ErrTruncated
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[n:]))), n + 8, nil
+	case KindString:
+		s, c, err := decodeBytes(buf[n:])
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return Str(string(s)), n + c, nil
+	case KindBytes:
+		b, c, err := decodeBytes(buf[n:])
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return Bytes(b), n + c, nil
+	case KindList:
+		count, c := binary.Uvarint(buf[n:])
+		if c <= 0 {
+			return Value{}, 0, ErrTruncated
+		}
+		n += c
+		// Clamp the preallocation to what the buffer could possibly
+		// hold (>= 1 byte per element): the count is attacker data and
+		// must not drive a huge allocation before validation.
+		elems := make([]Value, 0, clampCount(count, len(buf)-n))
+		for i := uint64(0); i < count; i++ {
+			e, c, err := Unmarshal(buf[n:])
+			if err != nil {
+				return Value{}, 0, err
+			}
+			elems = append(elems, e)
+			n += c
+		}
+		return Value{kind: KindList, list: elems}, n, nil
+	case KindMap:
+		count, c := binary.Uvarint(buf[n:])
+		if c <= 0 {
+			return Value{}, 0, ErrTruncated
+		}
+		n += c
+		pairs := make([]Pair, 0, clampCount(count, len(buf)-n))
+		for i := uint64(0); i < count; i++ {
+			k, c, err := decodeBytes(buf[n:])
+			if err != nil {
+				return Value{}, 0, err
+			}
+			n += c
+			val, c, err := Unmarshal(buf[n:])
+			if err != nil {
+				return Value{}, 0, err
+			}
+			n += c
+			pairs = append(pairs, Pair{Key: string(k), Val: val})
+		}
+		return Value{kind: KindMap, pairs: pairs}, n, nil
+	case KindRef:
+		hash, c := binary.Varint(buf[n:])
+		if c <= 0 {
+			return Value{}, 0, ErrTruncated
+		}
+		n += c
+		class, c, err := decodeBytes(buf[n:])
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return Ref(string(class), hash), n + c, nil
+	default:
+		return Value{}, 0, fmt.Errorf("%w: %d", ErrBadTag, kind)
+	}
+}
+
+// UnmarshalList decodes a buffer produced by MarshalList.
+func UnmarshalList(buf []byte) ([]Value, error) {
+	v, n, err := Unmarshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(buf)-n)
+	}
+	vs, ok := v.AsList()
+	if !ok {
+		return nil, fmt.Errorf("wire: expected list, got %s", v.Kind())
+	}
+	return vs, nil
+}
+
+// clampCount bounds an attacker-supplied element count by the remaining
+// buffer bytes, preventing allocation bombs in the decoder.
+func clampCount(count uint64, remaining int) int {
+	if remaining < 0 {
+		return 0
+	}
+	if count > uint64(remaining) {
+		return remaining
+	}
+	return int(count)
+}
+
+func decodeBytes(buf []byte) ([]byte, int, error) {
+	l, c := binary.Uvarint(buf)
+	if c <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	if uint64(len(buf)-c) < l {
+		return nil, 0, ErrTruncated
+	}
+	out := make([]byte, l)
+	copy(out, buf[c:])
+	return out, c + int(l), nil
+}

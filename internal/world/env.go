@@ -1,0 +1,385 @@
+package world
+
+import (
+	"fmt"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/heap"
+	"montsalvat/internal/image"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/simcfg"
+	"montsalvat/internal/wire"
+)
+
+// env implements classmodel.Env for one method activation. Method bodies
+// observe identical semantics in either runtime; only the costs differ —
+// instantiating or calling a proxy class triggers an enclave transition.
+type env struct {
+	rt *Runtime
+	fr *frame
+}
+
+var _ classmodel.Env = (*env)(nil)
+
+// New implements classmodel.Env.
+func (e *env) New(class string, args ...wire.Value) (wire.Value, error) {
+	rt := e.rt
+	if classmodel.IsBuiltin(class) {
+		return e.newBuiltin(class, args)
+	}
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return wire.Value{}, err
+	}
+
+	if decl.Proxy {
+		// Instantiating a class of the opposite runtime: create the
+		// local proxy object, then transition to create the mirror
+		// (Listing 2/3 constructor stubs).
+		hash := rt.w.nextHash()
+		rt.mu.Lock()
+		err := rt.newProxyLocked(e.fr, class, hash)
+		rt.mu.Unlock()
+		if err != nil {
+			return wire.Value{}, err
+		}
+		if _, err := rt.remoteCall(e.fr, class, classmodel.CtorName, hash, args); err != nil {
+			return wire.Value{}, err
+		}
+		return wire.Ref(class, hash), nil
+	}
+
+	// Local concrete instantiation.
+	ctorRef := classmodel.MethodRef{Class: class, Method: classmodel.CtorName}
+	if _, _, err := rt.img.Lookup(ctorRef); err != nil {
+		return wire.Value{}, err
+	}
+	rt.w.clock.Charge(simcfg.LocalAllocCycles)
+	hash := rt.w.nextHash()
+	rt.mu.Lock()
+	h, err := rt.iso.NewObject(class, hash)
+	if err == nil {
+		_, err = rt.retainLocked(e.fr, hash, h)
+	}
+	rt.mu.Unlock()
+	if err != nil {
+		return wire.Value{}, err
+	}
+	self := wire.Ref(class, hash)
+	if _, err := rt.dispatch(ctorRef, self, args, nil); err != nil {
+		return wire.Value{}, err
+	}
+	return self, nil
+}
+
+// Call implements classmodel.Env.
+func (e *env) Call(recv wire.Value, method string, args ...wire.Value) (wire.Value, error) {
+	class, hash, ok := recv.AsRef()
+	if !ok {
+		return wire.Value{}, fmt.Errorf("%w: cannot call %s on %s", ErrNotRef, method, recv.Kind())
+	}
+	rt := e.rt
+	if classmodel.IsBuiltin(class) {
+		return e.callBuiltin(recv, method, args)
+	}
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if decl.Proxy {
+		return rt.remoteCall(e.fr, class, method, hash, args)
+	}
+	return rt.dispatch(classmodel.MethodRef{Class: class, Method: method}, recv, args, e.fr)
+}
+
+// CallStatic implements classmodel.Env.
+func (e *env) CallStatic(class, method string, args ...wire.Value) (wire.Value, error) {
+	rt := e.rt
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if decl.Proxy {
+		return rt.remoteCall(e.fr, class, method, 0, args)
+	}
+	ref := classmodel.MethodRef{Class: class, Method: method}
+	_, m, err := rt.img.Lookup(ref)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if !m.Static {
+		return wire.Value{}, fmt.Errorf("world: %s is not static", ref)
+	}
+	return rt.dispatch(ref, wire.Null(), args, e.fr)
+}
+
+// GetField implements classmodel.Env.
+func (e *env) GetField(recv wire.Value, field string) (wire.Value, error) {
+	rt := e.rt
+	class, hash, ok := recv.AsRef()
+	if !ok {
+		return wire.Value{}, ErrNotRef
+	}
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if decl.Proxy {
+		return wire.Value{}, fmt.Errorf("world: proxy %s has no fields (access fields via methods)", class)
+	}
+	rt.w.clock.Charge(simcfg.FieldAccessCycles)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h, err := rt.resolveLocked(e.fr, hash)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	v, err := rt.iso.GetField(h, field)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if _, refHash, isRef := v.AsRef(); isRef {
+		// Make the target live for the caller: reuse the table entry or
+		// create a handle from the field slot.
+		if _, ok := rt.objects[refHash]; ok {
+			if _, err := rt.resolveLocked(e.fr, refHash); err != nil {
+				return wire.Value{}, err
+			}
+		} else {
+			fh, err := rt.iso.GetFieldRefHandle(h, field)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			if _, err := rt.retainLocked(e.fr, refHash, fh); err != nil {
+				return wire.Value{}, err
+			}
+		}
+	}
+	return v, nil
+}
+
+// SetField implements classmodel.Env.
+func (e *env) SetField(recv wire.Value, field string, v wire.Value) error {
+	rt := e.rt
+	class, hash, ok := recv.AsRef()
+	if !ok {
+		return ErrNotRef
+	}
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return err
+	}
+	if decl.Proxy {
+		return fmt.Errorf("world: proxy %s has no fields (access fields via methods)", class)
+	}
+	f, ok := decl.Field(field)
+	if !ok {
+		return fmt.Errorf("world: unknown field %s.%s", class, field)
+	}
+	rt.w.clock.Charge(simcfg.FieldAccessCycles)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h, err := rt.resolveLocked(e.fr, hash)
+	if err != nil {
+		return err
+	}
+	switch f.Kind {
+	case classmodel.FieldRef:
+		if v.IsNull() {
+			return rt.iso.SetFieldRef(h, field, 0)
+		}
+		_, targetHash, isRef := v.AsRef()
+		if !isRef {
+			return fmt.Errorf("world: field %s.%s wants a reference, got %s", class, field, v.Kind())
+		}
+		th, err := rt.resolveLocked(e.fr, targetHash)
+		if err != nil {
+			return err
+		}
+		return rt.iso.SetFieldRef(h, field, th)
+	case classmodel.FieldInt, classmodel.FieldFloat, classmodel.FieldBool:
+		return rt.iso.SetFieldScalar(h, field, v)
+	default:
+		return rt.iso.SetFieldData(h, field, v)
+	}
+}
+
+// MemTouch implements classmodel.Env: streaming n bytes of workload data
+// through enclave memory pays MEE cost; untrusted memory is free.
+func (e *env) MemTouch(n int) {
+	if e.rt.trusted && e.rt.w.enclave != nil {
+		e.rt.w.clock.ChargeBytes(n, simcfg.MEEBytesPerCycle)
+	}
+}
+
+// Trusted implements classmodel.Env.
+func (e *env) Trusted() bool { return e.rt.trusted }
+
+// FS implements classmodel.Env.
+func (e *env) FS() shim.FS { return e.rt.fs }
+
+// ---- builtin (neutral utility class) dispatch -------------------------
+
+func (e *env) newBuiltin(class string, args []wire.Value) (wire.Value, error) {
+	rt := e.rt
+	rt.w.clock.Charge(simcfg.LocalAllocCycles)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var (
+		h   heap.Handle
+		err error
+	)
+	switch class {
+	case classmodel.BuiltinList:
+		if len(args) != 0 {
+			return wire.Value{}, fmt.Errorf("%w: List() takes no arguments", ErrBadArity)
+		}
+		h, err = rt.iso.NewList()
+	case classmodel.BuiltinString:
+		s, ok := oneArg(args).AsStr()
+		if !ok {
+			return wire.Value{}, fmt.Errorf("world: String(value) wants a string argument")
+		}
+		h, err = rt.iso.NewString(s)
+	case classmodel.BuiltinBytes:
+		b, ok := oneArg(args).AsBytes()
+		if !ok {
+			return wire.Value{}, fmt.Errorf("world: Bytes(value) wants a bytes argument")
+		}
+		h, err = rt.iso.NewBytes(b)
+	case classmodel.BuiltinBlob:
+		h, err = rt.iso.NewBlob(oneArg(args))
+	default:
+		return wire.Value{}, fmt.Errorf("world: cannot instantiate builtin %s directly", class)
+	}
+	if err != nil {
+		return wire.Value{}, err
+	}
+	hash, err := rt.iso.HashOf(h)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if _, err := rt.retainLocked(e.fr, hash, h); err != nil {
+		return wire.Value{}, err
+	}
+	return wire.Ref(class, hash), nil
+}
+
+func (e *env) callBuiltin(recv wire.Value, method string, args []wire.Value) (wire.Value, error) {
+	rt := e.rt
+	class, hash, _ := recv.AsRef()
+	rt.w.clock.Charge(simcfg.LocalCallCycles)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h, err := rt.resolveLocked(e.fr, hash)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	switch class {
+	case classmodel.BuiltinList:
+		return e.callList(h, method, args)
+	case classmodel.BuiltinString:
+		s, err := rt.iso.StrValue(h)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		switch method {
+		case "value":
+			return wire.Str(s), nil
+		case "length":
+			return wire.Int(int64(len(s))), nil
+		}
+	case classmodel.BuiltinBytes:
+		b, err := rt.iso.BytesValue(h)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		switch method {
+		case "value":
+			return wire.Bytes(b), nil
+		case "length":
+			return wire.Int(int64(len(b))), nil
+		}
+	case classmodel.BuiltinBlob:
+		if method == "value" {
+			return rt.iso.BlobValue(h)
+		}
+	}
+	return wire.Value{}, fmt.Errorf("%w: method %s.%s", image.ErrClosedWorld, class, method)
+}
+
+// callList dispatches List methods. rt.mu is held.
+func (e *env) callList(list heap.Handle, method string, args []wire.Value) (wire.Value, error) {
+	rt := e.rt
+	switch method {
+	case "size":
+		n, err := rt.iso.ListSize(list)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		return wire.Int(int64(n)), nil
+	case "add", "set":
+		idx := 0
+		if method == "set" {
+			if len(args) != 2 {
+				return wire.Value{}, fmt.Errorf("%w: List.set(index, element)", ErrBadArity)
+			}
+			i, ok := args[0].AsInt()
+			if !ok {
+				return wire.Value{}, fmt.Errorf("world: List.set index must be int")
+			}
+			idx = int(i)
+			args = args[1:]
+		} else if len(args) != 1 {
+			return wire.Value{}, fmt.Errorf("%w: List.add(element)", ErrBadArity)
+		}
+		_, elemHash, ok := args[0].AsRef()
+		if !ok {
+			return wire.Value{}, fmt.Errorf("world: List elements are object references, got %s", args[0].Kind())
+		}
+		eh, err := rt.resolveLocked(e.fr, elemHash)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		if method == "add" {
+			return wire.Null(), rt.iso.ListAdd(list, eh)
+		}
+		return wire.Null(), rt.iso.ListSet(list, idx, eh)
+	case "get":
+		if len(args) != 1 {
+			return wire.Value{}, fmt.Errorf("%w: List.get(index)", ErrBadArity)
+		}
+		i, ok := args[0].AsInt()
+		if !ok {
+			return wire.Value{}, fmt.Errorf("world: List.get index must be int")
+		}
+		eh, err := rt.iso.ListGet(list, int(i))
+		if err != nil {
+			return wire.Value{}, err
+		}
+		if eh == 0 {
+			return wire.Null(), nil
+		}
+		elemHash, err := rt.iso.HashOf(eh)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		name, err := rt.iso.ClassNameOf(eh)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		if _, err := rt.retainLocked(e.fr, elemHash, eh); err != nil {
+			return wire.Value{}, err
+		}
+		return wire.Ref(name, elemHash), nil
+	default:
+		return wire.Value{}, fmt.Errorf("%w: method List.%s", image.ErrClosedWorld, method)
+	}
+}
+
+func oneArg(args []wire.Value) wire.Value {
+	if len(args) != 1 {
+		return wire.Value{}
+	}
+	return args[0]
+}

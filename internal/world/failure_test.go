@@ -1,0 +1,170 @@
+package world_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/heap"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+// TestEnclaveHeapExhaustion injects EPC/heap pressure: a tiny trusted
+// heap fills with pinned mirrors until allocation fails; the error
+// surfaces cleanly through the RMI path instead of corrupting state.
+func TestEnclaveHeapExhaustion(t *testing.T) {
+	opts := world.DefaultOptions()
+	opts.TrustedHeap = heap.Config{InitialSemi: 1 << 13, MaxSemi: 1 << 13}
+	w, _, err := core.NewPartitionedWorld(demo.MustBankProgram(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	var oomErr error
+	created := 0
+	err = w.Exec(false, func(env classmodel.Env) error {
+		for i := 0; i < 10_000; i++ {
+			// Pinned mirrors cannot be collected: the enclave heap must
+			// eventually refuse.
+			ref, err := env.New(demo.Account, wire.Str("hog-with-a-long-owner-name"), wire.Int(int64(i)))
+			if err != nil {
+				oomErr = err
+				return nil
+			}
+			if err := w.Untrusted().Pin(ref); err != nil {
+				return err
+			}
+			created++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oomErr == nil {
+		t.Fatalf("created %d mirrors in an 8 KiB enclave heap without OOM", created)
+	}
+	if !errors.Is(oomErr, heap.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", oomErr)
+	}
+	// The world remains usable for untrusted-local work.
+	err = w.Exec(false, func(env classmodel.Env) error {
+		_, err := env.New(demo.Person, wire.Str("still fine"), wire.Int(1))
+		// Person's ctor creates an Account mirror too, which may also
+		// OOM; either a clean error or success is acceptable — no panic,
+		// no corruption.
+		if err != nil && !errors.Is(err, heap.ErrOutOfMemory) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// denyFS rejects writes after a budget, simulating the untrusted side
+// denying service to the enclave's shim ocalls.
+type denyFS struct {
+	shim.FS
+	budget int
+}
+
+var errDenied = errors.New("untrusted runtime denied I/O")
+
+func (d *denyFS) Append(name string, data []byte) (int64, error) {
+	if d.budget <= 0 {
+		return 0, errDenied
+	}
+	d.budget--
+	return d.FS.Append(name, data)
+}
+
+// TestOcallDenial injects an untrusted FS that starts failing: trusted
+// code observes clean errors through the shim (the enclave cannot be
+// crashed by a hostile I/O helper, matching the §4 threat model where
+// the OS controls I/O results).
+func TestOcallDenial(t *testing.T) {
+	prog := classmodel.NewProgram()
+	logger := classmodel.NewClass("SecureLogger", classmodel.Trusted)
+	if err := logger.AddMethod(&classmodel.Method{
+		Name: classmodel.CtorName, Public: true,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return wire.Null(), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := logger.AddMethod(&classmodel.Method{
+		Name: "log", Public: true, Returns: wire.KindBool,
+		Params: []classmodel.Param{{Name: "line", Kind: wire.KindString}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			line, _ := args[0].AsStr()
+			if _, err := env.FS().Append("audit.log", []byte(line+"\n")); err != nil {
+				// Degrade gracefully: report failure to the caller.
+				return wire.Bool(false), nil
+			}
+			return wire.Bool(true), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClass(logger); err != nil {
+		t.Fatal(err)
+	}
+	mainC := classmodel.NewClass("LogMain", classmodel.Untrusted)
+	if err := mainC.AddMethod(&classmodel.Method{
+		Name: classmodel.MainMethodName, Static: true, Public: true,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return wire.Null(), nil
+		},
+		Allocates: []string{"SecureLogger"},
+		Calls:     []classmodel.MethodRef{{Class: "SecureLogger", Method: "log"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClass(mainC); err != nil {
+		t.Fatal(err)
+	}
+	prog.MainClass = "LogMain"
+
+	opts := world.DefaultOptions()
+	opts.HostFS = &denyFS{FS: shim.NewMemFS(), budget: 3}
+	w, _, err := core.NewPartitionedWorld(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	ok, denied := 0, 0
+	err = w.Exec(false, func(env classmodel.Env) error {
+		lg, err := env.New("SecureLogger")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			res, err := env.Call(lg, "log", wire.Str(fmt.Sprintf("event %d", i)))
+			if err != nil {
+				return err
+			}
+			if b, _ := res.AsBool(); b {
+				ok++
+			} else {
+				denied++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 3 || denied != 5 {
+		t.Fatalf("ok=%d denied=%d, want 3/5", ok, denied)
+	}
+}

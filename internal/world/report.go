@@ -1,0 +1,94 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"montsalvat/internal/shim"
+)
+
+// TransitionProfile is a per-routine transition count, the analog of an
+// sgx-perf report (the tool the paper cites for transition costs).
+type TransitionProfile struct {
+	// Name is the edge-routine symbol (or a runtime-internal label).
+	Name string
+	// Direction is "ecall" or "ocall".
+	Direction string
+	// Count is the number of completed transitions.
+	Count uint64
+}
+
+// TransitionReport returns per-routine transition counts sorted by count
+// (descending) — which proxies are chattiest, where the shim relays I/O,
+// and how often the GC helpers cross the boundary. Identifying such hot
+// boundaries is how a developer decides what to annotate.
+func (w *World) TransitionReport() []TransitionProfile {
+	if w.enclave == nil {
+		return nil
+	}
+	stats := w.enclave.Stats()
+	var out []TransitionProfile
+	for id, count := range stats.EcallsByID {
+		out = append(out, TransitionProfile{Name: w.routineName(id), Direction: "ecall", Count: count})
+	}
+	for id, count := range stats.OcallsByID {
+		out = append(out, TransitionProfile{Name: w.routineName(id), Direction: "ocall", Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RenderTransitionReport formats the report as aligned text.
+func (w *World) RenderTransitionReport() string {
+	profiles := w.TransitionReport()
+	if len(profiles) == 0 {
+		return "no enclave transitions\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("transitions by routine (sgx-perf style):\n")
+	for _, p := range profiles {
+		fmt.Fprintf(&sb, "  %-6s %-52s %8d\n", p.Direction, p.Name, p.Count)
+	}
+	return sb.String()
+}
+
+// routineName resolves a transition id to its edge-routine symbol or a
+// runtime-internal label.
+func (w *World) routineName(id int) string {
+	switch id {
+	case idGCHelper:
+		return "<gc-helper thread>"
+	case idGCSweep:
+		return "<gc-helper mirror release>"
+	case idMain:
+		return "<main>"
+	case idExec:
+		return "<harness exec>"
+	case shim.OcallWriteAt:
+		return "shim:write"
+	case shim.OcallAppend:
+		return "shim:append"
+	case shim.OcallReadAt:
+		return "shim:read"
+	case shim.OcallSize:
+		return "shim:size"
+	case shim.OcallRemove:
+		return "shim:remove"
+	case shim.OcallList:
+		return "shim:list"
+	}
+	if w.iface != nil {
+		for _, r := range append(w.iface.Ecalls(), w.iface.Ocalls()...) {
+			if r.ID == id {
+				return r.Name
+			}
+		}
+	}
+	return fmt.Sprintf("<routine %d>", id)
+}

@@ -1,0 +1,207 @@
+package world_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+func TestTransitionReport(t *testing.T) {
+	w := bankWorld(t)
+	if _, err := w.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	// Force some shim traffic and a sweep too.
+	err := w.Exec(true, func(env classmodel.Env) error {
+		_, aerr := env.FS().Append("x", []byte("y"))
+		return aerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Untrusted().Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SweepOnce(w.Untrusted()); err != nil {
+		t.Fatal(err)
+	}
+
+	profiles := w.TransitionReport()
+	if len(profiles) == 0 {
+		t.Fatal("empty report")
+	}
+	// Sorted descending.
+	for i := 1; i < len(profiles); i++ {
+		if profiles[i].Count > profiles[i-1].Count {
+			t.Fatalf("report not sorted: %v", profiles)
+		}
+	}
+	text := w.RenderTransitionReport()
+	for _, want := range []string{"ecall_relay_Account", "shim:append", "<gc-helper mirror release>", "<harness exec>"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTransitionReportNoSGX(t *testing.T) {
+	w, _, err := core.NewUnpartitionedWorld(demo.MustBankProgram(), world.DefaultOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.TransitionReport(); got != nil {
+		t.Fatalf("NoSGX report = %v, want nil", got)
+	}
+	if !strings.Contains(w.RenderTransitionReport(), "no enclave transitions") {
+		t.Fatal("render missing placeholder")
+	}
+}
+
+func TestPinUnpin(t *testing.T) {
+	w := bankWorld(t)
+	var ref wire.Value
+	err := w.Exec(false, func(env classmodel.Env) error {
+		var err error
+		ref, err = env.New(demo.Account, wire.Str("Pinned"), wire.Int(5))
+		if err != nil {
+			return err
+		}
+		return w.Untrusted().Pin(ref)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frame is gone but the pin keeps the proxy (and thus mirror)
+	// alive across GC + sweep.
+	if err := w.Untrusted().Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SweepOnce(w.Untrusted()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Trusted().Registry().Size(); got != 1 {
+		t.Fatalf("registry = %d, want 1 (pin lost the proxy)", got)
+	}
+	// And the object is still usable from a fresh frame.
+	err = w.Exec(false, func(env classmodel.Env) error {
+		bal, err := env.Call(ref, "getBalance")
+		if err != nil {
+			return err
+		}
+		if !bal.Equal(wire.Int(5)) {
+			t.Errorf("balance = %v", bal)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unpin releases it.
+	if err := w.Untrusted().Unpin(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Untrusted().Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SweepOnce(w.Untrusted()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Trusted().Registry().Size(); got != 0 {
+		t.Fatalf("registry = %d after unpin, want 0", got)
+	}
+
+	// Double unpin and bad values error.
+	if err := w.Untrusted().Unpin(ref); !errors.Is(err, world.ErrNoSuchObject) {
+		t.Fatalf("double unpin: %v", err)
+	}
+	if err := w.Untrusted().Pin(wire.Int(1)); !errors.Is(err, world.ErrNotRef) {
+		t.Fatalf("pin non-ref: %v", err)
+	}
+}
+
+func TestExecMainPerMode(t *testing.T) {
+	// Partitioned: ExecMain runs untrusted.
+	wp := bankWorld(t)
+	if err := wp.ExecMain(func(env classmodel.Env) error {
+		if env.Trusted() {
+			t.Error("partitioned ExecMain ran trusted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unpartitioned-SGX: ExecMain runs inside the enclave.
+	wu, _, err := core.NewUnpartitionedWorld(demo.MustBankProgram(), world.DefaultOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wu.Close()
+	before := wu.Stats().Enclave.Ecalls
+	if err := wu.ExecMain(func(env classmodel.Env) error {
+		if !env.Trusted() {
+			t.Error("unpartitioned-SGX ExecMain ran untrusted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if wu.Stats().Enclave.Ecalls <= before {
+		t.Error("ExecMain did not enter the enclave")
+	}
+
+	// NoSGX: trusted Exec is unavailable.
+	wn, _, err := core.NewUnpartitionedWorld(demo.MustBankProgram(), world.DefaultOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wn.Close()
+	if err := wn.Exec(true, func(env classmodel.Env) error { return nil }); !errors.Is(err, world.ErrWrongRuntime) {
+		t.Fatalf("Exec(true) in NoSGX: %v", err)
+	}
+}
+
+func TestRemoteCallChargesCycles(t *testing.T) {
+	// A proxy constructor charges at least the ecall cost plus the
+	// serialization of its arguments; a local field read charges only a
+	// few cycles.
+	w := bankWorld(t)
+	var remote, local int64
+	err := w.Exec(false, func(env classmodel.Env) error {
+		start := w.Clock().Total()
+		acct, err := env.New(demo.Account, wire.Str("X"), wire.Int(1))
+		if err != nil {
+			return err
+		}
+		remote = w.Clock().Total() - start
+
+		p, err := env.New(demo.Person, wire.Str("Y"), wire.Int(1))
+		if err != nil {
+			return err
+		}
+		start = w.Clock().Total()
+		if _, err := env.Call(p, "getName"); err != nil {
+			return err
+		}
+		local = w.Clock().Total() - start
+		_ = acct
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote < 13100 {
+		t.Fatalf("remote ctor charged %d cycles, want >= ecall cost", remote)
+	}
+	if local >= remote/10 {
+		t.Fatalf("local call charged %d cycles vs remote %d; want orders cheaper", local, remote)
+	}
+}

@@ -1,0 +1,766 @@
+package world
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/edl"
+	"montsalvat/internal/heap"
+	"montsalvat/internal/image"
+	"montsalvat/internal/isolate"
+	"montsalvat/internal/registry"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/simcfg"
+	"montsalvat/internal/transform"
+	"montsalvat/internal/wire"
+)
+
+// maxNeutralDepth bounds recursive by-value serialization of neutral
+// objects (cyclic neutral graphs cannot be copied by value).
+const maxNeutralDepth = 32
+
+// RuntimeStats counts per-runtime activity.
+type RuntimeStats struct {
+	// RemoteCallsOut counts proxy invocations leaving this runtime.
+	RemoteCallsOut uint64
+	// ProxiesCreated counts proxy instances materialised locally.
+	ProxiesCreated uint64
+	// MarshalledBytes counts serialized argument/result traffic.
+	MarshalledBytes uint64
+	// RegistrySize and WeakListLen snapshot the GC-sync structures.
+	RegistrySize int
+	WeakListLen  int
+}
+
+// Runtime is one side of the partitioned application: an isolate loaded
+// from a native image plus the RMI bookkeeping of §5.2/§5.5.
+type Runtime struct {
+	w       *World
+	name    string
+	trusted bool
+	img     *image.Image
+	iso     *isolate.Isolate
+	reg     *registry.Registry // mirrors for proxies living in the opposite runtime
+	weaks   *registry.WeakList // weak refs to proxies living here
+	fs      shim.FS
+
+	// mu serialises all isolate/heap/table access (one mutator at a
+	// time, plus the GC helper).
+	mu      sync.Mutex
+	objects map[int64]*objEntry // identity hash -> cached strong handle
+	pins    *frame              // permanent roots (static-field analog)
+
+	remoteOut  uint64
+	proxiesNew uint64
+	marshalled uint64
+}
+
+// objEntry is a reference-counted strong handle in the local object
+// table; frames retain and release entries.
+type objEntry struct {
+	handle heap.Handle
+	refs   int
+}
+
+func newRuntime(w *World, name string, trusted bool, img *image.Image, h *heap.Heap) (*Runtime, error) {
+	iso, err := isolate.New(0, h, w.nextHash)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		w:       w,
+		name:    name,
+		trusted: trusted,
+		img:     img,
+		iso:     iso,
+		reg:     registry.New(h),
+		weaks:   registry.NewWeakList(h),
+		objects: make(map[int64]*objEntry),
+		pins:    &frame{},
+	}
+	for _, c := range img.Classes() {
+		if classmodel.IsBuiltin(c.Name) {
+			continue
+		}
+		id, err := img.ClassID(c.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := iso.RegisterClass(c, id); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// Name returns the runtime name ("trusted" or "untrusted").
+func (rt *Runtime) Name() string { return rt.name }
+
+// TrustedSide reports whether the runtime executes inside the enclave.
+func (rt *Runtime) TrustedSide() bool { return rt.trusted }
+
+// Image returns the loaded native image.
+func (rt *Runtime) Image() *image.Image { return rt.img }
+
+// Registry returns the runtime's mirror–proxy registry.
+func (rt *Runtime) Registry() *registry.Registry { return rt.reg }
+
+// WeakList returns the runtime's proxy weak-reference list.
+func (rt *Runtime) WeakList() *registry.WeakList { return rt.weaks }
+
+// Collect forces a stop-and-copy GC cycle on the runtime's heap.
+func (rt *Runtime) Collect() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.iso.Collect()
+}
+
+// HeapStats snapshots the heap statistics.
+func (rt *Runtime) HeapStats() heap.Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.iso.Heap().Stats()
+}
+
+// Stats snapshots the runtime counters.
+func (rt *Runtime) Stats() RuntimeStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return RuntimeStats{
+		RemoteCallsOut:  rt.remoteOut,
+		ProxiesCreated:  rt.proxiesNew,
+		MarshalledBytes: rt.marshalled,
+		RegistrySize:    rt.reg.Size(),
+		WeakListLen:     rt.weaks.Len(),
+	}
+}
+
+// Pin adds a permanent strong root for the object behind a ref — the
+// analog of storing it in a static field. The object must currently be
+// live in this runtime.
+func (rt *Runtime) Pin(v wire.Value) error {
+	_, hash, ok := v.AsRef()
+	if !ok {
+		return ErrNotRef
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	_, err := rt.resolveLocked(rt.pins, hash)
+	return err
+}
+
+// Unpin removes one permanent retention added by Pin.
+func (rt *Runtime) Unpin(v wire.Value) error {
+	_, hash, ok := v.AsRef()
+	if !ok {
+		return ErrNotRef
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, h := range rt.pins.owned {
+		if h != hash {
+			continue
+		}
+		rt.pins.owned = append(rt.pins.owned[:i], rt.pins.owned[i+1:]...)
+		if e, ok := rt.objects[hash]; ok {
+			e.refs--
+			if e.refs <= 0 {
+				_ = rt.iso.Release(e.handle)
+				delete(rt.objects, hash)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %d not pinned", ErrNoSuchObject, hash)
+}
+
+// ---- frames ----------------------------------------------------------
+
+// frame tracks the object-table retentions of one method activation (the
+// stand-in for stack/register roots in a real VM).
+type frame struct {
+	owned []int64
+}
+
+func (rt *Runtime) newFrame() *frame { return &frame{} }
+
+// releaseFrame drops the frame's retentions; entries reaching zero lose
+// their strong handle, making the objects collectable.
+func (rt *Runtime) releaseFrame(fr *frame) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, hash := range fr.owned {
+		e, ok := rt.objects[hash]
+		if !ok {
+			continue
+		}
+		e.refs--
+		if e.refs <= 0 {
+			// Best effort: a released handle only pins memory.
+			_ = rt.iso.Release(e.handle)
+			delete(rt.objects, hash)
+		}
+	}
+	fr.owned = nil
+}
+
+// retainLocked records (hash -> handle) in the object table and the
+// frame. If the hash is already cached, the redundant handle is released.
+// Must be called with rt.mu held.
+func (rt *Runtime) retainLocked(fr *frame, hash int64, handle heap.Handle) (heap.Handle, error) {
+	if e, ok := rt.objects[hash]; ok {
+		e.refs++
+		if handle != 0 && handle != e.handle {
+			if err := rt.iso.Release(handle); err != nil {
+				return 0, err
+			}
+		}
+		fr.owned = append(fr.owned, hash)
+		return e.handle, nil
+	}
+	if handle == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, hash)
+	}
+	rt.objects[hash] = &objEntry{handle: handle, refs: 1}
+	fr.owned = append(fr.owned, hash)
+	return handle, nil
+}
+
+// resolveLocked finds a live local object for hash, looking through the
+// object table, the mirror–proxy registry, and the weak list (canonical
+// proxies). The returned handle is retained in fr.
+// Must be called with rt.mu held.
+func (rt *Runtime) resolveLocked(fr *frame, hash int64) (heap.Handle, error) {
+	if e, ok := rt.objects[hash]; ok {
+		e.refs++
+		fr.owned = append(fr.owned, hash)
+		return e.handle, nil
+	}
+	if regHandle, ok := rt.reg.Resolve(hash); ok {
+		addr, err := rt.iso.Heap().Deref(regHandle)
+		if err != nil {
+			return 0, err
+		}
+		fresh, err := rt.iso.HandleAt(addr)
+		if err != nil {
+			return 0, err
+		}
+		return rt.retainLocked(fr, hash, fresh)
+	}
+	if addr, ok := rt.weaks.LiveHash(hash); ok {
+		fresh, err := rt.iso.HandleAt(addr)
+		if err != nil {
+			return 0, err
+		}
+		return rt.retainLocked(fr, hash, fresh)
+	}
+	return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, hash)
+}
+
+// resolveRef resolves a ref value to a live handle retained in fr.
+func (rt *Runtime) resolveRef(fr *frame, v wire.Value) (heap.Handle, error) {
+	_, hash, ok := v.AsRef()
+	if !ok {
+		return 0, fmt.Errorf("%w: got %s", ErrNotRef, v.Kind())
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.resolveLocked(fr, hash)
+}
+
+// classDecl returns the image declaration of a ref's class.
+func (rt *Runtime) classDecl(class string) (*classmodel.Class, error) {
+	c, ok := rt.img.Program().Class(class)
+	if !ok {
+		return nil, fmt.Errorf("%w: class %s", image.ErrClosedWorld, class)
+	}
+	return c, nil
+}
+
+// ---- marshalling across the boundary ---------------------------------
+
+// marshalOut prepares an argument/result vector for the boundary
+// crossing: neutral values are serialized; references to local concrete
+// annotated objects are exported into the registry so the opposite
+// runtime may hold proxies to them; references to local proxies cross as
+// their bare hash (the opposite runtime resolves its mirror).
+func (rt *Runtime) marshalOut(fr *frame, vals []wire.Value) ([]byte, error) {
+	out := make([]wire.Value, len(vals))
+	for i, v := range vals {
+		cv, err := rt.marshalValue(fr, v, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cv
+	}
+	buf := wire.MarshalList(out)
+	rt.chargeSerialization(out, simcfg.SerializeCyclesPerValue)
+	rt.mu.Lock()
+	rt.marshalled += uint64(len(buf))
+	rt.mu.Unlock()
+	return buf, nil
+}
+
+// chargeSerialization charges the Java-serialization cost of a value
+// vector: perCycles per leaf element, multiplied when performed inside
+// the enclave (Fig. 4b's in-vs-out asymmetry).
+func (rt *Runtime) chargeSerialization(vals []wire.Value, perCycles int64) {
+	leaves := 0
+	for _, v := range vals {
+		leaves += leafCount(v)
+	}
+	cost := float64(leaves) * float64(perCycles)
+	if rt.trusted {
+		cost *= simcfg.EnclaveSerializeFactor
+	}
+	rt.w.clock.Charge(int64(cost))
+}
+
+// leafCount counts the scalar elements of a value tree.
+func leafCount(v wire.Value) int {
+	switch v.Kind() {
+	case wire.KindList:
+		elems, _ := v.AsList()
+		n := 0
+		for _, e := range elems {
+			n += leafCount(e)
+		}
+		return n
+	case wire.KindMap:
+		pairs, _ := v.AsMap()
+		n := 0
+		for _, p := range pairs {
+			n += leafCount(p.Val)
+		}
+		return n
+	default:
+		return 1
+	}
+}
+
+func (rt *Runtime) marshalValue(fr *frame, v wire.Value, depth int) (wire.Value, error) {
+	if depth > maxNeutralDepth {
+		return wire.Value{}, errors.New("world: neutral value too deep (cycle?)")
+	}
+	switch v.Kind() {
+	case wire.KindList:
+		elems, _ := v.AsList()
+		for i, e := range elems {
+			ce, err := rt.marshalValue(fr, e, depth+1)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			elems[i] = ce
+		}
+		return wire.List(elems...), nil
+	case wire.KindMap:
+		pairs, _ := v.AsMap()
+		for i, p := range pairs {
+			cv, err := rt.marshalValue(fr, p.Val, depth+1)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			pairs[i].Val = cv
+		}
+		return wire.Map(pairs...), nil
+	case wire.KindRef:
+		return rt.marshalRef(fr, v)
+	default:
+		return v, nil
+	}
+}
+
+// marshalRef handles an object reference crossing the boundary.
+func (rt *Runtime) marshalRef(fr *frame, v wire.Value) (wire.Value, error) {
+	class, hash, _ := v.AsRef()
+	if classmodel.IsBuiltin(class) {
+		return wire.Value{}, fmt.Errorf("%w: %s#%d", ErrNeutralByValue, class, hash)
+	}
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if decl.Proxy {
+		// A proxy crossing back to its object's home runtime: the bare
+		// hash suffices; the mirror is in the opposite registry.
+		return v, nil
+	}
+	switch decl.Ann {
+	case classmodel.Neutral:
+		return wire.Value{}, fmt.Errorf("%w: neutral class %s", ErrNeutralByValue, class)
+	default:
+		// A local concrete annotated object leaves the runtime: export
+		// a strong reference into OUR registry so the opposite runtime's
+		// new proxy keeps the mirror alive (§5.2).
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		h, err := rt.resolveLocked(fr, hash)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		addr, err := rt.iso.Heap().Deref(h)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		regHandle, err := rt.iso.HandleAt(addr)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		if err := rt.reg.Export(hash, regHandle); err != nil {
+			return wire.Value{}, err
+		}
+		return v, nil
+	}
+}
+
+// unmarshalIn decodes an incoming argument/result vector, materialising
+// local representatives for every reference: mirrors are resolved through
+// the registry, and refs to remote objects become (or reuse) local proxy
+// instances, weak-tracked for GC synchronisation.
+func (rt *Runtime) unmarshalIn(fr *frame, buf []byte) ([]wire.Value, error) {
+	vals, err := wire.UnmarshalList(buf)
+	if err != nil {
+		return nil, fmt.Errorf("world: corrupt boundary buffer: %w", err)
+	}
+	rt.chargeSerialization(vals, simcfg.DeserializeCyclesPerValue)
+	rt.mu.Lock()
+	rt.marshalled += uint64(len(buf))
+	rt.mu.Unlock()
+	for i, v := range vals {
+		lv, err := rt.localiseValue(fr, v, 0)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = lv
+	}
+	return vals, nil
+}
+
+func (rt *Runtime) localiseValue(fr *frame, v wire.Value, depth int) (wire.Value, error) {
+	if depth > maxNeutralDepth {
+		return wire.Value{}, errors.New("world: neutral value too deep (cycle?)")
+	}
+	switch v.Kind() {
+	case wire.KindList:
+		elems, _ := v.AsList()
+		for i, e := range elems {
+			le, err := rt.localiseValue(fr, e, depth+1)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			elems[i] = le
+		}
+		return wire.List(elems...), nil
+	case wire.KindMap:
+		pairs, _ := v.AsMap()
+		for i, p := range pairs {
+			lv, err := rt.localiseValue(fr, p.Val, depth+1)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			pairs[i].Val = lv
+		}
+		return wire.Map(pairs...), nil
+	case wire.KindRef:
+		if err := rt.localiseRef(fr, v); err != nil {
+			return wire.Value{}, err
+		}
+		return v, nil
+	default:
+		return v, nil
+	}
+}
+
+// localiseRef ensures a live local object exists for an incoming ref.
+// It never holds rt.mu while touching the opposite runtime (lock-order
+// discipline: at most one runtime mutex at a time).
+func (rt *Runtime) localiseRef(fr *frame, v wire.Value) error {
+	class, hash, _ := v.AsRef()
+	decl, err := rt.classDecl(class)
+	if err != nil {
+		return err
+	}
+
+	dropDuplicateExport := false
+	err = func() error {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		if !decl.Proxy {
+			// The object lives here: it must be a registered mirror (or
+			// an already-known local object).
+			if _, err := rt.resolveLocked(fr, hash); err != nil {
+				return fmt.Errorf("%w (class %s, hash %d)", ErrStaleMirror, class, hash)
+			}
+			return nil
+		}
+		// The ref names a remote object: reuse the canonical live proxy
+		// if one exists, otherwise materialise a new proxy instance.
+		if _, ok := rt.objects[hash]; ok {
+			if _, err := rt.resolveLocked(fr, hash); err != nil {
+				return err
+			}
+			dropDuplicateExport = true
+			return nil
+		}
+		if addr, ok := rt.weaks.LiveHash(hash); ok {
+			fresh, err := rt.iso.HandleAt(addr)
+			if err != nil {
+				return err
+			}
+			if _, err := rt.retainLocked(fr, hash, fresh); err != nil {
+				return err
+			}
+			dropDuplicateExport = true
+			return nil
+		}
+		return rt.newProxyLocked(fr, class, hash)
+	}()
+	if err != nil {
+		return err
+	}
+	if dropDuplicateExport {
+		// A live local representative already holds a registry export;
+		// drop the duplicate export made by the sender.
+		if opp := rt.w.opposite(rt); opp != nil {
+			opp.mu.Lock()
+			_, rerr := opp.reg.Release(hash)
+			opp.mu.Unlock()
+			if rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return nil
+}
+
+// newProxyLocked materialises a proxy instance for a remote object and
+// weak-tracks it. Must be called with rt.mu held.
+func (rt *Runtime) newProxyLocked(fr *frame, class string, hash int64) error {
+	h, err := rt.iso.NewObject(class, hash)
+	if err != nil {
+		return err
+	}
+	w, err := rt.iso.NewWeak(h)
+	if err != nil {
+		return err
+	}
+	rt.weaks.Track(w, hash)
+	rt.proxiesNew++
+	_, err = rt.retainLocked(fr, hash, h)
+	return err
+}
+
+// ---- dispatch ---------------------------------------------------------
+
+// dispatch runs a method body locally. self is a ref (or null for static
+// methods); refs in args must already be live locally. Refs inside the
+// result are re-retained into adoptInto (when non-nil) before the callee
+// frame is released, so they stay live for the caller.
+func (rt *Runtime) dispatch(ref classmodel.MethodRef, self wire.Value, args []wire.Value, adoptInto *frame) (wire.Value, error) {
+	_, m, err := rt.img.Lookup(ref)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if m.Body == nil {
+		return wire.Value{}, fmt.Errorf("world: method %s has no body (abstract or runtime-native)", ref)
+	}
+	if len(m.Params) != len(args) {
+		return wire.Value{}, fmt.Errorf("%w: %s wants %d args, got %d", ErrBadArity, ref, len(m.Params), len(args))
+	}
+	rt.w.clock.Charge(simcfg.LocalCallCycles)
+	fr := rt.newFrame()
+	defer rt.releaseFrame(fr)
+	// Retain self and ref arguments for the duration of the activation.
+	for _, v := range append([]wire.Value{self}, args...) {
+		if v.Kind() == wire.KindRef {
+			if _, err := rt.resolveRef(fr, v); err != nil {
+				return wire.Value{}, err
+			}
+		}
+	}
+	e := &env{rt: rt, fr: fr}
+	result, err := m.Body(e, self, args)
+	if err != nil {
+		return wire.Value{}, fmt.Errorf("%s: %w", ref, err)
+	}
+	if adoptInto != nil {
+		if err := rt.adoptResult(adoptInto, result); err != nil {
+			return wire.Value{}, err
+		}
+	}
+	return result, nil
+}
+
+// adoptResult re-retains any refs inside a callee's result into the
+// caller's frame, so they survive the callee frame release.
+func (rt *Runtime) adoptResult(fr *frame, v wire.Value) error {
+	switch v.Kind() {
+	case wire.KindRef:
+		_, err := rt.resolveRef(fr, v)
+		return err
+	case wire.KindList:
+		elems, _ := v.AsList()
+		for _, e := range elems {
+			if err := rt.adoptResult(fr, e); err != nil {
+				return err
+			}
+		}
+	case wire.KindMap:
+		pairs, _ := v.AsMap()
+		for _, p := range pairs {
+			if err := rt.adoptResult(fr, p.Val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// remoteCall performs a proxy invocation: marshal, transition through the
+// enclave boundary, dispatch the relay in the opposite runtime, and
+// localise the result (§5.2).
+func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args []wire.Value) (wire.Value, error) {
+	w := rt.w
+	to := w.opposite(rt)
+	if to == nil {
+		return wire.Value{}, fmt.Errorf("%w: no opposite runtime for remote call", ErrWrongRuntime)
+	}
+	relayName := transform.RelayName(method)
+	dir := edl.Ocall
+	if to.trusted {
+		dir = edl.Ecall
+	}
+	routine, ok := w.iface.Lookup(dir, class, relayName)
+	if !ok {
+		return wire.Value{}, fmt.Errorf("%w: no edge routine for %s.%s", image.ErrClosedWorld, class, relayName)
+	}
+
+	argBuf, err := rt.marshalOut(fr, args)
+	if err != nil {
+		return wire.Value{}, err
+	}
+
+	var resultBuf []byte
+	invoke := func() error {
+		var rerr error
+		resultBuf, rerr = to.dispatchRelay(class, relayName, hash, argBuf)
+		return rerr
+	}
+	if w.enclave != nil {
+		// Copying the argument and result buffers across the boundary
+		// streams them through the MEE.
+		w.clock.ChargeBytes(len(argBuf), simcfg.MEEBytesPerCycle)
+		if dir == edl.Ecall {
+			err = w.enclave.Ecall(routine.ID, invoke)
+		} else {
+			err = w.enclave.Ocall(routine.ID, invoke)
+		}
+		if err == nil {
+			w.clock.ChargeBytes(len(resultBuf), simcfg.MEEBytesPerCycle)
+		}
+	} else {
+		err = invoke()
+	}
+	if err != nil {
+		return wire.Value{}, err
+	}
+	rt.mu.Lock()
+	rt.remoteOut++
+	rt.mu.Unlock()
+
+	results, err := rt.unmarshalIn(fr, resultBuf)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if len(results) != 1 {
+		return wire.Value{}, fmt.Errorf("world: relay %s.%s returned %d values", class, relayName, len(results))
+	}
+	return results[0], nil
+}
+
+// dispatchRelay executes a relay method natively (the generated
+// @CEntryPoint wrappers of Listing 4): constructor relays instantiate the
+// mirror and register it; instance relays resolve the mirror in the
+// registry and invoke the concrete method.
+func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []byte) ([]byte, error) {
+	_, relay, err := rt.img.Lookup(classmodel.MethodRef{Class: class, Method: relayName})
+	if err != nil {
+		return nil, err
+	}
+	if !relay.Relay {
+		return nil, fmt.Errorf("world: %s.%s is not a relay method", class, relayName)
+	}
+	target := relay.RelayFor
+
+	fr := rt.newFrame()
+	defer rt.releaseFrame(fr)
+
+	args, err := rt.unmarshalIn(fr, argBuf)
+	if err != nil {
+		return nil, err
+	}
+
+	var result wire.Value
+	switch {
+	case target == classmodel.CtorName:
+		// Mirror instantiation: allocate the concrete object under the
+		// proxy's hash, run the constructor, and export a strong
+		// reference into the mirror–proxy registry.
+		rt.mu.Lock()
+		h, err := rt.iso.NewObject(class, hash)
+		if err != nil {
+			rt.mu.Unlock()
+			return nil, err
+		}
+		if _, err := rt.retainLocked(fr, hash, h); err != nil {
+			rt.mu.Unlock()
+			return nil, err
+		}
+		addr, err := rt.iso.Heap().Deref(h)
+		if err != nil {
+			rt.mu.Unlock()
+			return nil, err
+		}
+		regHandle, err := rt.iso.HandleAt(addr)
+		if err != nil {
+			rt.mu.Unlock()
+			return nil, err
+		}
+		if err := rt.reg.Export(hash, regHandle); err != nil {
+			rt.mu.Unlock()
+			return nil, err
+		}
+		rt.mu.Unlock()
+		self := wire.Ref(class, hash)
+		if _, err := rt.dispatch(classmodel.MethodRef{Class: class, Method: target}, self, args, nil); err != nil {
+			return nil, err
+		}
+		result = wire.Null()
+
+	default:
+		var self wire.Value
+		targetRef := classmodel.MethodRef{Class: class, Method: target}
+		_, tm, err := rt.img.Lookup(targetRef)
+		if err != nil {
+			return nil, err
+		}
+		if !tm.Static {
+			// Resolve the mirror: it must still be registered.
+			rt.mu.Lock()
+			_, rerr := rt.resolveLocked(fr, hash)
+			rt.mu.Unlock()
+			if rerr != nil {
+				return nil, fmt.Errorf("%w: %s#%d", ErrStaleMirror, class, hash)
+			}
+			self = wire.Ref(class, hash)
+		}
+		result, err = rt.dispatch(targetRef, self, args, fr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return rt.marshalOut(fr, []wire.Value{result})
+}

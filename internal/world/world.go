@@ -1,0 +1,546 @@
+// Package world implements the Montsalvat application runtime: the glue
+// that executes a partitioned program across the trusted (enclave) and
+// untrusted runtimes.
+//
+// A World owns up to two Runtimes, each the analog of a GraalVM isolate
+// loaded from one native image (§5.4: "At runtime, a GraalVM isolate is
+// created in both the trusted and untrusted part of the application").
+// Cross-runtime object communication follows §5.2: instantiating or
+// invoking a class that is a proxy in the local image marshals the
+// arguments, performs an ecall/ocall transition through the simulated
+// enclave, and dispatches the corresponding relay method in the opposite
+// runtime, which resolves the mirror object in its mirror–proxy registry.
+//
+// GC synchronisation follows §5.5: each runtime weak-tracks its proxy
+// objects; a GC helper thread per runtime periodically sweeps the weak
+// list and releases the mirrors of dead proxies in the opposite runtime's
+// registry, making them collectable.
+package world
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/edl"
+	"montsalvat/internal/heap"
+	"montsalvat/internal/image"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/simcfg"
+	"montsalvat/internal/wire"
+)
+
+// Reserved transition identifiers (application relay routines use the
+// EDL-assigned positive IDs; the shim uses the 9000 range).
+const (
+	idGCHelper = 9100 // long-running ecall hosting the trusted GC helper
+	idGCSweep  = 9101 // cross-boundary mirror-release batches
+	idMain     = 9200 // unpartitioned main entry ecall
+	idExec     = 9201 // ad-hoc trusted execution (benchmark harness)
+)
+
+// Mode selects the deployment configuration evaluated in the paper.
+type Mode int
+
+// Deployment modes.
+const (
+	// ModePartitioned runs the transformed application across an
+	// untrusted runtime and a trusted runtime inside the enclave.
+	ModePartitioned Mode = iota + 1
+	// ModeUnpartitionedSGX runs the whole unmodified application as one
+	// native image inside the enclave (§5.6).
+	ModeUnpartitionedSGX
+	// ModeNoSGX runs the whole application as one native image with no
+	// enclave — the paper's NoSGX baseline.
+	ModeNoSGX
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePartitioned:
+		return "partitioned"
+	case ModeUnpartitionedSGX:
+		return "unpartitioned-sgx"
+	case ModeNoSGX:
+		return "no-sgx"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors returned by the runtime.
+var (
+	ErrNoSuchObject   = errors.New("world: no live object for hash")
+	ErrStaleMirror    = errors.New("world: mirror released; proxy outlived registry entry")
+	ErrNeutralByValue = errors.New("world: neutral objects cross the boundary by value, not by reference")
+	ErrBadArity       = errors.New("world: argument count mismatch")
+	ErrNotRef         = errors.New("world: receiver is not an object reference")
+	ErrWrongRuntime   = errors.New("world: operation not available in this mode")
+)
+
+// Options configures a World.
+type Options struct {
+	// Cfg is the platform cost configuration.
+	Cfg simcfg.Config
+	// TrustedHeap and UntrustedHeap size the isolate heaps.
+	TrustedHeap   heap.Config
+	UntrustedHeap heap.Config
+	// HostFS is the untrusted filesystem (defaults to an in-memory FS).
+	HostFS shim.FS
+	// NumTCS bounds concurrent enclave threads (default 32; relay chains
+	// consume one slot per nesting level).
+	NumTCS int
+	// Signer signs the trusted image (generated when nil).
+	Signer *sgx.Signer
+}
+
+// DefaultOptions returns options suitable for tests.
+func DefaultOptions() Options {
+	return Options{
+		Cfg:           simcfg.ForTest(),
+		TrustedHeap:   heap.Config{InitialSemi: 1 << 20, MaxSemi: 256 << 20},
+		UntrustedHeap: heap.Config{InitialSemi: 1 << 20, MaxSemi: 256 << 20},
+	}
+}
+
+// World hosts a running (possibly partitioned) application.
+type World struct {
+	mode    Mode
+	cfg     simcfg.Config
+	clock   *cycles.Clock
+	enclave *sgx.Enclave // nil in ModeNoSGX
+	iface   *edl.File    // nil unless partitioned
+
+	trusted   *Runtime // nil in ModeNoSGX
+	untrusted *Runtime // nil in ModeUnpartitionedSGX
+
+	hashCounter atomic.Int64
+
+	helperStop chan struct{}
+	helperWG   sync.WaitGroup
+	helperOn   bool
+
+	hostFS shim.FS
+}
+
+// NewPartitioned creates a world from the two images produced by the
+// Montsalvat pipeline plus their enclave interface. The trusted image is
+// loaded into the enclave, measured and verified before use (Fig. 1).
+func NewPartitioned(opts Options, tImg, uImg *image.Image, iface *edl.File) (*World, error) {
+	if tImg == nil || uImg == nil || iface == nil {
+		return nil, errors.New("world: partitioned mode needs both images and the enclave interface")
+	}
+	if tImg.Kind() != image.TrustedImage || uImg.Kind() != image.UntrustedImage {
+		return nil, errors.New("world: image kinds mismatched")
+	}
+	w, err := newWorld(ModePartitioned, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.iface = iface
+	if err := w.initEnclave(opts, tImg); err != nil {
+		return nil, err
+	}
+	w.trusted, err = w.newRuntime("trusted", true, tImg, opts.TrustedHeap)
+	if err != nil {
+		return nil, err
+	}
+	w.untrusted, err = w.newRuntime("untrusted", false, uImg, opts.UntrustedHeap)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.runStaticInits(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// NewUnpartitioned creates a world running a single whole-application
+// image, either inside the enclave (§5.6) or without SGX.
+func NewUnpartitioned(opts Options, img *image.Image, inEnclave bool) (*World, error) {
+	if img == nil {
+		return nil, errors.New("world: nil image")
+	}
+	mode := ModeNoSGX
+	if inEnclave {
+		mode = ModeUnpartitionedSGX
+	}
+	w, err := newWorld(mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	if inEnclave {
+		if err := w.initEnclave(opts, img); err != nil {
+			return nil, err
+		}
+		w.trusted, err = w.newRuntime("trusted", true, img, opts.TrustedHeap)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		w.untrusted, err = w.newRuntime("untrusted", false, img, opts.UntrustedHeap)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := w.runStaticInits(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func newWorld(mode Mode, opts Options) (*World, error) {
+	hostFS := opts.HostFS
+	if hostFS == nil {
+		hostFS = shim.NewMemFS()
+	}
+	cfg := opts.Cfg
+	if cfg.CPUHz == 0 {
+		cfg = simcfg.ForTest()
+	}
+	return &World{
+		mode:   mode,
+		cfg:    cfg,
+		clock:  cycles.New(cfg.CPUHz, cfg.Spin),
+		hostFS: hostFS,
+	}, nil
+}
+
+// initEnclave performs the SGX application-creation phase: create the
+// enclave, add and measure the trusted image, sign and verify (Fig. 1).
+func (w *World) initEnclave(opts Options, tImg *image.Image) error {
+	numTCS := opts.NumTCS
+	if numTCS <= 0 {
+		numTCS = 32
+	}
+	encl, err := sgx.Create(w.cfg, w.clock, numTCS)
+	if err != nil {
+		return err
+	}
+	if err := encl.AddPages(tImg.Bytes()); err != nil {
+		return err
+	}
+	signer := opts.Signer
+	if signer == nil {
+		signer, err = sgx.NewSigner()
+		if err != nil {
+			return err
+		}
+	}
+	ss, err := signer.Sign(encl.Measurement())
+	if err != nil {
+		return err
+	}
+	if err := encl.Init(ss); err != nil {
+		return fmt.Errorf("world: enclave init: %w", err)
+	}
+	w.enclave = encl
+	return nil
+}
+
+func (w *World) newRuntime(name string, trusted bool, img *image.Image, hc heap.Config) (*Runtime, error) {
+	if hc.InitialSemi == 0 {
+		hc = heap.Config{InitialSemi: 1 << 20, MaxSemi: 256 << 20}
+	}
+	var (
+		h   *heap.Heap
+		err error
+	)
+	if trusted {
+		h, err = heap.New(hc, func(size int) (heap.Backend, error) {
+			return w.enclave.NewMemory(size)
+		})
+	} else {
+		h, err = heap.NewPlain(hc)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("world: %s heap: %w", name, err)
+	}
+	rt, err := newRuntime(w, name, trusted, img, h)
+	if err != nil {
+		return nil, err
+	}
+	if trusted {
+		rt.fs = shim.NewTrustedShim(w.enclave, w.hostFS)
+	} else {
+		rt.fs = w.hostFS
+	}
+	return rt, nil
+}
+
+// runStaticInits executes every reachable <clinit> — the analog of
+// GraalVM's build-time class initialisation whose results are shipped in
+// the image heap (§2.2). It runs before main with no transition costs.
+func (w *World) runStaticInits() error {
+	for _, rt := range []*Runtime{w.trusted, w.untrusted} {
+		if rt == nil {
+			continue
+		}
+		for _, c := range rt.img.Classes() {
+			ref := classmodel.MethodRef{Class: c.Name, Method: classmodel.StaticInitName}
+			if !rt.img.MethodCompiled(ref) {
+				continue
+			}
+			if _, err := rt.dispatch(ref, wire.Null(), nil, nil); err != nil {
+				return fmt.Errorf("world: <clinit> of %s: %w", c.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Mode returns the deployment mode.
+func (w *World) Mode() Mode { return w.mode }
+
+// Clock returns the world's cycle clock.
+func (w *World) Clock() *cycles.Clock { return w.clock }
+
+// Enclave returns the enclave (nil in ModeNoSGX).
+func (w *World) Enclave() *sgx.Enclave { return w.enclave }
+
+// Trusted returns the trusted runtime (nil in ModeNoSGX).
+func (w *World) Trusted() *Runtime { return w.trusted }
+
+// Untrusted returns the untrusted runtime (nil in ModeUnpartitionedSGX).
+func (w *World) Untrusted() *Runtime { return w.untrusted }
+
+// HostFS returns the untrusted filesystem.
+func (w *World) HostFS() shim.FS { return w.hostFS }
+
+func (w *World) nextHash() int64 { return w.hashCounter.Add(1) }
+
+// mainRuntime returns the runtime hosting the application main.
+func (w *World) mainRuntime() *Runtime {
+	if w.mode == ModeUnpartitionedSGX {
+		return w.trusted
+	}
+	return w.untrusted
+}
+
+// RunMain invokes the application's main entry point and returns its
+// result value. In partitioned and NoSGX modes main runs in the untrusted
+// runtime (§5.3); in unpartitioned SGX mode the whole application —
+// including main — executes inside the enclave behind a single ecall
+// (§5.6).
+func (w *World) RunMain() (wire.Value, error) {
+	rt := w.mainRuntime()
+	if rt == nil {
+		return wire.Value{}, ErrWrongRuntime
+	}
+	prog := rt.img.Program()
+	if prog.MainClass == "" {
+		return wire.Value{}, errors.New("world: image has no main entry point")
+	}
+	var result wire.Value
+	run := func() error {
+		var err error
+		result, err = rt.dispatch(classmodel.MethodRef{Class: prog.MainClass, Method: prog.MainMethod}, wire.Null(), nil, nil)
+		return err
+	}
+	if w.mode == ModeUnpartitionedSGX {
+		if err := w.enclave.Ecall(idMain, run); err != nil {
+			return wire.Value{}, err
+		}
+		return result, nil
+	}
+	if err := run(); err != nil {
+		return wire.Value{}, err
+	}
+	return result, nil
+}
+
+// ExecMain runs fn in the runtime that hosts the application main: the
+// untrusted runtime in partitioned and NoSGX modes, the trusted runtime
+// (behind an ecall) in unpartitioned SGX mode.
+func (w *World) ExecMain(fn func(env classmodel.Env) error) error {
+	return w.Exec(w.mode == ModeUnpartitionedSGX, fn)
+}
+
+// Exec runs fn with an execution environment in the chosen runtime — the
+// harness used by benchmarks and examples to drive application objects
+// directly. Trusted execution enters the enclave through one ecall.
+func (w *World) Exec(trusted bool, fn func(env classmodel.Env) error) error {
+	var rt *Runtime
+	if trusted {
+		rt = w.trusted
+	} else {
+		rt = w.untrusted
+	}
+	if rt == nil {
+		return ErrWrongRuntime
+	}
+	run := func() error {
+		fr := rt.newFrame()
+		defer rt.releaseFrame(fr)
+		return fn(&env{rt: rt, fr: fr})
+	}
+	if trusted && w.enclave != nil {
+		return w.enclave.Ecall(idExec, run)
+	}
+	return run()
+}
+
+// StartGCHelpers spawns the per-runtime GC helper threads (§5.5: "two GC
+// helper threads are spawned in the application: one to scan the trusted
+// list in the enclave, and the other to scan the untrusted list"). The
+// trusted helper occupies an enclave thread for its lifetime.
+func (w *World) StartGCHelpers() {
+	if w.helperOn || w.mode != ModePartitioned {
+		return
+	}
+	w.helperOn = true
+	w.helperStop = make(chan struct{})
+	interval := w.cfg.GCHelperInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for _, rt := range []*Runtime{w.trusted, w.untrusted} {
+		rt := rt
+		w.helperWG.Add(1)
+		go func() {
+			defer w.helperWG.Done()
+			if rt.trusted {
+				// The trusted helper lives inside the enclave: one
+				// long-running ecall hosts its scan loop.
+				_ = w.enclave.Ecall(idGCHelper, func() error {
+					w.helperLoop(rt, interval)
+					return nil
+				})
+				return
+			}
+			w.helperLoop(rt, interval)
+		}()
+	}
+}
+
+// StopGCHelpers stops the helper threads and waits for them to exit.
+func (w *World) StopGCHelpers() {
+	if !w.helperOn {
+		return
+	}
+	close(w.helperStop)
+	w.helperWG.Wait()
+	w.helperOn = false
+}
+
+func (w *World) helperLoop(rt *Runtime, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// The helper already executes inside its hosting thread
+			// (the trusted helper's long-running ecall), so it sweeps
+			// directly.
+			_ = w.sweep(rt) // helper degrades gracefully
+		case <-w.helperStop:
+			return
+		}
+	}
+}
+
+// SweepOnce performs one GC-helper scan for rt: dead proxies are removed
+// from the weak list and their mirrors released in the opposite runtime's
+// registry, via a single batched transition. Sweeping the trusted runtime
+// from outside enters the enclave first, like spawning one helper scan.
+func (w *World) SweepOnce(rt *Runtime) error {
+	if rt == nil {
+		return ErrWrongRuntime
+	}
+	if rt.trusted && w.enclave != nil {
+		return w.enclave.Ecall(idGCHelper, func() error { return w.sweep(rt) })
+	}
+	return w.sweep(rt)
+}
+
+// sweep is SweepOnce's body, callable from a thread already inside the
+// enclave.
+func (w *World) sweep(rt *Runtime) error {
+	if rt == nil {
+		return ErrWrongRuntime
+	}
+	rt.mu.Lock()
+	dead, err := rt.weaks.SweepDead()
+	rt.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	opposite := w.opposite(rt)
+	if opposite == nil {
+		return nil
+	}
+	release := func() error {
+		opposite.mu.Lock()
+		defer opposite.mu.Unlock()
+		for _, hash := range dead {
+			if _, err := opposite.reg.Release(hash); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The removal message crosses the enclave boundary: the trusted
+	// helper ocalls out, the untrusted helper ecalls in.
+	if w.enclave != nil {
+		if rt.trusted {
+			return w.enclave.Ocall(idGCSweep, release)
+		}
+		return w.enclave.Ecall(idGCSweep, release)
+	}
+	return release()
+}
+
+func (w *World) opposite(rt *Runtime) *Runtime {
+	if rt == w.trusted {
+		return w.untrusted
+	}
+	return w.trusted
+}
+
+// Close stops helpers and destroys the enclave.
+func (w *World) Close() {
+	w.StopGCHelpers()
+	if w.enclave != nil {
+		w.enclave.Destroy()
+	}
+}
+
+// Stats aggregates runtime statistics.
+type Stats struct {
+	Mode          Mode
+	Cycles        int64
+	Enclave       sgx.Stats
+	TrustedHeap   heap.Stats
+	UntrustedHeap heap.Stats
+	Trusted       RuntimeStats
+	Untrusted     RuntimeStats
+	Shim          shim.Stats
+}
+
+// Stats returns a snapshot of all counters.
+func (w *World) Stats() Stats {
+	s := Stats{Mode: w.mode, Cycles: w.clock.Total()}
+	if w.enclave != nil {
+		s.Enclave = w.enclave.Stats()
+	}
+	if w.trusted != nil {
+		s.TrustedHeap = w.trusted.HeapStats()
+		s.Trusted = w.trusted.Stats()
+		if ts, ok := w.trusted.fs.(*shim.TrustedShim); ok {
+			s.Shim = ts.Stats()
+		}
+	}
+	if w.untrusted != nil {
+		s.UntrustedHeap = w.untrusted.HeapStats()
+		s.Untrusted = w.untrusted.Stats()
+	}
+	return s
+}
