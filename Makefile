@@ -2,15 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-full fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-full fuzz vet fmt examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# Tier-1: full suite, vet, and a race pass over the boundary-crossing
+# packages (worker-pool mailboxes and batching queues are concurrent).
 test:
 	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sgx/... ./internal/world/...
 
 race:
 	$(GO) test -race ./...
@@ -21,6 +25,11 @@ cover:
 # testing.B benchmarks (quick experiment scale + substrate benchmarks).
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Short-mode dispatch-layer assertions: transition counts and the >=30%
+# cycle-reduction bar for batched+switchless routing.
+bench-smoke:
+	$(GO) test -run TestDispatchSmoke -v ./internal/bench/
 
 # Regenerate every paper table/figure at full scale (minutes).
 bench-full:

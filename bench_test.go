@@ -61,6 +61,7 @@ func BenchmarkFig11GraphChivsJVM(b *testing.B) { benchExperiment(b, "fig11") }
 func BenchmarkFig12SPECjvm(b *testing.B)       { benchExperiment(b, "fig12") }
 func BenchmarkTable1Ratios(b *testing.B)       { benchExperiment(b, "table1") }
 func BenchmarkAblationSwitchless(b *testing.B) { benchExperiment(b, "ablation-switchless") }
+func BenchmarkAblationDispatch(b *testing.B)   { benchExperiment(b, "ablation-dispatch") }
 func BenchmarkAblationTCB(b *testing.B)        { benchExperiment(b, "ablation-tcb") }
 func BenchmarkAblationTransition(b *testing.B) { benchExperiment(b, "ablation-transition") }
 

@@ -78,6 +78,106 @@ func AblationSwitchless(opts Options) (*Table, error) {
 	return t, nil
 }
 
+// dispatchModes are the boundary dispatch configurations the ablation
+// and the smoke test sweep: full transitions, switchless worker pools,
+// transition batching, and both combined.
+var dispatchModes = []struct {
+	Name       string
+	Switchless bool
+	Batching   bool
+}{
+	{Name: "full transitions"},
+	{Name: "switchless", Switchless: true},
+	{Name: "batched", Batching: true},
+	{Name: "batched+switchless", Switchless: true, Batching: true},
+}
+
+// dispatchRun is one mode's measurement on the micro proxy workload.
+type dispatchRun struct {
+	Cycles      int64
+	Transitions uint64
+}
+
+// runDispatchMode measures the Fig. 4a void-RMI workload (`set` calls on
+// a trusted proxy, closed by one `get`) under a dispatch configuration,
+// returning charged cycles and completed enclave transitions.
+func runDispatchMode(opts Options, switchless, batching bool, invocations int) (dispatchRun, error) {
+	p, err := microProgram()
+	if err != nil {
+		return dispatchRun{}, err
+	}
+	wopts := world.DefaultOptions()
+	wopts.Cfg = opts.Config()
+	wopts.Cfg.Switchless = switchless
+	wopts.Cfg.Batching = batching
+	w, _, err := core.NewPartitionedWorld(p, wopts)
+	if err != nil {
+		return dispatchRun{}, err
+	}
+	defer w.Close()
+
+	var run dispatchRun
+	err = w.Exec(false, func(env classmodel.Env) error {
+		obj, err := env.New(microTrusted, wire.Int(0))
+		if err != nil {
+			return err
+		}
+		c0 := w.Clock().Total()
+		s0 := w.Stats().Enclave
+		for i := 0; i < invocations; i++ {
+			if _, err := env.Call(obj, "set", wire.Int(int64(i))); err != nil {
+				return err
+			}
+		}
+		// The read is result-dependent: it flushes any batched calls, so
+		// every mode is measured over the same observable final state.
+		if _, err := env.Call(obj, "get"); err != nil {
+			return err
+		}
+		s1 := w.Stats().Enclave
+		run.Cycles = w.Clock().Total() - c0
+		run.Transitions = (s1.Ecalls + s1.Ocalls) - (s0.Ecalls + s0.Ocalls)
+		return nil
+	})
+	return run, err
+}
+
+// AblationDispatch measures the boundary dispatch layer (DESIGN.md
+// "Boundary dispatch"): the Fig. 4a proxy-call workload under full
+// transitions, switchless worker pools, transition batching, and both
+// combined. Batching coalesces the void `set` calls into multi-call
+// frames, so the per-call transition tax is paid once per watermark
+// instead of once per call.
+func AblationDispatch(opts Options) (*Table, error) {
+	invocations := opts.scale(20_000, 500)
+	t := &Table{
+		ID:      "ablation-dispatch",
+		Title:   fmt.Sprintf("Boundary dispatch modes, proxy-out->in (%d void RMIs + 1 read)", invocations),
+		XLabel:  "mode \\ metric",
+		Unit:    "simulated cycles / enclave transitions",
+		Columns: []string{"cycles", "transitions"},
+	}
+	runs := make(map[string]dispatchRun, len(dispatchModes))
+	for _, mode := range dispatchModes {
+		run, err := runDispatchMode(opts, mode.Switchless, mode.Batching, invocations)
+		if err != nil {
+			return nil, err
+		}
+		runs[mode.Name] = run
+		t.AddRow(mode.Name, float64(run.Cycles), float64(run.Transitions))
+	}
+	full, best := runs["full transitions"], runs["batched+switchless"]
+	if full.Cycles > 0 {
+		t.AddNote("batched+switchless cycle reduction vs full transitions: %.1f%%",
+			100*(1-float64(best.Cycles)/float64(full.Cycles)))
+	}
+	if best.Transitions > 0 {
+		t.AddNote("transition reduction: %d -> %d (%.0fx fewer)",
+			full.Transitions, best.Transitions, float64(full.Transitions)/float64(best.Transitions))
+	}
+	return t, nil
+}
+
 // AblationTCB quantifies the TCB reduction of partitioning plus shim
 // versus running the whole application in the enclave LibOS-style
 // (DESIGN.md ablation 4; §5.4's motivation). The subject is a synthetic

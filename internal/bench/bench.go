@@ -247,6 +247,7 @@ func All() []Experiment {
 		{ID: "fig12", Title: "SPECjvm2008 micro-benchmarks across runtimes", Run: Fig12},
 		{ID: "table1", Title: "SGX-NI gain over SCONE+JVM per kernel", Run: Table1},
 		{ID: "ablation-switchless", Title: "Ablation: switchless transitions (§7)", Run: AblationSwitchless},
+		{ID: "ablation-dispatch", Title: "Ablation: boundary dispatch (switchless + batching)", Run: AblationDispatch},
 		{ID: "ablation-tcb", Title: "Ablation: TCB size, partitioned vs LibOS-style", Run: AblationTCB},
 		{ID: "ablation-transition", Title: "Ablation: transition-cost sensitivity", Run: AblationTransitionCost},
 	}

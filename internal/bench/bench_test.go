@@ -15,7 +15,8 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7",
 		"fig9", "fig10", "fig11", "fig12", "table1",
-		"ablation-switchless", "ablation-tcb", "ablation-transition",
+		"ablation-switchless", "ablation-dispatch", "ablation-tcb",
+		"ablation-transition",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -374,6 +375,49 @@ func TestAblations(t *testing.T) {
 	rmi, _ := tr.Row("RMI (proxy-out->in)")
 	if rmi.Values[len(rmi.Values)-1] <= rmi.Values[0] {
 		t.Errorf("RMI latency did not grow with transition cost: %v", rmi.Values)
+	}
+}
+
+// TestDispatchSmoke is the `make bench-smoke` entry point: short-mode
+// transition-count and cycle assertions for the dispatch modes. The
+// acceptance bar is the issue's: batching + switchless must cut total
+// simulated cycles on the proxy-call workload by >= 30% versus
+// full-transition dispatch, with strictly fewer enclave transitions.
+func TestDispatchSmoke(t *testing.T) {
+	const invocations = 300
+	runs := make(map[string]dispatchRun)
+	for _, mode := range []string{"full transitions", "batched", "batched+switchless"} {
+		var switchless, batching bool
+		switch mode {
+		case "batched":
+			batching = true
+		case "batched+switchless":
+			switchless, batching = true, true
+		}
+		run, err := runDispatchMode(quickOpts(), switchless, batching, invocations)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if run.Cycles <= 0 || run.Transitions == 0 {
+			t.Fatalf("%s: empty measurement %+v", mode, run)
+		}
+		runs[mode] = run
+		t.Logf("%-20s %12d cycles  %6d transitions", mode, run.Cycles, run.Transitions)
+	}
+	full := runs["full transitions"]
+	// Full dispatch pays one transition per call; batching folds the void
+	// calls into watermark-sized frames.
+	if full.Transitions < invocations {
+		t.Fatalf("full dispatch made %d transitions for %d calls", full.Transitions, invocations)
+	}
+	for _, mode := range []string{"batched", "batched+switchless"} {
+		if got := runs[mode].Transitions; got >= full.Transitions {
+			t.Errorf("%s transitions = %d, want < %d (full)", mode, got, full.Transitions)
+		}
+	}
+	best := runs["batched+switchless"]
+	if reduction := 1 - float64(best.Cycles)/float64(full.Cycles); reduction < 0.30 {
+		t.Errorf("batched+switchless cycle reduction = %.1f%%, want >= 30%%", 100*reduction)
 	}
 }
 

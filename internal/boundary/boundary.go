@@ -1,0 +1,183 @@
+// Package boundary is the dispatch layer for cross-runtime calls: every
+// transition a partitioned world makes — proxy relay invocations, GC
+// sweep releases, batched call frames — is routed through a Dispatcher
+// rather than hitting the raw ecall/ocall transport directly.
+//
+// The layer implements the two transition-avoidance levers of the
+// paper's §7 future work:
+//
+//   - switchless routing (Tian et al., SysTEX'18): when resident worker
+//     pools are attached, short calls are posted to a mailbox instead of
+//     paying a full context switch. Routing is adaptive — a per-routine
+//     exponentially-weighted moving average of body cycles keeps long
+//     calls (GC helper, bulk I/O) on regular transitions, where they
+//     cannot starve the mailbox; saturated pools fall back to a full
+//     transition, which also keeps nested relay chains deadlock-free.
+//   - transition batching (Queue): result-independent relay calls are
+//     coalesced and flushed in one transition; see queue.go.
+//
+// The package is mechanism-only: it never inspects call payloads, so
+// the world layer stays the single owner of marshalling and dispatch
+// semantics.
+package boundary
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/simcfg"
+)
+
+// Transport performs full enclave transitions. *sgx.Enclave satisfies
+// it.
+type Transport interface {
+	Ecall(id int, fn func() error) error
+	Ocall(id int, fn func() error) error
+}
+
+// Pool is a switchless worker mailbox for one transition direction.
+// *sgx.SwitchlessPool (ecalls) and *sgx.HostPool (ocalls) satisfy it.
+type Pool interface {
+	// TryCall runs fn via a resident worker, or returns
+	// sgx.ErrPoolBusy/sgx.ErrPoolStopped without running it.
+	TryCall(id int, fn func() error) error
+	Stop()
+}
+
+// Stats counts how the dispatcher routed calls.
+type Stats struct {
+	// FullCalls crossed with a regular transition (including routings
+	// rejected by the adaptive policy and pool fallbacks).
+	FullCalls uint64
+	// SwitchlessCalls went through a resident-worker mailbox.
+	SwitchlessCalls uint64
+	// FallbackCalls are the subset of FullCalls that wanted a
+	// switchless route but found the pool saturated or stopped.
+	FallbackCalls uint64
+}
+
+// Dispatcher routes cross-runtime calls over a Transport, optionally
+// diverting short calls through switchless pools.
+type Dispatcher struct {
+	transport Transport
+	clock     *cycles.Clock
+	ecallPool Pool
+	ocallPool Pool
+	cutoff    float64
+
+	mu  sync.Mutex
+	avg map[int]float64 // routine id -> EWMA of body cycles
+
+	full       atomic.Uint64
+	switchless atomic.Uint64
+	fallback   atomic.Uint64
+}
+
+// NewDispatcher builds a dispatcher over a transport. The clock feeds
+// the adaptive policy's cost observations; nil disables observation
+// (every call then looks short). Pools are attached with UsePools.
+func NewDispatcher(t Transport, clock *cycles.Clock) *Dispatcher {
+	return &Dispatcher{
+		transport: t,
+		clock:     clock,
+		cutoff:    simcfg.SwitchlessCutoffCycles,
+		avg:       make(map[int]float64),
+	}
+}
+
+// UsePools attaches resident worker pools: ecallPool serves
+// untrusted→trusted calls, ocallPool trusted→untrusted. Either may be
+// nil; that direction then always uses full transitions.
+func (d *Dispatcher) UsePools(ecallPool, ocallPool Pool) {
+	d.ecallPool = ecallPool
+	d.ocallPool = ocallPool
+}
+
+// Invoke crosses the boundary in the given direction (in=true enters
+// the enclave) and runs fn on the other side. long forces a full
+// transition regardless of the adaptive policy — callers use it for
+// calls known to hold a worker for a long time (GC helper loops).
+func (d *Dispatcher) Invoke(in bool, id int, long bool, fn func() error) error {
+	wrapped := d.observed(id, fn)
+	if pool := d.pool(in); pool != nil && !long && d.prefersSwitchless(id) {
+		err := pool.TryCall(id, wrapped)
+		if !errors.Is(err, sgx.ErrPoolBusy) && !errors.Is(err, sgx.ErrPoolStopped) {
+			d.switchless.Add(1)
+			return err
+		}
+		d.fallback.Add(1)
+	}
+	d.full.Add(1)
+	if in {
+		return d.transport.Ecall(id, wrapped)
+	}
+	return d.transport.Ocall(id, wrapped)
+}
+
+// Close stops any attached pools.
+func (d *Dispatcher) Close() {
+	if d.ecallPool != nil {
+		d.ecallPool.Stop()
+	}
+	if d.ocallPool != nil {
+		d.ocallPool.Stop()
+	}
+}
+
+// Stats returns a snapshot of the routing counters.
+func (d *Dispatcher) Stats() Stats {
+	return Stats{
+		FullCalls:       d.full.Load(),
+		SwitchlessCalls: d.switchless.Load(),
+		FallbackCalls:   d.fallback.Load(),
+	}
+}
+
+// RoutineCost returns the current moving-average body cost of a routine
+// in cycles (0 when never observed).
+func (d *Dispatcher) RoutineCost(id int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.avg[id]
+}
+
+func (d *Dispatcher) pool(in bool) Pool {
+	if in {
+		return d.ecallPool
+	}
+	return d.ocallPool
+}
+
+// prefersSwitchless applies the adaptive policy: routines are assumed
+// short until observed otherwise. Observations under concurrency blend
+// in cycles charged by unrelated threads — acceptable noise for a
+// routing heuristic.
+func (d *Dispatcher) prefersSwitchless(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.avg[id] <= d.cutoff
+}
+
+// observed wraps fn to record its body cost (cycles charged between
+// entry and return, excluding the transition itself) into the EWMA.
+func (d *Dispatcher) observed(id int, fn func() error) func() error {
+	if d.clock == nil {
+		return fn
+	}
+	return func() error {
+		start := d.clock.Total()
+		err := fn()
+		cost := float64(d.clock.Total() - start)
+		d.mu.Lock()
+		if old, ok := d.avg[id]; ok {
+			d.avg[id] = old + simcfg.SwitchlessEWMAWeight*(cost-old)
+		} else {
+			d.avg[id] = cost
+		}
+		d.mu.Unlock()
+		return err
+	}
+}

@@ -1,0 +1,296 @@
+package boundary
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/simcfg"
+)
+
+// fakeTransport counts full transitions without charging anything.
+type fakeTransport struct {
+	mu     sync.Mutex
+	ecalls map[int]int
+	ocalls map[int]int
+}
+
+func newFakeTransport() *fakeTransport {
+	return &fakeTransport{ecalls: make(map[int]int), ocalls: make(map[int]int)}
+}
+
+func (t *fakeTransport) Ecall(id int, fn func() error) error {
+	t.mu.Lock()
+	t.ecalls[id]++
+	t.mu.Unlock()
+	return fn()
+}
+
+func (t *fakeTransport) Ocall(id int, fn func() error) error {
+	t.mu.Lock()
+	t.ocalls[id]++
+	t.mu.Unlock()
+	return fn()
+}
+
+// fakePool serves or rejects switchless calls.
+type fakePool struct {
+	mu      sync.Mutex
+	calls   int
+	stopped bool
+	reject  error // returned without running fn when non-nil
+}
+
+func (p *fakePool) TryCall(id int, fn func() error) error {
+	p.mu.Lock()
+	if p.reject != nil {
+		err := p.reject
+		p.mu.Unlock()
+		return err
+	}
+	p.calls++
+	p.mu.Unlock()
+	return fn()
+}
+
+func (p *fakePool) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+}
+
+func TestDispatcherFullWithoutPools(t *testing.T) {
+	tr := newFakeTransport()
+	d := NewDispatcher(tr, nil)
+	if err := d.Invoke(true, 1, false, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Invoke(false, 2, false, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ecalls[1] != 1 || tr.ocalls[2] != 1 {
+		t.Fatalf("transport counts: %v %v", tr.ecalls, tr.ocalls)
+	}
+	st := d.Stats()
+	if st.FullCalls != 2 || st.SwitchlessCalls != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDispatcherRoutesShortCallsSwitchless(t *testing.T) {
+	tr := newFakeTransport()
+	epool, opool := &fakePool{}, &fakePool{}
+	d := NewDispatcher(tr, nil)
+	d.UsePools(epool, opool)
+	for i := 0; i < 5; i++ {
+		if err := d.Invoke(true, 1, false, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Invoke(false, 2, false, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epool.calls != 5 || opool.calls != 5 {
+		t.Fatalf("pool calls = %d/%d, want 5/5", epool.calls, opool.calls)
+	}
+	if len(tr.ecalls)+len(tr.ocalls) != 0 {
+		t.Fatalf("unexpected full transitions: %v %v", tr.ecalls, tr.ocalls)
+	}
+	if st := d.Stats(); st.SwitchlessCalls != 10 || st.FullCalls != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDispatcherLongFlagForcesFull(t *testing.T) {
+	tr := newFakeTransport()
+	epool := &fakePool{}
+	d := NewDispatcher(tr, nil)
+	d.UsePools(epool, nil)
+	if err := d.Invoke(true, 9, true, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if epool.calls != 0 || tr.ecalls[9] != 1 {
+		t.Fatalf("long call touched the pool (%d) or skipped the transport (%v)", epool.calls, tr.ecalls)
+	}
+}
+
+func TestDispatcherAdaptivePolicy(t *testing.T) {
+	clk := cycles.New(simcfg.CPUHz, false)
+	tr := newFakeTransport()
+	epool := &fakePool{}
+	d := NewDispatcher(tr, clk)
+	d.UsePools(epool, nil)
+
+	// First call is optimistically switchless; its body then reveals a
+	// cost above the cutoff, so later calls take full transitions.
+	heavy := func() error {
+		clk.Charge(2 * simcfg.SwitchlessCutoffCycles)
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Invoke(true, 5, false, heavy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epool.calls != 1 {
+		t.Fatalf("pool served %d heavy calls, want only the probe", epool.calls)
+	}
+	if tr.ecalls[5] != 2 {
+		t.Fatalf("full transitions = %d, want 2", tr.ecalls[5])
+	}
+	if cost := d.RoutineCost(5); cost < simcfg.SwitchlessCutoffCycles {
+		t.Fatalf("RoutineCost = %g, want above cutoff", cost)
+	}
+
+	// A cheap routine stays switchless throughout.
+	for i := 0; i < 3; i++ {
+		if err := d.Invoke(true, 6, false, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epool.calls != 4 {
+		t.Fatalf("cheap routine not switchless: pool calls = %d", epool.calls)
+	}
+}
+
+func TestDispatcherFallsBackWhenPoolUnavailable(t *testing.T) {
+	for _, reject := range []error{sgx.ErrPoolBusy, sgx.ErrPoolStopped} {
+		tr := newFakeTransport()
+		epool := &fakePool{reject: reject}
+		d := NewDispatcher(tr, nil)
+		d.UsePools(epool, nil)
+		if err := d.Invoke(true, 3, false, func() error { return nil }); err != nil {
+			t.Fatalf("%v: %v", reject, err)
+		}
+		if tr.ecalls[3] != 1 {
+			t.Fatalf("%v: no full-transition fallback", reject)
+		}
+		if st := d.Stats(); st.FallbackCalls != 1 || st.FullCalls != 1 || st.SwitchlessCalls != 0 {
+			t.Fatalf("%v: stats = %+v", reject, st)
+		}
+	}
+}
+
+func TestDispatcherPropagatesBodyError(t *testing.T) {
+	tr := newFakeTransport()
+	d := NewDispatcher(tr, nil)
+	d.UsePools(&fakePool{}, nil)
+	boom := errors.New("boom")
+	if err := d.Invoke(true, 1, false, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Body errors are not pool-availability errors: no fallback retry.
+	if st := d.Stats(); st.SwitchlessCalls != 1 || st.FullCalls != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDispatcherClose(t *testing.T) {
+	epool, opool := &fakePool{}, &fakePool{}
+	d := NewDispatcher(newFakeTransport(), nil)
+	d.UsePools(epool, opool)
+	d.Close()
+	if !epool.stopped || !opool.stopped {
+		t.Fatal("Close did not stop the pools")
+	}
+}
+
+func TestQueueOrderAndWatermark(t *testing.T) {
+	var got []int64
+	var batches []int
+	q := NewQueue(4, func(es []Entry) error {
+		batches = append(batches, len(es))
+		for _, e := range es {
+			got = append(got, e.Hash)
+		}
+		return nil
+	})
+	for i := 0; i < 10; i++ {
+		if err := q.Enqueue(Entry{Hash: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range got {
+		if h != int64(i) {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+	}
+	if len(batches) != 3 || batches[0] != 4 || batches[1] != 4 || batches[2] != 2 {
+		t.Fatalf("batches = %v, want [4 4 2]", batches)
+	}
+	if st := q.Stats(); st.Flushes != 3 || st.BatchedCalls != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after flush", q.Len())
+	}
+}
+
+func TestQueueFlushEmptyIsNoop(t *testing.T) {
+	q := NewQueue(4, func(es []Entry) error { return errors.New("must not run") })
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Flushes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueConcurrentEnqueueKeepsAllCalls(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	q := NewQueue(8, func(es []Entry) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range es {
+			if seen[e.Hash] {
+				return fmt.Errorf("hash %d flushed twice", e.Hash)
+			}
+			seen[e.Hash] = true
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := q.Enqueue(Entry{Hash: int64(w*per + i)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("flushed %d calls, want %d", len(seen), workers*per)
+	}
+}
+
+func TestBufPoolReuse(t *testing.T) {
+	p := NewBufPool()
+	buf := p.Get(100)
+	if len(buf) != 0 || cap(buf) < 100 {
+		t.Fatalf("Get: len=%d cap=%d", len(buf), cap(buf))
+	}
+	buf = append(buf, 1, 2, 3)
+	p.Put(buf)
+	again := p.Get(2)
+	if len(again) != 0 {
+		t.Fatalf("recycled buffer not reset: len=%d", len(again))
+	}
+	// Oversized buffers are dropped rather than pinned.
+	p.Put(make([]byte, 0, maxPooledCap+1))
+	p.Put(nil)
+}

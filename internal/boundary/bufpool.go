@@ -1,0 +1,39 @@
+package boundary
+
+import "sync"
+
+// maxPooledCap bounds the capacity of buffers kept by a BufPool: a rare
+// huge marshal must not pin its buffer in the pool forever.
+const maxPooledCap = 1 << 20
+
+// BufPool recycles marshal buffers on the proxy-call hot path. Returned
+// buffers have zero length and at least the requested capacity, so a
+// size-precomputed encode (wire.SizeValues + wire.AppendValues) never
+// reallocates.
+type BufPool struct {
+	pool sync.Pool
+}
+
+// NewBufPool creates an empty pool.
+func NewBufPool() *BufPool {
+	return &BufPool{pool: sync.Pool{New: func() any { return new([]byte) }}}
+}
+
+// Get returns a zero-length buffer with capacity >= capacity.
+func (p *BufPool) Get(capacity int) []byte {
+	buf := *p.pool.Get().(*[]byte)
+	if cap(buf) < capacity {
+		return make([]byte, 0, capacity)
+	}
+	return buf[:0]
+}
+
+// Put recycles a buffer. The caller must not touch buf afterwards; any
+// slice aliasing it (e.g. a decoded view) must have been copied first.
+// Nil and oversized buffers are dropped.
+func (p *BufPool) Put(buf []byte) {
+	if buf == nil || cap(buf) > maxPooledCap {
+		return
+	}
+	p.pool.Put(&buf)
+}

@@ -1,0 +1,96 @@
+package boundary
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is one queued cross-runtime call: the routing key (EDL routine
+// id) plus the already-marshalled invocation the flusher packs into a
+// batched frame. Only result-independent calls may be queued — the
+// caller observes nothing of a queued call until a flush, so errors are
+// deferred to the flushing caller.
+type Entry struct {
+	ID     int
+	Class  string
+	Method string
+	Hash   int64
+	Args   []byte
+}
+
+// Queue coalesces result-independent calls from one runtime into
+// batched transitions. Enqueued entries are flushed — in order — by the
+// run callback when the watermark is reached, a result-dependent call
+// needs the queue empty first, or World.Flush is called explicitly.
+type Queue struct {
+	watermark int
+	run       func([]Entry) error
+
+	mu      sync.Mutex
+	pending []Entry
+
+	// flushMu serializes flushes so concurrent flushers cannot reorder
+	// two drained batches relative to each other. It is taken before
+	// draining pending (never while holding mu).
+	flushMu sync.Mutex
+
+	flushes atomic.Uint64
+	batched atomic.Uint64
+}
+
+// NewQueue builds a queue flushing through run at the given watermark.
+func NewQueue(watermark int, run func([]Entry) error) *Queue {
+	return &Queue{watermark: watermark, run: run}
+}
+
+// Enqueue appends a call, flushing first the moment the queue reaches
+// the watermark. The returned error is a flush error; the enqueued call
+// itself reports nothing until a later flush.
+func (q *Queue) Enqueue(e Entry) error {
+	q.mu.Lock()
+	q.pending = append(q.pending, e)
+	full := len(q.pending) >= q.watermark
+	q.mu.Unlock()
+	if full {
+		return q.Flush()
+	}
+	return nil
+}
+
+// Flush drains the queue and runs the drained batch in one transition.
+// A no-op on an empty queue. Errors from individual batched calls are
+// joined by the run callback.
+func (q *Queue) Flush() error {
+	q.flushMu.Lock()
+	defer q.flushMu.Unlock()
+	q.mu.Lock()
+	batch := q.pending
+	q.pending = nil
+	q.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	q.flushes.Add(1)
+	q.batched.Add(uint64(len(batch)))
+	return q.run(batch)
+}
+
+// Len returns the number of calls waiting to be flushed.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// QueueStats counts batching activity.
+type QueueStats struct {
+	// Flushes is the number of batched transitions performed.
+	Flushes uint64
+	// BatchedCalls is the total number of calls they carried.
+	BatchedCalls uint64
+}
+
+// Stats returns a snapshot of the batching counters.
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{Flushes: q.flushes.Load(), BatchedCalls: q.batched.Load()}
+}

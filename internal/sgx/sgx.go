@@ -98,9 +98,15 @@ const (
 
 // Stats holds enclave transition and memory counters.
 type Stats struct {
-	// Ecalls and Ocalls count completed transitions.
+	// Ecalls and Ocalls count completed transitions, including
+	// switchless calls served by resident worker pools.
 	Ecalls uint64
 	Ocalls uint64
+	// SwitchlessEcalls and SwitchlessOcalls count the subset of the
+	// above that went through a switchless mailbox (charged
+	// simcfg.SwitchlessCallCycles instead of a full transition).
+	SwitchlessEcalls uint64
+	SwitchlessOcalls uint64
 	// EcallsByID and OcallsByID break transitions down per edge routine.
 	EcallsByID map[int]uint64
 	OcallsByID map[int]uint64
@@ -129,9 +135,11 @@ type Enclave struct {
 
 	tcs chan struct{}
 
-	depth  atomic.Int64 // current nesting of enclave execution
-	ecalls atomic.Uint64
-	ocalls atomic.Uint64
+	depth    atomic.Int64 // current nesting of enclave execution
+	ecalls   atomic.Uint64
+	ocalls   atomic.Uint64
+	swEcalls atomic.Uint64
+	swOcalls atomic.Uint64
 }
 
 // Create performs ECREATE: a new enclave shell with empty measurement.
@@ -314,13 +322,15 @@ func (e *Enclave) Stats() Stats {
 	heap := e.heapInUse
 	e.mu.Unlock()
 	return Stats{
-		Ecalls:         e.ecalls.Load(),
-		Ocalls:         e.ocalls.Load(),
-		EcallsByID:     ecallsByID,
-		OcallsByID:     ocallsByID,
-		HeapBytesInUse: heap,
-		Residency:      e.res.Stats(),
-		MEE:            e.eng.Stats(),
+		Ecalls:           e.ecalls.Load(),
+		Ocalls:           e.ocalls.Load(),
+		SwitchlessEcalls: e.swEcalls.Load(),
+		SwitchlessOcalls: e.swOcalls.Load(),
+		EcallsByID:       ecallsByID,
+		OcallsByID:       ocallsByID,
+		HeapBytesInUse:   heap,
+		Residency:        e.res.Stats(),
+		MEE:              e.eng.Stats(),
 	}
 }
 

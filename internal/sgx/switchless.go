@@ -8,27 +8,32 @@ import (
 )
 
 // Switchless calls (Tian et al., SysTEX'18 [51], the paper's §7 future
-// work): instead of a context-switching ecall, the caller posts the
-// request into a shared mailbox served by a resident enclave worker
-// thread, paying only cross-core hand-off latency. The SGX SDK marks
-// individual routines switchless in the EDL; here the caller opts in per
-// call via SwitchlessPool.Call. Long-running calls (e.g. the GC helper
-// thread) should keep regular transitions — a resident worker blocked on
-// them would starve the mailbox.
+// work): instead of a context-switching transition, the caller posts the
+// request into a shared mailbox served by a resident worker thread,
+// paying only cross-core hand-off latency. The SGX SDK marks individual
+// routines switchless in the EDL; here the boundary dispatch layer (or
+// any direct caller) opts in per call via Pool.Call/TryCall. Two
+// symmetric pools exist:
+//
+//   - SwitchlessPool serves ecalls with resident *enclave* workers, each
+//     pinning one TCS slot for the pool's lifetime;
+//   - HostPool serves ocalls with resident *host* workers, so trusted
+//     code can call out without a full enclave exit.
+//
+// Long-running calls (e.g. the GC helper thread) should keep regular
+// transitions — a resident worker blocked on them would starve the
+// mailbox. TryCall returns ErrPoolBusy instead of queueing when every
+// worker is occupied; callers fall back to a regular transition, which
+// both models the SDK's fallback path and makes nested relay chains
+// deadlock-free.
 
-// ErrPoolStopped is returned for calls submitted after Stop.
-var ErrPoolStopped = errors.New("sgx: switchless pool stopped")
-
-// SwitchlessPool serves switchless ecalls with resident enclave worker
-// threads. Each worker occupies one TCS slot for the pool's lifetime.
-type SwitchlessPool struct {
-	e    *Enclave
-	reqs chan swReq
-
-	stopOnce sync.Once
-	stop     chan struct{}
-	wg       sync.WaitGroup
-}
+// Errors returned by switchless pools.
+var (
+	// ErrPoolStopped is returned for calls submitted after Stop.
+	ErrPoolStopped = errors.New("sgx: switchless pool stopped")
+	// ErrPoolBusy is returned by TryCall when the mailbox is full.
+	ErrPoolBusy = errors.New("sgx: switchless pool busy")
+)
 
 type swReq struct {
 	id    int
@@ -36,21 +41,113 @@ type swReq struct {
 	reply chan error
 }
 
+// mailbox is the stop-safe request channel shared by both pool kinds.
+//
+// The shutdown protocol closes the subtle race the original pool had: a
+// request posted just as Stop closed the stop channel could land in the
+// buffer after the last worker exited, leaving the caller blocked on its
+// reply forever. Posting now happens under a read lock with `stopped`
+// checked first; Stop closes the stop channel, then takes the write lock
+// to flip `stopped` (waiting out in-flight posts — none can block
+// indefinitely, because every post also selects on stop), and finally
+// drains the buffer, replying ErrPoolStopped, until the workers are gone
+// and the buffer is empty. After that point no post can touch the buffer.
+type mailbox struct {
+	reqs chan swReq
+	stop chan struct{}
+
+	mu      sync.RWMutex
+	stopped bool
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newMailbox(buffer int) *mailbox {
+	return &mailbox{
+		reqs: make(chan swReq, buffer),
+		stop: make(chan struct{}),
+	}
+}
+
+// post submits a request, blocking while the mailbox is full. It returns
+// ErrPoolStopped if the pool stopped before the request was accepted.
+func (m *mailbox) post(req swReq) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.stopped {
+		return ErrPoolStopped
+	}
+	select {
+	case m.reqs <- req:
+		return nil
+	case <-m.stop:
+		return ErrPoolStopped
+	}
+}
+
+// tryPost submits a request only if a mailbox slot is immediately free.
+func (m *mailbox) tryPost(req swReq) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.stopped {
+		return ErrPoolStopped
+	}
+	select {
+	case m.reqs <- req:
+		return nil
+	default:
+		return ErrPoolBusy
+	}
+}
+
+// shutdown stops intake, waits for the workers, and fails every request
+// left in (or racing into) the buffer with ErrPoolStopped.
+func (m *mailbox) shutdown() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case req := <-m.reqs:
+			req.reply <- ErrPoolStopped
+		case <-done:
+			for {
+				select {
+				case req := <-m.reqs:
+					req.reply <- ErrPoolStopped
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// SwitchlessPool serves switchless ecalls with resident enclave worker
+// threads. Each worker occupies one TCS slot for the pool's lifetime.
+type SwitchlessPool struct {
+	e  *Enclave
+	mb *mailbox
+}
+
 // StartSwitchless spawns a pool of resident enclave workers (<=0 means
-// 2). The enclave must be initialized; Stop the pool to release its TCS
-// slots.
+// simcfg.DefaultSwitchlessWorkers). The enclave must be initialized;
+// Stop the pool to release its TCS slots.
 func (e *Enclave) StartSwitchless(workers int) (*SwitchlessPool, error) {
 	if err := e.checkRunnable(); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
-		workers = 2
+		workers = simcfg.DefaultSwitchlessWorkers
 	}
-	p := &SwitchlessPool{
-		e:    e,
-		reqs: make(chan swReq),
-		stop: make(chan struct{}),
-	}
+	p := &SwitchlessPool{e: e, mb: newMailbox(workers)}
 	for i := 0; i < workers; i++ {
 		// Each resident worker enters the enclave once (one regular
 		// ecall) and stays inside serving the mailbox.
@@ -58,7 +155,7 @@ func (e *Enclave) StartSwitchless(workers int) (*SwitchlessPool, error) {
 		e.clock.Charge(e.cfg.TransitionCycles(true))
 		e.ecalls.Add(1)
 		e.depth.Add(1)
-		p.wg.Add(1)
+		p.mb.wg.Add(1)
 		go p.worker()
 	}
 	return p, nil
@@ -68,41 +165,128 @@ func (p *SwitchlessPool) worker() {
 	defer func() {
 		p.e.depth.Add(-1)
 		p.e.tcs <- struct{}{}
-		p.wg.Done()
+		p.mb.wg.Done()
 	}()
 	for {
 		select {
-		case req := <-p.reqs:
+		case req := <-p.mb.reqs:
 			p.e.mu.Lock()
 			p.e.ecallsByID[req.id]++
 			p.e.mu.Unlock()
 			req.reply <- req.fn()
-		case <-p.stop:
+		case <-p.mb.stop:
 			return
 		}
 	}
 }
 
 // Call executes fn inside the enclave via the worker mailbox, charging
-// only the switchless hand-off cost instead of a full transition.
+// only the switchless hand-off cost instead of a full transition. It
+// blocks until a worker is free.
 func (p *SwitchlessPool) Call(id int, fn func() error) error {
+	return p.call(id, fn, p.mb.post)
+}
+
+// TryCall is Call, except it returns ErrPoolBusy instead of waiting when
+// every worker is occupied. Callers should fall back to a regular ecall.
+func (p *SwitchlessPool) TryCall(id int, fn func() error) error {
+	return p.call(id, fn, p.mb.tryPost)
+}
+
+func (p *SwitchlessPool) call(id int, fn func() error, post func(swReq) error) error {
 	if err := p.e.checkRunnable(); err != nil {
 		return err
 	}
-	p.e.clock.Charge(simcfg.SwitchlessCallCycles)
 	req := swReq{id: id, fn: fn, reply: make(chan error, 1)}
-	select {
-	case p.reqs <- req:
-	case <-p.stop:
-		return ErrPoolStopped
+	if err := post(req); err != nil {
+		return err
 	}
+	p.e.clock.Charge(simcfg.SwitchlessCallCycles)
 	p.e.ecalls.Add(1)
+	p.e.swEcalls.Add(1)
 	return <-req.reply
 }
 
 // Stop signals the workers to exit the enclave and waits for them,
-// releasing their TCS slots. In-flight calls complete first.
+// releasing their TCS slots. In-flight calls complete first; requests
+// still queued (or racing with Stop) fail with ErrPoolStopped rather
+// than being abandoned.
 func (p *SwitchlessPool) Stop() {
-	p.stopOnce.Do(func() { close(p.stop) })
-	p.wg.Wait()
+	p.mb.shutdown()
+}
+
+// HostPool is the ocall-side mirror of SwitchlessPool: resident host
+// worker threads serve trusted→untrusted calls so enclave code can call
+// out without paying a full exit/re-enter transition. Host workers run
+// outside the enclave and hold no TCS slot.
+type HostPool struct {
+	e  *Enclave
+	mb *mailbox
+}
+
+// StartSwitchlessHost spawns a pool of resident host workers (<=0 means
+// simcfg.DefaultSwitchlessWorkers).
+func (e *Enclave) StartSwitchlessHost(workers int) (*HostPool, error) {
+	if err := e.checkRunnable(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = simcfg.DefaultSwitchlessWorkers
+	}
+	p := &HostPool{e: e, mb: newMailbox(workers)}
+	for i := 0; i < workers; i++ {
+		p.mb.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+func (p *HostPool) worker() {
+	defer p.mb.wg.Done()
+	for {
+		select {
+		case req := <-p.mb.reqs:
+			p.e.mu.Lock()
+			p.e.ocallsByID[req.id]++
+			p.e.mu.Unlock()
+			req.reply <- req.fn()
+		case <-p.mb.stop:
+			return
+		}
+	}
+}
+
+// Call executes fn outside the enclave via the host-worker mailbox. Like
+// Ocall, it is an error to call out when no enclave thread is executing.
+func (p *HostPool) Call(id int, fn func() error) error {
+	return p.call(id, fn, p.mb.post)
+}
+
+// TryCall is Call, except it returns ErrPoolBusy instead of waiting when
+// every worker is occupied. Callers should fall back to a regular ocall.
+func (p *HostPool) TryCall(id int, fn func() error) error {
+	return p.call(id, fn, p.mb.tryPost)
+}
+
+func (p *HostPool) call(id int, fn func() error, post func(swReq) error) error {
+	if err := p.e.checkRunnable(); err != nil {
+		return err
+	}
+	if p.e.depth.Load() == 0 {
+		return ErrOcallOutside
+	}
+	req := swReq{id: id, fn: fn, reply: make(chan error, 1)}
+	if err := post(req); err != nil {
+		return err
+	}
+	p.e.clock.Charge(simcfg.SwitchlessCallCycles)
+	p.e.ocalls.Add(1)
+	p.e.swOcalls.Add(1)
+	return <-req.reply
+}
+
+// Stop terminates the host workers. In-flight calls complete first;
+// queued requests fail with ErrPoolStopped.
+func (p *HostPool) Stop() {
+	p.mb.shutdown()
 }

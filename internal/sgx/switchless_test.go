@@ -1,0 +1,190 @@
+package sgx
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"montsalvat/internal/simcfg"
+)
+
+// Regression for the shutdown race: a request posted concurrently with
+// Stop must either run or fail with ErrPoolStopped — never leave the
+// caller blocked on an abandoned reply channel. The test hammers many
+// pool lifetimes with callers racing Stop; a hang here is the bug.
+func TestSwitchlessCallStopRace(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("race image"))
+	for round := 0; round < 50; round++ {
+		pool, err := e.StartSwitchless(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					err := pool.Call(1, func() error { return nil })
+					if err != nil && !errors.Is(err, ErrPoolStopped) {
+						t.Errorf("Call: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Stop()
+		}()
+		wg.Wait()
+		pool.Stop()
+	}
+}
+
+func TestSwitchlessTryCallBusy(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("busy image"))
+	pool, err := e.StartSwitchless(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+
+	// Occupy the single worker and fill the one-slot mailbox, then
+	// TryCall must refuse rather than queue behind them.
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	started := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = pool.Call(1, func() error { close(started); <-block; return nil })
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = pool.Call(1, func() error { <-block; return nil }) // sits in the mailbox buffer
+	}()
+	for len(pool.mb.reqs) == 0 {
+		runtime.Gosched()
+	}
+	if got := pool.TryCall(1, func() error { return nil }); !errors.Is(got, ErrPoolBusy) {
+		t.Fatalf("TryCall with saturated pool = %v, want ErrPoolBusy", got)
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestSwitchlessStats(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("stats image"))
+	pool, err := e.StartSwitchless(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+	base := e.Stats()
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if err := pool.Call(3, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if got := st.SwitchlessEcalls - base.SwitchlessEcalls; got != calls {
+		t.Fatalf("SwitchlessEcalls delta = %d, want %d", got, calls)
+	}
+	// Totals keep including switchless calls.
+	if got := st.Ecalls - base.Ecalls; got != calls {
+		t.Fatalf("Ecalls delta = %d, want %d", got, calls)
+	}
+}
+
+func TestHostPool(t *testing.T) {
+	e, clk := initializedEnclave(t, []byte("host image"))
+	pool, err := e.StartSwitchlessHost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop()
+
+	// Like Ocall, calling out requires an executing enclave thread.
+	if err := pool.Call(5, func() error { return nil }); !errors.Is(err, ErrOcallOutside) {
+		t.Fatalf("outside enclave: %v, want ErrOcallOutside", err)
+	}
+
+	const calls = 20
+	var ran atomic.Int64
+	var before, after int64
+	err = e.Ecall(1, func() error {
+		before = clk.Total()
+		for i := 0; i < calls; i++ {
+			if err := pool.Call(5, func() error { ran.Add(1); return nil }); err != nil {
+				return err
+			}
+		}
+		after = clk.Total()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != calls {
+		t.Fatalf("ran %d bodies, want %d", ran.Load(), calls)
+	}
+	if perCall := (after - before) / calls; perCall != simcfg.SwitchlessCallCycles {
+		t.Fatalf("per-call cost = %d cycles, want %d", perCall, simcfg.SwitchlessCallCycles)
+	}
+	st := e.Stats()
+	if st.SwitchlessOcalls != calls {
+		t.Fatalf("SwitchlessOcalls = %d, want %d", st.SwitchlessOcalls, calls)
+	}
+	if st.OcallsByID[5] != calls {
+		t.Fatalf("OcallsByID[5] = %d, want %d", st.OcallsByID[5], calls)
+	}
+	if st.Ocalls != calls {
+		t.Fatalf("Ocalls = %d, want %d", st.Ocalls, calls)
+	}
+
+	pool.Stop()
+	err = e.Ecall(1, func() error { return pool.Call(5, func() error { return nil }) })
+	if !errors.Is(err, ErrPoolStopped) {
+		t.Fatalf("after stop: %v, want ErrPoolStopped", err)
+	}
+}
+
+func TestHostPoolStopRace(t *testing.T) {
+	e, _ := initializedEnclave(t, []byte("host race image"))
+	for round := 0; round < 30; round++ {
+		pool, err := e.StartSwitchlessHost(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = e.Ecall(1, func() error {
+					for i := 0; i < 20; i++ {
+						err := pool.Call(2, func() error { return nil })
+						if err != nil && !errors.Is(err, ErrPoolStopped) {
+							t.Errorf("Call: %v", err)
+							return err
+						}
+					}
+					return nil
+				})
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Stop()
+		}()
+		wg.Wait()
+	}
+}

@@ -85,6 +85,33 @@ const (
 	EnclaveSerializeFactor    = 3.5
 )
 
+// Boundary dispatch layer constants (internal/boundary): adaptive
+// switchless routing and transition batching on the proxy-call hot path.
+const (
+	// DefaultSwitchlessWorkers is the resident-worker count per pool
+	// direction when Config.SwitchlessWorkers is unset. The SDK default
+	// is a small number of workers per direction; two suffice for the
+	// evaluation workloads without wasting TCS slots.
+	DefaultSwitchlessWorkers = 2
+
+	// SwitchlessCutoffCycles is the adaptive-routing threshold: routines
+	// whose moving-average body cost exceeds this keep full transitions,
+	// because a resident worker blocked on a long call (GC helper, bulk
+	// I/O) starves the mailbox. Set a few times the full round-trip
+	// transition cost, so only genuinely long calls are excluded.
+	SwitchlessCutoffCycles = 50_000
+
+	// SwitchlessEWMAWeight is the weight of the newest observation in
+	// the per-routine exponentially-weighted moving average of body
+	// cycles used by the adaptive routing policy.
+	SwitchlessEWMAWeight = 0.25
+
+	// DefaultBatchWatermark is the queue depth at which pending
+	// result-independent relay calls are flushed in one batched
+	// transition when Config.BatchWatermark is unset.
+	DefaultBatchWatermark = 32
+)
+
 // JVM / SCONE runtime-model constants. §6.6 attributes the SCONE+JVM
 // slowdown to (1) class loading, bytecode interpretation and dynamic
 // compilation and (2) the in-enclave JVM inflating the enclave heap,
@@ -140,8 +167,23 @@ type Config struct {
 
 	// Switchless enables the reduced-cost transition mode (§7 future
 	// work); when true both transition directions cost
-	// SwitchlessCallCycles.
+	// SwitchlessCallCycles, and partitioned worlds start resident
+	// switchless worker pools in both directions with the boundary
+	// dispatch layer routing short relay calls through them.
 	Switchless bool
+
+	// SwitchlessWorkers sizes each resident worker pool when Switchless
+	// is set (<=0 means DefaultSwitchlessWorkers).
+	SwitchlessWorkers int
+
+	// Batching coalesces result-independent relay calls (void-returning
+	// proxy calls, registry releases) into single batched transitions,
+	// flushed on result dependency, the watermark, or World.Flush.
+	Batching bool
+
+	// BatchWatermark is the pending-call count that triggers a batch
+	// flush (<=0 means DefaultBatchWatermark).
+	BatchWatermark int
 
 	// EPCBytes is the usable EPC size; enclave heaps larger than this
 	// trigger paging.

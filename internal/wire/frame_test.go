@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Size matches the encoder exactly for arbitrary values, so
+// exact-size buffers never reallocate.
+func TestQuickSizeMatchesAppend(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		return Size(v) == len(Marshal(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeExtremes(t *testing.T) {
+	for _, v := range []Value{
+		Int(math.MaxInt64), Int(math.MinInt64), Int(0), Int(-1),
+		Ref("", math.MinInt64), Str(""), Bytes(nil), List(), Map(),
+		Float(math.NaN()), Bool(true), Null(),
+	} {
+		if got, want := Size(v), len(Marshal(v)); got != want {
+			t.Errorf("Size(%s) = %d, encoded length %d", v, got, want)
+		}
+	}
+}
+
+// AppendValues must produce the same bytes as encoding List(vs...), and
+// SizeValues must predict the length exactly.
+func TestAppendValuesMatchesList(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]Value, r.Intn(6))
+		for i := range vs {
+			vs[i] = randomValue(r, 2)
+		}
+		direct := AppendValues(nil, vs)
+		viaList := Append(nil, List(vs...))
+		return string(direct) == string(viaList) && SizeValues(vs) == len(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	calls := []FrameCall{
+		{Class: "Account", Method: "relay$set", Hash: -42, Args: MarshalList([]Value{Int(7)})},
+		{Class: "", Method: "<release>", Hash: 1 << 40, Args: nil},
+		{Class: "KV", Method: "relay$put", Hash: 0, Args: MarshalList([]Value{Str("k"), Bytes([]byte{1, 2, 3})})},
+	}
+	buf := MarshalFrame(calls)
+	if len(buf) != FrameSize(calls) {
+		t.Fatalf("FrameSize = %d, encoded %d bytes", FrameSize(calls), len(buf))
+	}
+	got, err := UnmarshalFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(calls) {
+		t.Fatalf("decoded %d calls, want %d", len(got), len(calls))
+	}
+	for i, c := range calls {
+		g := got[i]
+		if g.Class != c.Class || g.Method != c.Method || g.Hash != c.Hash || string(g.Args) != string(c.Args) {
+			t.Errorf("call %d: got %+v, want %+v", i, g, c)
+		}
+	}
+}
+
+func TestFrameEmptyRoundTrip(t *testing.T) {
+	got, err := UnmarshalFrame(MarshalFrame(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %v, %d calls", err, len(got))
+	}
+}
+
+func TestFrameDecodedArgsAreCopies(t *testing.T) {
+	calls := []FrameCall{{Class: "C", Method: "m", Args: []byte{1, 2, 3}}}
+	buf := MarshalFrame(calls)
+	got, err := UnmarshalFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if string(got[0].Args) != string([]byte{1, 2, 3}) {
+		t.Fatal("decoded args alias the input buffer")
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	calls := []FrameCall{{Class: "Account", Method: "relay$set", Hash: 9, Args: []byte{1, 2}}}
+	buf := MarshalFrame(calls)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := UnmarshalFrame(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(buf))
+		}
+	}
+	if _, err := UnmarshalFrame(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+	if _, err := UnmarshalFrame(nil); err == nil {
+		t.Fatal("empty input not detected")
+	}
+}

@@ -362,9 +362,9 @@ func Marshal(v Value) []byte {
 }
 
 // MarshalList encodes a sequence of values (e.g. a relay-method argument
-// vector) into a fresh buffer.
+// vector) into a fresh exact-size buffer.
 func MarshalList(vs []Value) []byte {
-	return Append(make([]byte, 0, 64), List(vs...))
+	return AppendValues(make([]byte, 0, SizeValues(vs)), vs)
 }
 
 // Unmarshal decodes one value from the front of buf, returning the value

@@ -43,6 +43,11 @@ func (e *env) New(class string, args ...wire.Value) (wire.Value, error) {
 		if err != nil {
 			return wire.Value{}, err
 		}
+		// Constructor relays return no value, so under Config.Batching
+		// this call may be queued: the mirror is materialized lazily at
+		// the next flush, and a constructor error surfaces there instead
+		// of here. Queue ordering guarantees the mirror exists before
+		// any later call on this proxy reaches the other runtime.
 		if _, err := rt.remoteCall(e.fr, class, classmodel.CtorName, hash, args); err != nil {
 			return wire.Value{}, err
 		}

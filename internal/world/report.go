@@ -58,6 +58,61 @@ func (w *World) RenderTransitionReport() string {
 	return sb.String()
 }
 
+// DispatchStats aggregates the boundary dispatch layer's counters: how
+// cross-runtime calls were routed (full transitions, switchless worker
+// mailboxes, fallbacks when the mailbox was busy) and how effectively
+// result-independent calls were coalesced into batched frames.
+type DispatchStats struct {
+	// FullCalls is the number of calls routed through full transitions.
+	FullCalls uint64
+	// SwitchlessCalls is the number of calls served by worker pools.
+	SwitchlessCalls uint64
+	// FallbackCalls counts switchless attempts that fell back to a full
+	// transition because the mailbox was busy or stopped.
+	FallbackCalls uint64
+	// SwitchlessEcalls/SwitchlessOcalls are the enclave-level counters
+	// (a subset of the Stats totals).
+	SwitchlessEcalls uint64
+	SwitchlessOcalls uint64
+	// BatchFlushes is the number of batched transitions performed.
+	BatchFlushes uint64
+	// BatchedCalls is the total number of calls those flushes carried.
+	BatchedCalls uint64
+	// PendingCalls is the number of calls still queued (0 after Close).
+	PendingCalls int
+	// AvgBatchSize is BatchedCalls / BatchFlushes (0 when no flushes).
+	AvgBatchSize float64
+}
+
+// DispatchStats snapshots the boundary dispatch counters.
+func (w *World) DispatchStats() DispatchStats {
+	var ds DispatchStats
+	if w.disp != nil {
+		bs := w.disp.Stats()
+		ds.FullCalls = bs.FullCalls
+		ds.SwitchlessCalls = bs.SwitchlessCalls
+		ds.FallbackCalls = bs.FallbackCalls
+	}
+	if w.enclave != nil {
+		es := w.enclave.Stats()
+		ds.SwitchlessEcalls = es.SwitchlessEcalls
+		ds.SwitchlessOcalls = es.SwitchlessOcalls
+	}
+	for _, rt := range []*Runtime{w.untrusted, w.trusted} {
+		if rt == nil || rt.queue == nil {
+			continue
+		}
+		qs := rt.queue.Stats()
+		ds.BatchFlushes += qs.Flushes
+		ds.BatchedCalls += qs.BatchedCalls
+		ds.PendingCalls += rt.queue.Len()
+	}
+	if ds.BatchFlushes > 0 {
+		ds.AvgBatchSize = float64(ds.BatchedCalls) / float64(ds.BatchFlushes)
+	}
+	return ds
+}
+
 // routineName resolves a transition id to its edge-routine symbol or a
 // runtime-internal label.
 func (w *World) routineName(id int) string {
@@ -70,6 +125,8 @@ func (w *World) routineName(id int) string {
 		return "<main>"
 	case idExec:
 		return "<harness exec>"
+	case idBatch:
+		return "<batched relay frame>"
 	case shim.OcallWriteAt:
 		return "shim:write"
 	case shim.OcallAppend:

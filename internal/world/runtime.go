@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"montsalvat/internal/boundary"
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/edl"
 	"montsalvat/internal/heap"
@@ -45,6 +46,9 @@ type Runtime struct {
 	reg     *registry.Registry // mirrors for proxies living in the opposite runtime
 	weaks   *registry.WeakList // weak refs to proxies living here
 	fs      shim.FS
+	// queue batches this runtime's outbound result-independent calls
+	// (nil unless partitioned; active only with Config.Batching).
+	queue *boundary.Queue
 
 	// mu serialises all isolate/heap/table access (one mutator at a
 	// time, plus the GC helper).
@@ -295,7 +299,10 @@ func (rt *Runtime) marshalOut(fr *frame, vals []wire.Value) ([]byte, error) {
 		}
 		out[i] = cv
 	}
-	buf := wire.MarshalList(out)
+	// Size-precompute plus a pooled buffer: the hot path neither grows
+	// nor allocates. Callers recycle the buffer with w.bufs.Put once the
+	// receiver has decoded it (decoding copies).
+	buf := wire.AppendValues(rt.w.bufs.Get(wire.SizeValues(out)), out)
 	rt.chargeSerialization(out, simcfg.SerializeCyclesPerValue)
 	rt.mu.Lock()
 	rt.marshalled += uint64(len(buf))
@@ -642,27 +649,42 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		return wire.Value{}, err
 	}
 
+	if rt.queue != nil {
+		// Result-independent calls (void-returning relays) are queued
+		// and coalesced into one batched transition; the caller observes
+		// null immediately and any call error at the flush.
+		if w.batching && !routine.ReturnsValue {
+			rt.mu.Lock()
+			rt.remoteOut++
+			rt.mu.Unlock()
+			return wire.Null(), rt.queue.Enqueue(boundary.Entry{ID: routine.ID, Class: class, Method: relayName, Hash: hash, Args: argBuf})
+		}
+		// A result-dependent call must observe the effects of every
+		// queued call: flush first.
+		if err := rt.queue.Flush(); err != nil {
+			w.bufs.Put(argBuf)
+			return wire.Value{}, fmt.Errorf("world: flushing batched calls before %s.%s: %w", class, relayName, err)
+		}
+	}
+
 	var resultBuf []byte
 	invoke := func() error {
 		var rerr error
-		resultBuf, rerr = to.dispatchRelay(class, relayName, hash, argBuf)
+		resultBuf, rerr = to.dispatchRelay(class, relayName, hash, argBuf, true)
 		return rerr
 	}
 	if w.enclave != nil {
 		// Copying the argument and result buffers across the boundary
 		// streams them through the MEE.
 		w.clock.ChargeBytes(len(argBuf), simcfg.MEEBytesPerCycle)
-		if dir == edl.Ecall {
-			err = w.enclave.Ecall(routine.ID, invoke)
-		} else {
-			err = w.enclave.Ocall(routine.ID, invoke)
-		}
+		err = w.disp.Invoke(dir == edl.Ecall, routine.ID, false, invoke)
 		if err == nil {
 			w.clock.ChargeBytes(len(resultBuf), simcfg.MEEBytesPerCycle)
 		}
 	} else {
 		err = invoke()
 	}
+	w.bufs.Put(argBuf)
 	if err != nil {
 		return wire.Value{}, err
 	}
@@ -671,6 +693,7 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 	rt.mu.Unlock()
 
 	results, err := rt.unmarshalIn(fr, resultBuf)
+	w.bufs.Put(resultBuf)
 	if err != nil {
 		return wire.Value{}, err
 	}
@@ -683,8 +706,9 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 // dispatchRelay executes a relay method natively (the generated
 // @CEntryPoint wrappers of Listing 4): constructor relays instantiate the
 // mirror and register it; instance relays resolve the mirror in the
-// registry and invoke the concrete method.
-func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []byte) ([]byte, error) {
+// registry and invoke the concrete method. Batched void calls pass
+// wantResult=false to skip serializing (and charging for) the result.
+func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []byte, wantResult bool) ([]byte, error) {
 	_, relay, err := rt.img.Lookup(classmodel.MethodRef{Class: class, Method: relayName})
 	if err != nil {
 		return nil, err
@@ -762,5 +786,8 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 		}
 	}
 
+	if !wantResult {
+		return nil, nil
+	}
 	return rt.marshalOut(fr, []wire.Value{result})
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"montsalvat/internal/boundary"
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/cycles"
 	"montsalvat/internal/edl"
@@ -40,9 +41,15 @@ import (
 const (
 	idGCHelper = 9100 // long-running ecall hosting the trusted GC helper
 	idGCSweep  = 9101 // cross-boundary mirror-release batches
+	idBatch    = 9102 // batched relay-call frames (boundary dispatch layer)
 	idMain     = 9200 // unpartitioned main entry ecall
 	idExec     = 9201 // ad-hoc trusted execution (benchmark harness)
 )
+
+// gcReleaseMethod marks a batched-frame entry as a registry release
+// rather than a relay invocation. The name cannot collide with relay
+// methods, which all carry the transform.RelayPrefix.
+const gcReleaseMethod = "<gc-release>"
 
 // Mode selects the deployment configuration evaluated in the paper.
 type Mode int
@@ -119,6 +126,13 @@ type World struct {
 	trusted   *Runtime // nil in ModeNoSGX
 	untrusted *Runtime // nil in ModeUnpartitionedSGX
 
+	// disp routes every cross-runtime transition (nil unless
+	// partitioned); bufs recycles marshal buffers; batching mirrors
+	// cfg.Batching for the remote-call hot path.
+	disp     *boundary.Dispatcher
+	bufs     *boundary.BufPool
+	batching bool
+
 	hashCounter atomic.Int64
 
 	helperStop chan struct{}
@@ -154,10 +168,40 @@ func NewPartitioned(opts Options, tImg, uImg *image.Image, iface *edl.File) (*Wo
 	if err != nil {
 		return nil, err
 	}
+	if err := w.initBoundary(); err != nil {
+		return nil, err
+	}
 	if err := w.runStaticInits(); err != nil {
 		return nil, err
 	}
 	return w, nil
+}
+
+// initBoundary builds the boundary dispatch layer of a partitioned
+// world: the routing dispatcher, the per-runtime batching queues, and —
+// in switchless mode — the resident worker pools of both directions.
+func (w *World) initBoundary() error {
+	w.disp = boundary.NewDispatcher(w.enclave, w.clock)
+	if w.cfg.Switchless {
+		epool, err := w.enclave.StartSwitchless(w.cfg.SwitchlessWorkers)
+		if err != nil {
+			return fmt.Errorf("world: switchless ecall pool: %w", err)
+		}
+		opool, err := w.enclave.StartSwitchlessHost(w.cfg.SwitchlessWorkers)
+		if err != nil {
+			epool.Stop()
+			return fmt.Errorf("world: switchless ocall pool: %w", err)
+		}
+		w.disp.UsePools(epool, opool)
+	}
+	w.batching = w.cfg.Batching
+	watermark := w.cfg.BatchWatermark
+	if watermark <= 0 {
+		watermark = simcfg.DefaultBatchWatermark
+	}
+	w.trusted.queue = boundary.NewQueue(watermark, w.batchRun(w.trusted))
+	w.untrusted.queue = boundary.NewQueue(watermark, w.batchRun(w.untrusted))
+	return nil
 }
 
 // NewUnpartitioned creates a world running a single whole-application
@@ -207,6 +251,7 @@ func newWorld(mode Mode, opts Options) (*World, error) {
 		mode:   mode,
 		cfg:    cfg,
 		clock:  cycles.New(cfg.CPUHz, cfg.Spin),
+		bufs:   boundary.NewBufPool(),
 		hostFS: hostFS,
 	}, nil
 }
@@ -477,6 +522,18 @@ func (w *World) sweep(rt *Runtime) error {
 	if opposite == nil {
 		return nil
 	}
+	// In batching mode the releases join the runtime's call queue: the
+	// flush runs any pending relay calls first — while their target
+	// mirrors are still registered — then the releases, all in one
+	// batched transition.
+	if w.batching && rt.queue != nil && w.enclave != nil {
+		for _, hash := range dead {
+			if err := rt.queue.Enqueue(boundary.Entry{ID: idGCSweep, Method: gcReleaseMethod, Hash: hash}); err != nil {
+				return err
+			}
+		}
+		return rt.queue.Flush()
+	}
 	release := func() error {
 		opposite.mu.Lock()
 		defer opposite.mu.Unlock()
@@ -490,10 +547,7 @@ func (w *World) sweep(rt *Runtime) error {
 	// The removal message crosses the enclave boundary: the trusted
 	// helper ocalls out, the untrusted helper ecalls in.
 	if w.enclave != nil {
-		if rt.trusted {
-			return w.enclave.Ocall(idGCSweep, release)
-		}
-		return w.enclave.Ecall(idGCSweep, release)
+		return w.disp.Invoke(!rt.trusted, idGCSweep, false, release)
 	}
 	return release()
 }
@@ -505,9 +559,91 @@ func (w *World) opposite(rt *Runtime) *Runtime {
 	return w.trusted
 }
 
-// Close stops helpers and destroys the enclave.
+// batchRun builds rt's queue-flush callback: pack the drained batch
+// into one wire frame, cross the boundary once, and run every call on
+// the opposite runtime in order. Individual call errors are joined —
+// one failing call does not stop the calls after it.
+func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
+	return func(entries []boundary.Entry) error {
+		to := w.opposite(rt)
+		if to == nil {
+			return ErrWrongRuntime
+		}
+		calls := make([]wire.FrameCall, len(entries))
+		for i, e := range entries {
+			calls[i] = wire.FrameCall{Class: e.Class, Method: e.Method, Hash: e.Hash, Args: e.Args}
+		}
+		frame := wire.AppendFrame(w.bufs.Get(wire.FrameSize(calls)), calls)
+		invoke := func() error {
+			decoded, err := wire.UnmarshalFrame(frame)
+			if err != nil {
+				return fmt.Errorf("world: corrupt batch frame: %w", err)
+			}
+			var errs []error
+			for _, c := range decoded {
+				errs = append(errs, w.runBatchedCall(to, c))
+			}
+			return errors.Join(errs...)
+		}
+		var err error
+		if w.enclave != nil {
+			// The frame crosses the boundary once, streaming through
+			// the MEE like any marshalled argument buffer.
+			w.clock.ChargeBytes(len(frame), simcfg.MEEBytesPerCycle)
+			err = w.disp.Invoke(to.trusted, idBatch, false, invoke)
+		} else {
+			err = invoke()
+		}
+		for _, e := range entries {
+			w.bufs.Put(e.Args)
+		}
+		w.bufs.Put(frame)
+		return err
+	}
+}
+
+// runBatchedCall executes one decoded frame entry on the receiving
+// runtime: a registry release from the GC sweep, or a void relay call.
+func (w *World) runBatchedCall(to *Runtime, c wire.FrameCall) error {
+	if c.Method == gcReleaseMethod {
+		to.mu.Lock()
+		_, err := to.reg.Release(c.Hash)
+		to.mu.Unlock()
+		return err
+	}
+	if _, err := to.dispatchRelay(c.Class, c.Method, c.Hash, c.Args, false); err != nil {
+		return fmt.Errorf("world: batched call %s.%s: %w", c.Class, c.Method, err)
+	}
+	return nil
+}
+
+// Flush drains both runtimes' batching queues, running any pending
+// result-independent calls. Errors of individual batched calls surface
+// here, joined. A no-op when nothing is pending (or batching is off).
+func (w *World) Flush() error {
+	return errors.Join(w.flushQueue(w.untrusted), w.flushQueue(w.trusted))
+}
+
+func (w *World) flushQueue(rt *Runtime) error {
+	if rt == nil || rt.queue == nil || rt.queue.Len() == 0 {
+		return nil
+	}
+	// The trusted runtime's flush calls out (an ocall); from outside the
+	// enclave, enter it first — like spawning one helper scan.
+	if rt.trusted && w.enclave != nil && !w.enclave.InEnclave() {
+		return w.enclave.Ecall(idExec, rt.queue.Flush)
+	}
+	return rt.queue.Flush()
+}
+
+// Close flushes pending batched calls, stops helpers and worker pools,
+// and destroys the enclave.
 func (w *World) Close() {
+	_ = w.Flush() // best effort: Close has no error path
 	w.StopGCHelpers()
+	if w.disp != nil {
+		w.disp.Close()
+	}
 	if w.enclave != nil {
 		w.enclave.Destroy()
 	}
@@ -518,6 +654,7 @@ type Stats struct {
 	Mode          Mode
 	Cycles        int64
 	Enclave       sgx.Stats
+	Dispatch      DispatchStats
 	TrustedHeap   heap.Stats
 	UntrustedHeap heap.Stats
 	Trusted       RuntimeStats
@@ -527,7 +664,7 @@ type Stats struct {
 
 // Stats returns a snapshot of all counters.
 func (w *World) Stats() Stats {
-	s := Stats{Mode: w.mode, Cycles: w.clock.Total()}
+	s := Stats{Mode: w.mode, Cycles: w.clock.Total(), Dispatch: w.DispatchStats()}
 	if w.enclave != nil {
 		s.Enclave = w.enclave.Stats()
 	}
