@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-full fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-full serve-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -14,7 +14,7 @@ build:
 test:
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sgx/... ./internal/world/...
+	$(GO) test -race ./internal/sgx/... ./internal/world/... ./internal/serve/...
 
 race:
 	$(GO) test -race ./...
@@ -35,8 +35,15 @@ bench-smoke:
 bench-full:
 	$(GO) run ./cmd/montsalvat-bench
 
+# End-to-end gateway check: boot the enclave gateway over the secure KV
+# program, fire a 32-session attested load burst at it over loopback,
+# drain, and fail on any handshake failure or request error.
+serve-smoke:
+	$(GO) run ./cmd/montsalvat-serve -smoke -sessions 32 -requests 16
+
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,256 @@
+// Command montsalvat-serve runs the enclave gateway over the secure
+// key-value store program (paper §6.7): a partitioned world whose
+// trusted KVStore lives on the enclave heap, served to network clients
+// over attested, encrypted sessions.
+//
+// Usage:
+//
+//	montsalvat-serve                          # serve on :7415
+//	montsalvat-serve -addr 127.0.0.1:0        # serve on an ephemeral port
+//	montsalvat-serve -load -addr HOST:PORT    # run the load generator
+//	montsalvat-serve -smoke                   # in-process server + load burst
+//
+// Server and load generator share the simulated attestation platform
+// through -attest-seed, and the client derives the expected enclave
+// measurement by rebuilding the same program (native image builds are
+// deterministic), so a gateway serving a different program fails
+// attestation instead of serving.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"montsalvat/internal/bench"
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/serve"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/simcfg"
+	"montsalvat/internal/world"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "montsalvat-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("montsalvat-serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7415", "gateway listen (or -load target) address")
+		load        = fs.Bool("load", false, "run the load generator against -addr instead of serving")
+		smoke       = fs.Bool("smoke", false, "boot an in-process gateway, run a load burst, verify, exit")
+		sessions    = fs.Int("sessions", 8, "load generator: concurrent attested sessions")
+		requests    = fs.Int("requests", 64, "load generator: requests per session")
+		attestSeed  = fs.String("attest-seed", "montsalvat-serve-demo", "shared attestation platform seed")
+		maxInflight = fs.Int("max-inflight", 32, "server: bound on concurrently executing requests")
+		maxSessions = fs.Int("max-sessions", 64, "server: bound on concurrent sessions")
+		switchless  = fs.Bool("switchless", true, "server: switchless boundary routing")
+		batching    = fs.Bool("batching", true, "server: transition batching")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	platform := sgx.NewPlatformFromSeed([]byte(*attestSeed))
+
+	if *load {
+		return runLoad(out, *addr, platform, *sessions, *requests)
+	}
+	if *smoke {
+		return runSmoke(out, platform, *sessions, *requests, *maxInflight, *maxSessions, *switchless, *batching)
+	}
+	return runServer(out, *addr, platform, *maxInflight, *maxSessions, *switchless, *batching, nil)
+}
+
+// buildWorld boots the partitioned KV world the gateway serves.
+func buildWorld(switchless, batching bool) (*world.World, error) {
+	prog, err := demo.KVProgram()
+	if err != nil {
+		return nil, err
+	}
+	opts := world.DefaultOptions()
+	opts.Cfg = simcfg.Default()
+	opts.Cfg.Switchless = switchless
+	opts.Cfg.Batching = batching
+	w, _, err := core.NewPartitionedWorld(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.StartGCHelpers()
+	return w, nil
+}
+
+// expectedMeasurement derives the enclave measurement a client must
+// demand: it builds the same trusted image (builds are deterministic).
+func expectedMeasurement() ([32]byte, error) {
+	prog, err := demo.KVProgram()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	build, err := core.BuildPartitioned(prog)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return build.TrustedImage.Measurement(), nil
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains. ready, when
+// non-nil, receives the bound address once listening (used by -smoke
+// and tests).
+func runServer(out io.Writer, addr string, platform *sgx.Platform, maxInflight, maxSessions int, switchless, batching bool, ready chan<- string) error {
+	w, err := buildWorld(switchless, batching)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	srv, err := serve.New(serve.Options{
+		World:       w,
+		Platform:    platform,
+		MaxInFlight: maxInflight,
+		MaxSessions: maxSessions,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	meas := srv.Measurement()
+	fmt.Fprintf(out, "enclave gateway serving %q on %s\n", demo.KVStoreCls, ln.Addr())
+	fmt.Fprintf(out, "enclave measurement %x\n", meas[:8])
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	select {
+	case err := <-serveDone:
+		return err
+	case <-stop:
+	}
+	fmt.Fprintln(out, "draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveDone; err != nil {
+		return err
+	}
+	printStats(out, srv)
+	return nil
+}
+
+func runLoad(out io.Writer, addr string, platform *sgx.Platform, sessions, requests int) error {
+	meas, err := expectedMeasurement()
+	if err != nil {
+		return err
+	}
+	res, err := bench.ServeLoad(bench.ServeLoadOptions{
+		Addr:     addr,
+		Client:   serve.ClientConfig{Platform: platform, Measurement: meas},
+		Sessions: sessions,
+		Requests: requests,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.String())
+	if res.HandshakeFailures > 0 {
+		return fmt.Errorf("%d sessions failed attestation", res.HandshakeFailures)
+	}
+	return nil
+}
+
+// runSmoke boots a gateway in-process, fires a load burst at it over
+// loopback TCP, drains, and fails on any handshake failure or request
+// error — the CI end-to-end check.
+func runSmoke(out io.Writer, platform *sgx.Platform, sessions, requests, maxInflight, maxSessions int, switchless, batching bool) error {
+	w, err := buildWorld(switchless, batching)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	srv, err := serve.New(serve.Options{
+		World:       w,
+		Platform:    platform,
+		MaxInFlight: maxInflight,
+		MaxSessions: maxSessions,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	meas := srv.Measurement()
+	fmt.Fprintf(out, "smoke: gateway on %s, measurement %x\n", ln.Addr(), meas[:8])
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	res, err := bench.ServeLoad(bench.ServeLoadOptions{
+		Addr:     ln.Addr().String(),
+		Client:   serve.ClientConfig{Platform: platform, Measurement: srv.Measurement()},
+		Sessions: sessions,
+		Requests: requests,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveDone; err != nil {
+		return err
+	}
+	printStats(out, srv)
+
+	if res.HandshakeFailures > 0 {
+		return fmt.Errorf("smoke failed: %d handshake failures", res.HandshakeFailures)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("smoke failed: %d request errors", res.Errors)
+	}
+	want := sessions * requests
+	if res.Requests != want {
+		return fmt.Errorf("smoke failed: completed %d/%d requests", res.Requests, want)
+	}
+	st := srv.Stats()
+	if st.HandshakeFailures > 0 {
+		return fmt.Errorf("smoke failed: server counted %d handshake failures", st.HandshakeFailures)
+	}
+	if st.PeakInFlight > maxInflight {
+		return fmt.Errorf("smoke failed: peak in-flight %d exceeds bound %d", st.PeakInFlight, maxInflight)
+	}
+	fmt.Fprintln(out, "smoke: OK")
+	return nil
+}
+
+func printStats(out io.Writer, srv *serve.Server) {
+	st := srv.Stats()
+	fmt.Fprintf(out, "gateway: %d sessions served, %d requests, peak in-flight %d\n",
+		st.SessionsTotal, st.Requests, st.PeakInFlight)
+	fmt.Fprintf(out, "gateway: rejects overload=%d draining=%d deadline=%d foreign=%d, handshake failures=%d\n",
+		st.RejectedOverload, st.RejectedDraining, st.RejectedDeadline, st.RejectedForeign, st.HandshakeFailures)
+	fmt.Fprintf(out, "gateway: %d B in, %d B out\n", st.BytesIn, st.BytesOut)
+}

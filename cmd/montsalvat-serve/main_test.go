@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeMode boots the in-process gateway + load burst: the same
+// path CI's serve-smoke target runs, at reduced scale.
+func TestSmokeMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-smoke", "-sessions", "4", "-requests", "8"}, &out)
+	if err != nil {
+		t.Fatalf("run -smoke: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"smoke: OK", "throughput", "latency p99", "handshake failures  0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBadFlags rejects unknown flags.
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"montsalvat/internal/demo"
+	"montsalvat/internal/serve"
+	"montsalvat/internal/wire"
+)
+
+// ServeLoadOptions configures one load-generation run against a running
+// enclave gateway.
+type ServeLoadOptions struct {
+	// Addr is the gateway address.
+	Addr string
+	// Client is the attested client configuration (platform +
+	// expected measurement).
+	Client serve.ClientConfig
+	// Sessions is the number of concurrent attested sessions (default 8).
+	Sessions int
+	// Requests is the per-session request count (default 64).
+	Requests int
+	// PutRatio is the fraction of puts in the put/get mix expressed as
+	// one put every PutRatio requests (default 3, i.e. ~1/3 puts).
+	PutRatio int
+}
+
+func (o ServeLoadOptions) withDefaults() ServeLoadOptions {
+	if o.Sessions <= 0 {
+		o.Sessions = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 64
+	}
+	if o.PutRatio <= 0 {
+		o.PutRatio = 3
+	}
+	return o
+}
+
+// ServeLoadResult aggregates one load run.
+type ServeLoadResult struct {
+	Sessions int
+	Requests int // completed request count across all sessions
+	Errors   int // failed requests (typed rejections and app errors)
+	// HandshakeFailures counts sessions that failed to attest.
+	HandshakeFailures int
+	Elapsed           time.Duration
+	// Throughput is completed requests per second of wall-clock time.
+	Throughput float64
+	// Latency percentiles over completed requests.
+	P50, P95, P99, Max time.Duration
+}
+
+// String renders the result as aligned text for CLI output.
+func (r ServeLoadResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sessions            %d\n", r.Sessions)
+	fmt.Fprintf(&sb, "requests completed  %d\n", r.Requests)
+	fmt.Fprintf(&sb, "request errors      %d\n", r.Errors)
+	fmt.Fprintf(&sb, "handshake failures  %d\n", r.HandshakeFailures)
+	fmt.Fprintf(&sb, "elapsed             %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "throughput          %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&sb, "latency p50         %v\n", r.P50.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "latency p95         %v\n", r.P95.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "latency p99         %v\n", r.P99.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "latency max         %v\n", r.Max.Round(time.Microsecond))
+	return sb.String()
+}
+
+// ServeLoad runs a concurrent put/get workload against a gateway serving
+// the secure KV program (demo.KVProgram): every session attests, creates
+// a private KVStore, drives its request mix, releases the store and
+// disconnects. Latencies are per-request round trips including boundary
+// dispatch inside the world.
+func ServeLoad(opts ServeLoadOptions) (ServeLoadResult, error) {
+	o := opts.withDefaults()
+	type sessionOut struct {
+		latencies []time.Duration
+		errors    int
+		handshake bool // failed to attest
+		fatal     error
+	}
+	outs := make([]sessionOut, o.Sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := &outs[i]
+			c, err := serve.Dial(o.Addr, o.Client)
+			if err != nil {
+				out.handshake = true
+				out.fatal = err
+				return
+			}
+			defer c.Close()
+			store, err := c.New(demo.KVStoreCls)
+			if err != nil {
+				out.fatal = err
+				return
+			}
+			out.latencies = make([]time.Duration, 0, o.Requests)
+			for r := 0; r < o.Requests; r++ {
+				key := wire.Str(fmt.Sprintf("s%d:key-%04d", i, r%32))
+				t0 := time.Now()
+				if r%o.PutRatio == 0 {
+					_, err = c.Call(store, "put", key, wire.Str(fmt.Sprintf("val-%d-%d", i, r)))
+				} else {
+					_, err = c.Call(store, "get", key)
+				}
+				lat := time.Since(t0)
+				if err != nil {
+					out.errors++
+					continue
+				}
+				out.latencies = append(out.latencies, lat)
+			}
+			_ = c.Release(store)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var res ServeLoadResult
+	res.Sessions = o.Sessions
+	res.Elapsed = elapsed
+	var all []time.Duration
+	var firstFatal error
+	for i := range outs {
+		out := &outs[i]
+		if out.handshake {
+			res.HandshakeFailures++
+		}
+		if out.fatal != nil && firstFatal == nil {
+			firstFatal = out.fatal
+		}
+		res.Errors += out.errors
+		all = append(all, out.latencies...)
+	}
+	res.Requests = len(all)
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		res.P50 = percentile(all, 50)
+		res.P95 = percentile(all, 95)
+		res.P99 = percentile(all, 99)
+		res.Max = all[len(all)-1]
+	}
+	if res.Requests == 0 && firstFatal != nil {
+		return res, firstFatal
+	}
+	return res, nil
+}
+
+// percentile returns the p-th percentile of sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,248 @@
+package demo
+
+import (
+	"fmt"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/wire"
+)
+
+// Class names of the secure KV demo program (paper §6.7), the workload
+// served by the enclave gateway: storage logic (Entry, KVStore) is
+// @Trusted and lives on the enclave heap; FrontEnd is the @Untrusted
+// driver whose declared call graph makes the serving surface reachable.
+const (
+	KVEntry    = "Entry"
+	KVStoreCls = "KVStore"
+	KVFrontEnd = "FrontEnd"
+)
+
+// KVRequests is the per-run request count of FrontEnd.main.
+const KVRequests = 300
+
+// KVProgram constructs the secure key-value store program. main returns
+// [hits, misses, size]. The KVStore surface (put/get/size) is what the
+// enclave gateway serves to network clients.
+func KVProgram() (*classmodel.Program, error) {
+	p := classmodel.NewProgram()
+	if err := p.AddClass(kvEntryClass()); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(kvStoreClass()); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(kvFrontEndClass()); err != nil {
+		return nil, err
+	}
+	p.MainClass = KVFrontEnd
+	return p, nil
+}
+
+// MustKVProgram is KVProgram for tests and commands where construction
+// cannot fail.
+func MustKVProgram() *classmodel.Program {
+	p, err := KVProgram()
+	if err != nil {
+		panic(fmt.Sprintf("demo: %v", err))
+	}
+	return p
+}
+
+// kvEntryClass is a trusted key/value cell.
+func kvEntryClass() *classmodel.Class {
+	c := classmodel.NewClass(KVEntry, classmodel.Trusted)
+	mustField(c, classmodel.Field{Name: "key", Kind: classmodel.FieldString})
+	mustField(c, classmodel.Field{Name: "value", Kind: classmodel.FieldString})
+
+	mustMethod(c, &classmodel.Method{
+		Name:   classmodel.CtorName,
+		Public: true,
+		Params: []classmodel.Param{
+			{Name: "k", Kind: wire.KindString},
+			{Name: "v", Kind: wire.KindString},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			if err := env.SetField(self, "key", args[0]); err != nil {
+				return wire.Null(), err
+			}
+			return wire.Null(), env.SetField(self, "value", args[1])
+		},
+	})
+	for _, field := range []string{"key", "value"} {
+		field := field
+		mustMethod(c, &classmodel.Method{
+			Name: "get" + field, Public: true, Returns: wire.KindString,
+			Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+				return env.GetField(self, field)
+			},
+		})
+	}
+	return c
+}
+
+// kvStoreClass holds Entry objects in an enclave-resident list.
+func kvStoreClass() *classmodel.Class {
+	c := classmodel.NewClass(KVStoreCls, classmodel.Trusted)
+	mustField(c, classmodel.Field{Name: "entries", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
+
+	mustMethod(c, &classmodel.Method{
+		Name: classmodel.CtorName, Public: true,
+		Allocates: []string{classmodel.BuiltinList},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.New(classmodel.BuiltinList)
+			if err != nil {
+				return wire.Null(), err
+			}
+			return wire.Null(), env.SetField(self, "entries", list)
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name: "put", Public: true,
+		Params: []classmodel.Param{
+			{Name: "k", Kind: wire.KindString},
+			{Name: "v", Kind: wire.KindString},
+		},
+		Allocates: []string{KVEntry},
+		Calls: []classmodel.MethodRef{
+			{Class: classmodel.BuiltinList, Method: "add"},
+			{Class: classmodel.BuiltinList, Method: "size"},
+			{Class: classmodel.BuiltinList, Method: "get"},
+			{Class: classmodel.BuiltinList, Method: "set"},
+			{Class: KVEntry, Method: "getkey"},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return wire.Null(), err
+			}
+			idx, err := kvFind(env, list, args[0])
+			if err != nil {
+				return wire.Null(), err
+			}
+			e, err := env.New(KVEntry, args[0], args[1])
+			if err != nil {
+				return wire.Null(), err
+			}
+			if idx >= 0 {
+				return env.Call(list, "set", wire.Int(idx), e)
+			}
+			return env.Call(list, "add", e)
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name: "get", Public: true,
+		Params:  []classmodel.Param{{Name: "k", Kind: wire.KindString}},
+		Returns: wire.KindString,
+		Calls: []classmodel.MethodRef{
+			{Class: classmodel.BuiltinList, Method: "size"},
+			{Class: classmodel.BuiltinList, Method: "get"},
+			{Class: KVEntry, Method: "getkey"},
+			{Class: KVEntry, Method: "getvalue"},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return wire.Null(), err
+			}
+			idx, err := kvFind(env, list, args[0])
+			if err != nil {
+				return wire.Null(), err
+			}
+			if idx < 0 {
+				return wire.Null(), nil
+			}
+			e, err := env.Call(list, "get", wire.Int(idx))
+			if err != nil {
+				return wire.Null(), err
+			}
+			return env.Call(e, "getvalue")
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name: "size", Public: true, Returns: wire.KindInt,
+		Calls: []classmodel.MethodRef{{Class: classmodel.BuiltinList, Method: "size"}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return wire.Null(), err
+			}
+			return env.Call(list, "size")
+		},
+	})
+	return c
+}
+
+// kvFrontEndClass is the untrusted driver; its declared call graph keeps
+// the KVStore serving surface reachable in the closed-world build.
+func kvFrontEndClass() *classmodel.Class {
+	c := classmodel.NewClass(KVFrontEnd, classmodel.Untrusted)
+	mustMethod(c, &classmodel.Method{
+		Name: classmodel.MainMethodName, Static: true, Public: true,
+		Returns:   wire.KindList,
+		Allocates: []string{KVStoreCls},
+		Calls: []classmodel.MethodRef{
+			{Class: KVStoreCls, Method: "put"},
+			{Class: KVStoreCls, Method: "get"},
+			{Class: KVStoreCls, Method: "size"},
+		},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			store, err := env.New(KVStoreCls)
+			if err != nil {
+				return wire.Null(), err
+			}
+			var hits, misses int64
+			for i := 0; i < KVRequests; i++ {
+				key := wire.Str(fmt.Sprintf("user:%04d", i%64))
+				switch {
+				case i%3 == 0:
+					val := wire.Str(fmt.Sprintf("session-token-%08x", i*2654435761))
+					if _, err := env.Call(store, "put", key, val); err != nil {
+						return wire.Null(), err
+					}
+				default:
+					got, err := env.Call(store, "get", key)
+					if err != nil {
+						return wire.Null(), err
+					}
+					if got.IsNull() {
+						misses++
+					} else {
+						hits++
+					}
+				}
+			}
+			size, err := env.Call(store, "size")
+			if err != nil {
+				return wire.Null(), err
+			}
+			return wire.List(wire.Int(hits), wire.Int(misses), size), nil
+		},
+	})
+	return c
+}
+
+// kvFind scans the entry list for a key (inside the enclave, as part of
+// KVStore's methods) and returns its index or -1.
+func kvFind(env classmodel.Env, list, key wire.Value) (int64, error) {
+	sz, err := env.Call(list, "size")
+	if err != nil {
+		return 0, err
+	}
+	n, _ := sz.AsInt()
+	want, _ := key.AsStr()
+	for i := int64(0); i < n; i++ {
+		e, err := env.Call(list, "get", wire.Int(i))
+		if err != nil {
+			return 0, err
+		}
+		k, err := env.Call(e, "getkey")
+		if err != nil {
+			return 0, err
+		}
+		got, _ := k.AsStr()
+		if got == want {
+			return i, nil
+		}
+	}
+	return -1, nil
+}

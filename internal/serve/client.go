@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/wire"
+)
+
+// ClientConfig configures Dial.
+type ClientConfig struct {
+	// Platform verifies the server's attestation quote. Required; must
+	// share the attestation key with the gateway (same seed).
+	Platform *sgx.Platform
+	// Measurement is the expected enclave measurement. The handshake
+	// fails unless the quote carries exactly this identity — connecting
+	// to the wrong (or tampered) enclave is an error, not a downgrade.
+	Measurement [32]byte
+	// DialTimeout bounds connection + handshake (default 10s).
+	DialTimeout time.Duration
+	// RequestTimeout is the default per-request deadline, propagated to
+	// the server as the request budget (default 30s).
+	RequestTimeout time.Duration
+}
+
+// Handle names a server-side object owned by this client's session.
+// The zero Handle is invalid.
+type Handle struct {
+	Class string
+	ID    int64
+}
+
+// Value renders the handle as a wire ref for use in request arguments.
+func (h Handle) Value() wire.Value { return wire.Ref(h.Class, h.ID) }
+
+// AsHandle extracts a Handle from a result value that is an object ref.
+func AsHandle(v wire.Value) (Handle, bool) {
+	class, id, ok := v.AsRef()
+	if !ok {
+		return Handle{}, false
+	}
+	return Handle{Class: class, ID: id}, true
+}
+
+// Client is one attested gateway session. It is safe for concurrent
+// use: calls are demultiplexed by request id, so many goroutines can
+// issue requests over the single connection.
+type Client struct {
+	cfg       ClientConfig
+	conn      net.Conn
+	sessionID int64
+
+	writeMu sync.Mutex // serialises frame writes and the send counter
+	ciph    *sessionCipher
+
+	mu      sync.Mutex
+	pending map[int64]chan response
+	readErr error
+	closed  bool
+
+	seq atomic.Int64
+}
+
+// Dial connects to a gateway, runs the attestation handshake, and
+// verifies the enclave identity before any request can be issued.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("%w: ClientConfig.Platform is required", ErrHandshake)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg, conn: conn, pending: make(map[int64]chan response)}
+	if err := c.handshake(); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// handshake is the client side of the attested key exchange; see
+// Server.handshake for the message flow.
+func (c *Client) handshake() error {
+	deadline := time.Now().Add(c.cfg.DialTimeout)
+	_ = c.conn.SetDeadline(deadline)
+	defer c.conn.SetDeadline(time.Time{})
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("%w: keygen: %v", ErrHandshake, err)
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("%w: nonce: %v", ErrHandshake, err)
+	}
+	clientPub := priv.PublicKey().Bytes()
+	if _, err := writeFrame(c.conn, encodeHello(clientPub, nonce)); err != nil {
+		return fmt.Errorf("%w: hello: %v", ErrHandshake, err)
+	}
+
+	buf, err := readFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("%w: attest: %v", ErrHandshake, err)
+	}
+	serverPub, quote, err := decodeAttest(buf)
+	if err != nil {
+		return err
+	}
+	// The quote must (a) verify under the shared platform against the
+	// expected measurement and (b) carry report data hashing exactly
+	// this handshake's transcript — otherwise it could be a replay of a
+	// quote issued for someone else's session.
+	if err := c.cfg.Platform.Verify(quote, c.cfg.Measurement); err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	wantReport := transcriptHash(clientPub, serverPub, nonce)
+	if !bytes.Equal(quote.ReportData, wantReport) {
+		return fmt.Errorf("%w: quote not bound to this session", ErrHandshake)
+	}
+
+	peer, err := ecdh.X25519().NewPublicKey(serverPub)
+	if err != nil {
+		return fmt.Errorf("%w: server key: %v", ErrHandshake, err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return fmt.Errorf("%w: ecdh: %v", ErrHandshake, err)
+	}
+	c.ciph, err = newSessionCipher(sessionKey(shared, wantReport), true)
+	if err != nil {
+		return fmt.Errorf("%w: cipher: %v", ErrHandshake, err)
+	}
+
+	if _, err := writeFrame(c.conn, c.ciph.seal(encodeAck())); err != nil {
+		return fmt.Errorf("%w: ack: %v", ErrHandshake, err)
+	}
+	buf, err = readFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("%w: ready: %v", ErrHandshake, err)
+	}
+	plain, err := c.ciph.open(buf)
+	if err != nil {
+		return err
+	}
+	c.sessionID, err = decodeReady(plain)
+	return err
+}
+
+// SessionID returns the server-assigned session identifier.
+func (c *Client) SessionID() int64 { return c.sessionID }
+
+// readLoop demultiplexes responses to their waiting callers.
+func (c *Client) readLoop() {
+	for {
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		plain, err := c.ciph.open(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := decodeResponse(plain)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.id]
+		if ok {
+			delete(c.pending, resp.id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail poisons the client: every pending and future call observes err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	stale := c.pending
+	c.pending = make(map[int64]chan response)
+	c.mu.Unlock()
+	for _, ch := range stale {
+		close(ch)
+	}
+}
+
+// Close tears down the session. The server releases every object the
+// session owns through its GC-release path.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// roundTrip issues one request and waits for its response or timeout.
+func (c *Client) roundTrip(req request) (response, error) {
+	req.id = c.seq.Add(1)
+	if req.budget <= 0 {
+		req.budget = c.cfg.RequestTimeout
+	}
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return response{}, err
+	}
+	c.pending[req.id] = ch
+	c.mu.Unlock()
+
+	plain := encodeRequest(req)
+	c.writeMu.Lock()
+	_, err := writeFrame(c.conn, c.ciph.seal(plain))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.id)
+		c.mu.Unlock()
+		return response{}, err
+	}
+
+	// Wait a little past the propagated budget so a server-side
+	// deadline rejection can arrive as a typed response.
+	timer := time.NewTimer(req.budget + 2*time.Second)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return response{}, err
+		}
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, req.id)
+		c.mu.Unlock()
+		return response{}, ErrDeadline
+	}
+}
+
+// call is the shared request path; timeout zero uses the default.
+func (c *Client) call(req request, timeout time.Duration) (wire.Value, error) {
+	req.budget = timeout
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if err := resp.err(); err != nil {
+		return wire.Value{}, err
+	}
+	return resp.result, nil
+}
+
+// New instantiates a served class and returns the session-scoped handle.
+func (c *Client) New(class string, args ...wire.Value) (Handle, error) {
+	v, err := c.call(request{op: opNew, class: class, args: args}, 0)
+	if err != nil {
+		return Handle{}, err
+	}
+	h, ok := AsHandle(v)
+	if !ok {
+		return Handle{}, fmt.Errorf("%w: new returned %v", ErrBadRequest, v.Kind())
+	}
+	return h, nil
+}
+
+// Call invokes a method on a session-owned object. Result refs come
+// back as handles (extract with AsHandle).
+func (c *Client) Call(h Handle, method string, args ...wire.Value) (wire.Value, error) {
+	return c.call(request{op: opCall, handle: h.ID, method: method, args: args}, 0)
+}
+
+// CallTimeout is Call with an explicit deadline budget, propagated to
+// the server.
+func (c *Client) CallTimeout(timeout time.Duration, h Handle, method string, args ...wire.Value) (wire.Value, error) {
+	return c.call(request{op: opCall, handle: h.ID, method: method, args: args}, timeout)
+}
+
+// Release drops a handle; the server unpins the object so the next GC
+// sweep reclaims it.
+func (c *Client) Release(h Handle) error {
+	_, err := c.call(request{op: opRelease, handle: h.ID}, 0)
+	return err
+}
+
+// Ping round-trips an empty request through admission control.
+func (c *Client) Ping() error {
+	_, err := c.call(request{op: opPing}, 0)
+	return err
+}

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"context"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/world"
+)
+
+// Options configures a gateway Server.
+type Options struct {
+	// World is the partitioned world the gateway serves. Required; must
+	// be in world.ModePartitioned.
+	World *world.World
+	// Platform is the attestation infrastructure used to quote the
+	// world's enclave during session handshakes. Required. Clients must
+	// share it (same attestation key) for quotes to verify; use
+	// sgx.NewPlatformFromSeed for cross-process deployments.
+	Platform *sgx.Platform
+	// Classes optionally restricts which application classes clients may
+	// instantiate. Empty means every non-builtin class in the program.
+	Classes []string
+	// MaxSessions bounds concurrently connected sessions (default 64).
+	MaxSessions int
+	// MaxInFlight bounds concurrently executing requests across all
+	// sessions (default 32).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an execution slot before
+	// admission rejects with ErrOverloaded (default MaxInFlight).
+	QueueDepth int
+	// SessionInFlight bounds one session's concurrently admitted
+	// requests, so a single client cannot monopolise the gateway
+	// (default 4).
+	SessionInFlight int
+	// RequestTimeout caps the server-side deadline of any request,
+	// regardless of the client's declared budget (default 30s).
+	RequestTimeout time.Duration
+	// HandshakeTimeout bounds the attestation handshake (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds one response write so a stalled client cannot
+	// wedge a serving goroutine (default 10s).
+	WriteTimeout time.Duration
+	// Logf, when set, receives diagnostic messages (e.g. teardown
+	// release failures). Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 64
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 32
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = opts.MaxInFlight
+	}
+	if opts.SessionInFlight <= 0 {
+		opts.SessionInFlight = 4
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 10 * time.Second
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return opts
+}
+
+// Stats is a point-in-time snapshot of gateway counters.
+type Stats struct {
+	// Sessions is the number of currently attested, connected sessions.
+	Sessions int
+	// SessionsTotal counts sessions ever admitted.
+	SessionsTotal uint64
+	// HandshakeFailures counts connections dropped during attestation.
+	HandshakeFailures uint64
+	// Requests counts requests admitted for execution.
+	Requests uint64
+	// AppErrors counts requests that executed but failed in application
+	// code.
+	AppErrors uint64
+	// InFlight is the number of requests executing right now; PeakInFlight
+	// is the high-water mark (never exceeds MaxInFlight).
+	InFlight     int
+	PeakInFlight int
+	// Typed rejection counters.
+	RejectedOverload uint64
+	RejectedDraining uint64
+	RejectedDeadline uint64
+	RejectedForeign  uint64
+	RejectedSession  uint64
+	// BytesIn / BytesOut count post-handshake wire traffic.
+	BytesIn  uint64
+	BytesOut uint64
+}
+
+// Server is the enclave gateway: it accepts TCP clients, attests the
+// world's enclave to each on connect, and serves their requests against
+// the shared partitioned world under admission control.
+type Server struct {
+	opts    Options
+	w       *world.World
+	allowed map[string]bool
+
+	adm      *admission
+	draining atomic.Bool
+	drainCh  chan struct{}
+	// drainMu orders request registration against Shutdown's wait: a
+	// request holds the read side while it checks draining and joins
+	// reqWG, so the drain barrier (write lock) guarantees every admitted
+	// request is either counted by reqWG.Wait or typed-rejected.
+	drainMu sync.RWMutex
+
+	mu         sync.Mutex
+	ln         net.Listener
+	sessions   map[int64]*session
+	sessionSeq int64
+
+	connWG sync.WaitGroup // one per accepted connection
+	reqWG  sync.WaitGroup // one per admitted request
+
+	sessionsTotal  atomic.Uint64
+	handshakeFails atomic.Uint64
+	requests       atomic.Uint64
+	appErrors      atomic.Uint64
+	rejOverload    atomic.Uint64
+	rejDraining    atomic.Uint64
+	rejDeadline    atomic.Uint64
+	rejForeign     atomic.Uint64
+	rejSession     atomic.Uint64
+	bytesIn        atomic.Uint64
+	bytesOut       atomic.Uint64
+}
+
+// New builds a gateway over an already-booted partitioned world.
+func New(opts Options) (*Server, error) {
+	if opts.World == nil {
+		return nil, errors.New("serve: Options.World is required")
+	}
+	if opts.World.Mode() != world.ModePartitioned {
+		return nil, fmt.Errorf("serve: world mode %v, need %v", opts.World.Mode(), world.ModePartitioned)
+	}
+	if opts.Platform == nil {
+		return nil, errors.New("serve: Options.Platform is required")
+	}
+	o := opts.withDefaults()
+	srv := &Server{
+		opts:     o,
+		w:        o.World,
+		adm:      newAdmission(o.MaxInFlight, o.QueueDepth),
+		drainCh:  make(chan struct{}),
+		sessions: make(map[int64]*session),
+	}
+	if len(o.Classes) > 0 {
+		srv.allowed = make(map[string]bool, len(o.Classes))
+		for _, c := range o.Classes {
+			srv.allowed[c] = true
+		}
+	}
+	return srv, nil
+}
+
+// Measurement returns the served enclave's measurement — what clients
+// must expect when verifying the handshake quote.
+func (srv *Server) Measurement() [32]byte {
+	return srv.w.Enclave().Measurement()
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// when the listener was closed by Shutdown.
+func (srv *Server) Serve(ln net.Listener) error {
+	srv.mu.Lock()
+	srv.ln = ln
+	srv.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if srv.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		srv.connWG.Add(1)
+		go func() {
+			defer srv.connWG.Done()
+			srv.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. Addr returns the bound
+// address once serving starts.
+func (srv *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (srv *Server) Addr() net.Addr {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.ln == nil {
+		return nil
+	}
+	return srv.ln.Addr()
+}
+
+// Shutdown drains the gateway: it stops accepting, rejects new work
+// with ErrDraining, waits (bounded by ctx) for in-flight requests,
+// tears down every session through the GC-release path, and flushes the
+// world's batching queues, surfacing any batched-call errors — the
+// failure mode World.Close used to swallow.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	if !srv.draining.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	close(srv.drainCh)
+	// Barrier: after this, every new request observes draining before it
+	// could join reqWG, so the Wait below cannot race an Add.
+	srv.drainMu.Lock()
+	srv.drainMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	srv.mu.Lock()
+	ln := srv.ln
+	srv.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	// Wait for admitted requests to finish (new ones are rejected).
+	done := make(chan struct{})
+	go func() {
+		srv.reqWG.Wait()
+		close(done)
+	}()
+	var ctxErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+	}
+
+	// Close every session connection; read loops exit and tear down
+	// their namespaces through the GC-release path.
+	srv.mu.Lock()
+	open := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		open = append(open, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range open {
+		s.closeConn()
+	}
+	srv.connWG.Wait()
+
+	// Surface batched-call errors from the final flush instead of
+	// dropping them (the CloseErr contract).
+	return errors.Join(ctxErr, srv.w.Flush())
+}
+
+// Stats snapshots the gateway counters.
+func (srv *Server) Stats() Stats {
+	srv.mu.Lock()
+	live := len(srv.sessions)
+	srv.mu.Unlock()
+	return Stats{
+		Sessions:          live,
+		SessionsTotal:     srv.sessionsTotal.Load(),
+		HandshakeFailures: srv.handshakeFails.Load(),
+		Requests:          srv.requests.Load(),
+		AppErrors:         srv.appErrors.Load(),
+		InFlight:          srv.adm.current(),
+		PeakInFlight:      srv.adm.peakInFlight(),
+		RejectedOverload:  srv.rejOverload.Load(),
+		RejectedDraining:  srv.rejDraining.Load(),
+		RejectedDeadline:  srv.rejDeadline.Load(),
+		RejectedForeign:   srv.rejForeign.Load(),
+		RejectedSession:   srv.rejSession.Load(),
+		BytesIn:           srv.bytesIn.Load(),
+		BytesOut:          srv.bytesOut.Load(),
+	}
+}
+
+// checkClass validates that a class is instantiable through the gateway.
+func (srv *Server) checkClass(name string) error {
+	if classmodel.IsBuiltin(name) {
+		return fmt.Errorf("%w: builtin class %q", ErrBadRequest, name)
+	}
+	if srv.allowed != nil && !srv.allowed[name] {
+		return fmt.Errorf("%w: class %q not served", ErrBadRequest, name)
+	}
+	prog := srv.w.Untrusted().Image().Program()
+	if _, ok := prog.Class(name); !ok {
+		return fmt.Errorf("%w: unknown class %q", ErrBadRequest, name)
+	}
+	return nil
+}
+
+// handleConn runs the attestation handshake and, on success, the
+// session's serving loop. Any handshake failure counts once and drops
+// the connection.
+func (srv *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	s, err := srv.handshake(conn)
+	if err != nil {
+		if !errors.Is(err, ErrDraining) && !errors.Is(err, ErrSessionLimit) {
+			srv.handshakeFails.Add(1)
+			srv.opts.Logf("serve: handshake from %v: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	defer srv.dropSession(s)
+	s.loop()
+}
+
+// handshake performs the server side of the attested key exchange:
+//
+//	C→S  hello   (client X25519 public key, nonce)            plaintext
+//	S→C  attest  (server X25519 public key, SGX quote whose
+//	             report data hashes the key-exchange transcript) plaintext
+//	C→S  ack                                                   sealed
+//	S→C  ready   (session id)                                  sealed
+//
+// The quote binds the server's ephemeral key and the client's nonce to
+// the enclave measurement; the session key is derived from the ECDH
+// shared secret and that attested transcript, so a verified handshake
+// yields a channel that terminates inside the quoted enclave identity.
+func (srv *Server) handshake(conn net.Conn) (*session, error) {
+	deadline := time.Now().Add(srv.opts.HandshakeTimeout)
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+
+	buf, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: hello: %v", ErrHandshake, err)
+	}
+	clientPub, nonce, err := decodeHello(buf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-attestation refusals are plaintext: no channel exists yet.
+	if srv.draining.Load() {
+		srv.rejDraining.Add(1)
+		_, _ = writeFrame(conn, encodeReject(statusDraining))
+		return nil, ErrDraining
+	}
+	srv.mu.Lock()
+	if len(srv.sessions) >= srv.opts.MaxSessions {
+		srv.mu.Unlock()
+		srv.rejSession.Add(1)
+		_, _ = writeFrame(conn, encodeReject(statusSession))
+		return nil, ErrSessionLimit
+	}
+	srv.sessionSeq++
+	sid := srv.sessionSeq
+	srv.mu.Unlock()
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("%w: keygen: %v", ErrHandshake, err)
+	}
+	peer, err := ecdh.X25519().NewPublicKey(clientPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: client key: %v", ErrHandshake, err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ecdh: %v", ErrHandshake, err)
+	}
+	report := transcriptHash(clientPub, priv.PublicKey().Bytes(), nonce)
+	quote, err := srv.opts.Platform.Quote(srv.w.Enclave(), report)
+	if err != nil {
+		return nil, fmt.Errorf("%w: quote: %v", ErrHandshake, err)
+	}
+	if _, err := writeFrame(conn, encodeAttest(priv.PublicKey().Bytes(), quote)); err != nil {
+		return nil, fmt.Errorf("%w: attest: %v", ErrHandshake, err)
+	}
+
+	ciph, err := newSessionCipher(sessionKey(shared, report), false)
+	if err != nil {
+		return nil, fmt.Errorf("%w: cipher: %v", ErrHandshake, err)
+	}
+	// The sealed ack proves the client derived the same key, i.e. it
+	// really holds the private half of the hello it sent.
+	buf, err = readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ack: %v", ErrHandshake, err)
+	}
+	plain, err := ciph.open(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeAck(plain); err != nil {
+		return nil, err
+	}
+	if _, err := writeFrame(conn, ciph.seal(encodeReady(sid))); err != nil {
+		return nil, fmt.Errorf("%w: ready: %v", ErrHandshake, err)
+	}
+
+	s := newSession(srv, sid, conn, ciph)
+	srv.mu.Lock()
+	if srv.draining.Load() {
+		srv.mu.Unlock()
+		return nil, ErrDraining
+	}
+	srv.sessions[sid] = s
+	srv.mu.Unlock()
+	srv.sessionsTotal.Add(1)
+	return s, nil
+}
+
+// dropSession unregisters a session and releases its objects.
+func (srv *Server) dropSession(s *session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s.id)
+	srv.mu.Unlock()
+	s.teardown()
+}

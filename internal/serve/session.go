@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/registry"
+	"montsalvat/internal/wire"
+)
+
+// session is one attested client connection. It owns a private handle
+// namespace: object references cross the wire as session-local handles,
+// never as world identity hashes, and a handle from another session is
+// rejected (ErrForeignRef) before it can touch the world.
+type session struct {
+	id   int64
+	srv  *Server
+	conn net.Conn
+	ns   *registry.Namespace
+
+	writeMu sync.Mutex // serialises response writes and the send counter
+	ciph    *sessionCipher
+
+	inflight  atomic.Int64 // per-session admitted requests
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+func newSession(srv *Server, id int64, conn net.Conn, ciph *sessionCipher) *session {
+	return &session{
+		id:   id,
+		srv:  srv,
+		conn: conn,
+		ns:   registry.NewNamespace(),
+		ciph: ciph,
+	}
+}
+
+func (s *session) closeConn() {
+	s.closeOnce.Do(func() { _ = s.conn.Close() })
+}
+
+// loop reads sealed request frames until the connection drops. Requests
+// execute on their own goroutines once admitted; admission itself runs
+// on the loop goroutine, so a saturated gateway back-pressures the
+// session's reads (bounding this session's queued work to one request).
+func (s *session) loop() {
+	defer s.wg.Wait() // in-flight replies need the connection state
+	for {
+		payload, err := readFrame(s.conn)
+		if err != nil {
+			return
+		}
+		s.srv.bytesIn.Add(uint64(4 + len(payload)))
+		plain, err := s.ciph.open(payload)
+		if err != nil {
+			// Tampered or replayed traffic: the channel is no longer
+			// trustworthy, drop the session.
+			s.srv.opts.Logf("serve: session %d: %v", s.id, err)
+			return
+		}
+		req, err := decodeRequest(plain)
+		if err != nil {
+			// Content decode failed under a valid seal: report and keep
+			// the session if the request id is recoverable, else drop.
+			if req.id != 0 {
+				s.reply(req.id, response{status: statusBadRequest, message: err.Error()})
+				continue
+			}
+			return
+		}
+		s.dispatch(req)
+	}
+}
+
+// dispatch admits one request and runs it. Typed rejections
+// (overload, draining, deadline) reply immediately without executing.
+func (s *session) dispatch(req request) {
+	var deadline time.Time
+	budget := s.srv.opts.RequestTimeout
+	if req.budget > 0 && req.budget < budget {
+		budget = req.budget
+	}
+	deadline = time.Now().Add(budget)
+
+	if s.srv.draining.Load() {
+		s.srv.rejDraining.Add(1)
+		s.reply(req.id, response{status: statusDraining, message: ErrDraining.Error()})
+		return
+	}
+	if s.inflight.Load() >= int64(s.srv.opts.SessionInFlight) {
+		s.srv.rejOverload.Add(1)
+		s.reply(req.id, response{status: statusOverloaded, message: "session in-flight limit"})
+		return
+	}
+	if err := s.srv.adm.acquire(deadline, s.srv.drainCh); err != nil {
+		s.countReject(err)
+		s.reply(req.id, response{status: errStatus(err), message: err.Error()})
+		return
+	}
+	s.srv.drainMu.RLock()
+	if s.srv.draining.Load() {
+		s.srv.drainMu.RUnlock()
+		s.srv.adm.release()
+		s.srv.rejDraining.Add(1)
+		s.reply(req.id, response{status: statusDraining, message: ErrDraining.Error()})
+		return
+	}
+	s.srv.requests.Add(1)
+	s.inflight.Add(1)
+	s.wg.Add(1)
+	s.srv.reqWG.Add(1)
+	s.srv.drainMu.RUnlock()
+	go func() {
+		defer func() {
+			s.srv.adm.release()
+			s.inflight.Add(-1)
+			s.srv.reqWG.Done()
+			s.wg.Done()
+		}()
+		result, err := s.execute(req, deadline)
+		if err != nil {
+			s.countReject(err)
+			status := errStatus(err)
+			if status == statusAppError {
+				s.srv.appErrors.Add(1)
+			}
+			s.reply(req.id, response{status: status, message: err.Error()})
+			return
+		}
+		s.reply(req.id, response{status: statusOK, result: result})
+	}()
+}
+
+func (s *session) countReject(err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.srv.rejOverload.Add(1)
+	case errors.Is(err, ErrDraining):
+		s.srv.rejDraining.Add(1)
+	case errors.Is(err, ErrDeadline):
+		s.srv.rejDeadline.Add(1)
+	case errors.Is(err, ErrForeignRef):
+		s.srv.rejForeign.Add(1)
+	}
+}
+
+// reply seals and writes one response frame.
+func (s *session) reply(id int64, r response) {
+	r.id = id
+	plain := encodeResponse(r)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_ = s.conn.SetWriteDeadline(time.Now().Add(s.srv.opts.WriteTimeout))
+	n, err := writeFrame(s.conn, s.ciph.seal(plain))
+	_ = s.conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		// The read loop will observe the broken connection and tear the
+		// session down; nothing more to do here.
+		s.closeConn()
+		return
+	}
+	s.srv.bytesOut.Add(uint64(n))
+}
+
+// execute runs one admitted request against the world. All object
+// traffic goes through the session namespace; the world only ever sees
+// hashes this session legitimately owns.
+func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
+	if time.Now().After(deadline) {
+		return wire.Value{}, ErrDeadline
+	}
+	switch req.op {
+	case opPing:
+		return wire.Null(), nil
+
+	case opRelease:
+		e, ok := s.ns.Remove(req.handle)
+		if !ok {
+			return wire.Value{}, ErrForeignRef
+		}
+		// Unpinning makes the object collectable; the mirror is freed by
+		// the regular GC-release path (next sweep), not synchronously.
+		if err := s.srv.w.Untrusted().Unpin(wire.Ref(e.Class, e.Hash)); err != nil {
+			return wire.Value{}, &AppError{Msg: err.Error()}
+		}
+		return wire.Null(), nil
+
+	case opNew:
+		if err := s.srv.checkClass(req.class); err != nil {
+			return wire.Value{}, err
+		}
+		args, err := s.importValues(req.args)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		var out wire.Value
+		err = s.srv.w.Exec(false, func(env classmodel.Env) error {
+			v, err := env.New(req.class, args...)
+			if err != nil {
+				return err
+			}
+			out, err = s.exportValue(v)
+			return err
+		})
+		if err != nil {
+			return wire.Value{}, appErr(err)
+		}
+		return out, nil
+
+	case opCall:
+		e, ok := s.ns.Lookup(req.handle)
+		if !ok {
+			return wire.Value{}, ErrForeignRef
+		}
+		args, err := s.importValues(req.args)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		var out wire.Value
+		err = s.srv.w.Exec(false, func(env classmodel.Env) error {
+			v, err := env.Call(wire.Ref(e.Class, e.Hash), req.method, args...)
+			if err != nil {
+				return err
+			}
+			out, err = s.exportValue(v)
+			return err
+		})
+		if err != nil {
+			return wire.Value{}, appErr(err)
+		}
+		return out, nil
+	}
+	return wire.Value{}, ErrBadRequest
+}
+
+// appErr passes gateway sentinels through and wraps anything else as an
+// application error.
+func appErr(err error) error {
+	if errors.Is(err, ErrForeignRef) || errors.Is(err, ErrBadRequest) || errors.Is(err, ErrDeadline) {
+		return err
+	}
+	return &AppError{Msg: err.Error()}
+}
+
+// importValues translates request arguments from session handles to
+// world refs, rejecting handles this namespace never issued.
+func (s *session) importValues(vals []wire.Value) ([]wire.Value, error) {
+	out := make([]wire.Value, len(vals))
+	for i, v := range vals {
+		iv, err := s.importValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = iv
+	}
+	return out, nil
+}
+
+func (s *session) importValue(v wire.Value) (wire.Value, error) {
+	switch v.Kind() {
+	case wire.KindRef:
+		_, handle, _ := v.AsRef()
+		e, ok := s.ns.Lookup(handle)
+		if !ok {
+			return wire.Value{}, ErrForeignRef
+		}
+		return wire.Ref(e.Class, e.Hash), nil
+	case wire.KindList:
+		vs, _ := v.AsList()
+		out := make([]wire.Value, len(vs))
+		for i, el := range vs {
+			iv, err := s.importValue(el)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out[i] = iv
+		}
+		return wire.List(out...), nil
+	case wire.KindMap:
+		pairs, _ := v.AsMap()
+		out := make([]wire.Pair, len(pairs))
+		for i, p := range pairs {
+			iv, err := s.importValue(p.Val)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out[i] = wire.Pair{Key: p.Key, Val: iv}
+		}
+		return wire.Map(out...), nil
+	default:
+		return v, nil
+	}
+}
+
+// exportValue translates a result for the wire: every object ref is
+// pinned (so it survives the Exec frame's release) and renamed to a
+// session handle. Must run inside the Exec frame, while the frame still
+// retains the object. An object the namespace already names keeps its
+// canonical handle and the duplicate pin is dropped.
+func (s *session) exportValue(v wire.Value) (wire.Value, error) {
+	switch v.Kind() {
+	case wire.KindRef:
+		class, hash, _ := v.AsRef()
+		rt := s.srv.w.Untrusted()
+		if err := rt.Pin(v); err != nil {
+			return wire.Value{}, err
+		}
+		handle, added := s.ns.Add(class, hash)
+		if !added {
+			// Duplicate (or a namespace drained by teardown racing this
+			// request): keep exactly one retention per live handle.
+			if err := rt.Unpin(v); err != nil {
+				return wire.Value{}, err
+			}
+			if handle == 0 {
+				return wire.Value{}, ErrDraining
+			}
+		}
+		return wire.Ref(class, handle), nil
+	case wire.KindList:
+		vs, _ := v.AsList()
+		out := make([]wire.Value, len(vs))
+		for i, el := range vs {
+			ev, err := s.exportValue(el)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out[i] = ev
+		}
+		return wire.List(out...), nil
+	case wire.KindMap:
+		pairs, _ := v.AsMap()
+		out := make([]wire.Pair, len(pairs))
+		for i, p := range pairs {
+			ev, err := s.exportValue(p.Val)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out[i] = wire.Pair{Key: p.Key, Val: ev}
+		}
+		return wire.Map(out...), nil
+	default:
+		return v, nil
+	}
+}
+
+// teardown releases everything the session owns: the namespace drains,
+// each retained object is unpinned, and a collect + sweep pushes the
+// freed proxies through the existing GC-release path so their mirrors
+// (and any enclave-side state) are reclaimed. Runs after the read loop
+// and all in-flight requests have finished.
+func (s *session) teardown() {
+	s.closeConn()
+	s.wg.Wait()
+	entries := s.ns.Drain()
+	if len(entries) == 0 {
+		return
+	}
+	rt := s.srv.w.Untrusted()
+	for _, e := range entries {
+		if err := rt.Unpin(wire.Ref(e.Class, e.Hash)); err != nil {
+			s.srv.opts.Logf("serve: session %d unpin %s#%d: %v", s.id, e.Class, e.Handle, err)
+		}
+	}
+	if err := rt.Collect(); err != nil {
+		s.srv.opts.Logf("serve: session %d collect: %v", s.id, err)
+		return
+	}
+	if err := s.srv.w.SweepOnce(rt); err != nil {
+		s.srv.opts.Logf("serve: session %d sweep: %v", s.id, err)
+	}
+}

@@ -130,6 +130,13 @@ func (e *Enclave) Unseal(secret PlatformSecret, policy SealPolicy, blob, additio
 	return plain, nil
 }
 
+// NewChannelAEAD builds an AES-256-GCM AEAD over a negotiated channel
+// key, for secure sessions established against an attested enclave
+// (e.g. the enclave gateway). Callers own nonce discipline.
+func NewChannelAEAD(key [32]byte) (cipher.AEAD, error) {
+	return newSealAEAD(key)
+}
+
 func newSealAEAD(key [32]byte) (cipher.AEAD, error) {
 	block, err := aes.NewCipher(key[:])
 	if err != nil {

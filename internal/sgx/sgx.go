@@ -371,6 +371,18 @@ func NewPlatform() (*Platform, error) {
 	return &p, nil
 }
 
+// NewPlatformFromSeed derives the attestation key from a seed, so two
+// processes (an enclave gateway and its remote clients) can model sharing
+// one attestation infrastructure: quotes issued under a seed verify only
+// against a platform built from the same seed.
+func NewPlatformFromSeed(seed []byte) *Platform {
+	var p Platform
+	h := hmac.New(sha256.New, []byte("sgx-attestation-platform-v1"))
+	h.Write(seed)
+	copy(p.key[:], h.Sum(nil))
+	return &p
+}
+
 // Quote produces an attestation quote for an initialized enclave.
 func (p *Platform) Quote(e *Enclave, reportData []byte) (Quote, error) {
 	e.mu.Lock()

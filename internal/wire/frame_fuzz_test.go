@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hardens the batched-transition frame decoder the same
+// way FuzzUnmarshal hardens the value decoder: frames cross the enclave
+// boundary, so arbitrary input must never panic or over-allocate, and a
+// decoded frame must re-encode canonically.
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		{0},
+		{1},
+		{0xff, 0xff, 0xff, 0xff, 0x0f}, // huge call count, no payload
+		MarshalFrame(nil),
+		MarshalFrame([]FrameCall{{Class: "Account", Method: "relay$set", Hash: -1, Args: MarshalList([]Value{Int(7)})}}),
+		MarshalFrame([]FrameCall{
+			{Class: "KV", Method: "relay$put", Hash: 1 << 40, Args: MarshalList([]Value{Str("k"), Bytes([]byte{1, 2})})},
+			{Class: "", Method: "<gc-release>", Hash: 0, Args: nil},
+		}),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		calls, err := UnmarshalFrame(data)
+		if err != nil {
+			return
+		}
+		// Varint encodings are not unique (the decoder accepts padded
+		// forms), so the invariant is semantic: re-encoding decodes to
+		// the same calls, and the re-encoded form is a fixed point.
+		re := MarshalFrame(calls)
+		calls2, err := UnmarshalFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(calls2) != len(calls) {
+			t.Fatalf("re-decode count %d != %d", len(calls2), len(calls))
+		}
+		for i := range calls {
+			if calls2[i].Class != calls[i].Class || calls2[i].Method != calls[i].Method ||
+				calls2[i].Hash != calls[i].Hash || !bytes.Equal(calls2[i].Args, calls[i].Args) {
+				t.Fatalf("round trip call %d: %+v != %+v", i, calls2[i], calls[i])
+			}
+		}
+		if re2 := MarshalFrame(calls2); !bytes.Equal(re2, re) {
+			t.Fatalf("re-encode not stable: %x != %x", re2, re)
+		}
+	})
+}
+
+// TestFrameCorruptInputs pins down the error behaviour of the frame
+// decoder on specific malformed shapes — the named cousins of the random
+// truncation loop in TestFrameErrors.
+func TestFrameCorruptInputs(t *testing.T) {
+	valid := MarshalFrame([]FrameCall{
+		{Class: "Account", Method: "relay$set", Hash: 9, Args: MarshalList([]Value{Int(1)})},
+	})
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"count without calls", []byte{3}},
+		{"huge count no payload", []byte{0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"unterminated count varint", []byte{0x80, 0x80, 0x80}},
+		{"class length overruns", []byte{1, 0x20, 'A'}},
+		{"huge class length", append([]byte{1}, 0xff, 0xff, 0xff, 0xff, 0x0f)},
+		{"missing method", []byte{1, 1, 'C'}},
+		{"missing hash", []byte{1, 1, 'C', 1, 'm'}},
+		{"missing args", []byte{1, 1, 'C', 1, 'm', 0x02}},
+		{"args length overruns", []byte{1, 1, 'C', 1, 'm', 0x02, 0x7f, 0x01}},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xAA)},
+		{"second call truncated", bytes.Replace(valid, []byte{1}, []byte{2}, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalFrame(tc.buf); err == nil {
+				t.Fatalf("corrupt frame %x accepted", tc.buf)
+			}
+		})
+	}
+}
+
+// TestFrameCountClamp checks the allocation clamp: a frame announcing an
+// absurd call count must fail on the missing payload without first
+// allocating storage for the announced count.
+func TestFrameCountClamp(t *testing.T) {
+	// Announces 2^32 calls with a 1-byte payload. clampCount bounds the
+	// preallocation by the remaining bytes; decode must error, not OOM.
+	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x10, 0x00}
+	if _, err := UnmarshalFrame(buf); err == nil {
+		t.Fatal("frame with 2^32 announced calls accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package world_test
+
+import (
+	"testing"
+	"time"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/world"
+)
+
+// TestCloseErrSurfacesFlushResult: CloseErr is Close with the final
+// flush error surfaced; on a healthy world it must be nil, and the world
+// is unusable afterwards.
+func TestCloseErrSurfacesFlushResult(t *testing.T) {
+	w, _, err := core.NewPartitionedWorld(demo.MustBankProgram(), world.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewPartitionedWorld: %v", err)
+	}
+	if _, err := w.RunMain(); err != nil {
+		t.Fatalf("RunMain: %v", err)
+	}
+	if err := w.CloseErr(); err != nil {
+		t.Fatalf("CloseErr: %v", err)
+	}
+	// The enclave is destroyed: trusted execution must now fail.
+	if err := w.Exec(true, func(env classmodel.Env) error { return nil }); err == nil {
+		t.Fatal("trusted Exec after CloseErr succeeded")
+	}
+}
+
+// TestGCHelperIntervalOption: a positive Options.GCHelperInterval
+// overrides the platform config, and sweep statistics report helper
+// activity (sweep count and released proxies) without manual SweepOnce
+// calls.
+func TestGCHelperIntervalOption(t *testing.T) {
+	opts := world.DefaultOptions()
+	opts.GCHelperInterval = time.Millisecond
+	w, _, err := core.NewPartitionedWorld(demo.MustBankProgram(), opts)
+	if err != nil {
+		t.Fatalf("NewPartitionedWorld: %v", err)
+	}
+	defer w.Close()
+	w.StartGCHelpers()
+
+	// Create proxy garbage: run main, whose frame-held proxies become
+	// unreachable when the activation ends.
+	if _, err := w.RunMain(); err != nil {
+		t.Fatalf("RunMain: %v", err)
+	}
+	if err := w.Untrusted().Collect(); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := w.Stats()
+		if st.UntrustedSweeps.Sweeps > 0 && st.UntrustedSweeps.Released > 0 {
+			if st.UntrustedSweeps.LastSweep.IsZero() {
+				t.Fatal("LastSweep not recorded")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("helper sweeps not observed: %+v", st.UntrustedSweeps)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSweepStatsManual: SweepOnce accounts into the runtime's sweep
+// stats even without helpers.
+func TestSweepStatsManual(t *testing.T) {
+	w, _, err := core.NewPartitionedWorld(demo.MustBankProgram(), world.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewPartitionedWorld: %v", err)
+	}
+	defer w.Close()
+	if _, err := w.RunMain(); err != nil {
+		t.Fatalf("RunMain: %v", err)
+	}
+	rt := w.Untrusted()
+	if err := rt.Collect(); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if err := w.SweepOnce(rt); err != nil {
+		t.Fatalf("SweepOnce: %v", err)
+	}
+	st := rt.SweepStats()
+	if st.Sweeps == 0 {
+		t.Fatalf("Sweeps = 0 after SweepOnce: %+v", st)
+	}
+	if st.Released == 0 || st.LastReleased == 0 {
+		t.Fatalf("no released proxies recorded: %+v", st)
+	}
+	if time.Since(st.LastSweep) > time.Minute {
+		t.Fatalf("LastSweep stale: %v", st.LastSweep)
+	}
+}

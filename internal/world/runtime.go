@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"montsalvat/internal/boundary"
 	"montsalvat/internal/classmodel"
@@ -35,6 +36,24 @@ type RuntimeStats struct {
 	WeakListLen  int
 }
 
+// SweepStats describes the GC helper's sweep activity over one runtime's
+// weak list: how often it ran, how much it reclaimed, and when it last
+// fired — the observability needed to tune Options.GCHelperInterval
+// under many concurrent gateway sessions.
+type SweepStats struct {
+	// Sweeps counts completed weak-list scans (helper ticks plus
+	// explicit SweepOnce calls).
+	Sweeps uint64
+	// Released is the total number of dead proxies whose mirrors were
+	// released in the opposite registry.
+	Released uint64
+	// LastReleased is the dead-proxy count of the most recent sweep.
+	LastReleased int
+	// LastSweep is when the most recent sweep completed (zero until the
+	// first sweep).
+	LastSweep time.Time
+}
+
 // Runtime is one side of the partitioned application: an isolate loaded
 // from a native image plus the RMI bookkeeping of §5.2/§5.5.
 type Runtime struct {
@@ -59,6 +78,29 @@ type Runtime struct {
 	remoteOut  uint64
 	proxiesNew uint64
 	marshalled uint64
+
+	// sweepMu guards the helper-sweep statistics (the GC helper and
+	// stats readers race).
+	sweepMu sync.Mutex
+	sweeps  SweepStats
+}
+
+// recordSweep accounts one completed weak-list sweep and the number of
+// dead proxies it found.
+func (rt *Runtime) recordSweep(dead int) {
+	rt.sweepMu.Lock()
+	rt.sweeps.Sweeps++
+	rt.sweeps.Released += uint64(dead)
+	rt.sweeps.LastReleased = dead
+	rt.sweeps.LastSweep = time.Now()
+	rt.sweepMu.Unlock()
+}
+
+// SweepStats snapshots the runtime's GC-helper sweep statistics.
+func (rt *Runtime) SweepStats() SweepStats {
+	rt.sweepMu.Lock()
+	defer rt.sweepMu.Unlock()
+	return rt.sweeps
 }
 
 // objEntry is a reference-counted strong handle in the local object

@@ -104,6 +104,11 @@ type Options struct {
 	NumTCS int
 	// Signer signs the trusted image (generated when nil).
 	Signer *sgx.Signer
+	// GCHelperInterval overrides Cfg.GCHelperInterval when positive: the
+	// scan period of the GC helper threads. Long-lived servers with many
+	// sessions tune this down so released sessions' mirrors are reclaimed
+	// promptly (see World.SweepStats for observed cadence).
+	GCHelperInterval time.Duration
 }
 
 // DefaultOptions returns options suitable for tests.
@@ -135,9 +140,10 @@ type World struct {
 
 	hashCounter atomic.Int64
 
-	helperStop chan struct{}
-	helperWG   sync.WaitGroup
-	helperOn   bool
+	helperStop     chan struct{}
+	helperWG       sync.WaitGroup
+	helperOn       bool
+	helperInterval time.Duration
 
 	hostFS shim.FS
 }
@@ -248,11 +254,12 @@ func newWorld(mode Mode, opts Options) (*World, error) {
 		cfg = simcfg.ForTest()
 	}
 	return &World{
-		mode:   mode,
-		cfg:    cfg,
-		clock:  cycles.New(cfg.CPUHz, cfg.Spin),
-		bufs:   boundary.NewBufPool(),
-		hostFS: hostFS,
+		mode:           mode,
+		cfg:            cfg,
+		clock:          cycles.New(cfg.CPUHz, cfg.Spin),
+		bufs:           boundary.NewBufPool(),
+		hostFS:         hostFS,
+		helperInterval: opts.GCHelperInterval,
 	}, nil
 }
 
@@ -440,7 +447,10 @@ func (w *World) StartGCHelpers() {
 	}
 	w.helperOn = true
 	w.helperStop = make(chan struct{})
-	interval := w.cfg.GCHelperInterval
+	interval := w.helperInterval
+	if interval <= 0 {
+		interval = w.cfg.GCHelperInterval
+	}
 	if interval <= 0 {
 		interval = time.Second
 	}
@@ -515,6 +525,7 @@ func (w *World) sweep(rt *Runtime) error {
 	if err != nil {
 		return err
 	}
+	rt.recordSweep(len(dead))
 	if len(dead) == 0 {
 		return nil
 	}
@@ -637,9 +648,15 @@ func (w *World) flushQueue(rt *Runtime) error {
 }
 
 // Close flushes pending batched calls, stops helpers and worker pools,
-// and destroys the enclave.
-func (w *World) Close() {
-	_ = w.Flush() // best effort: Close has no error path
+// and destroys the enclave. Flush errors are dropped; callers that must
+// observe them (e.g. the gateway's graceful drain) use CloseErr.
+func (w *World) Close() { _ = w.CloseErr() }
+
+// CloseErr is Close with an error path: the final flush of both batching
+// queues runs first and any batched-call errors it surfaces are
+// returned, joined, after teardown completes.
+func (w *World) CloseErr() error {
+	err := w.Flush()
 	w.StopGCHelpers()
 	if w.disp != nil {
 		w.disp.Close()
@@ -647,6 +664,7 @@ func (w *World) Close() {
 	if w.enclave != nil {
 		w.enclave.Destroy()
 	}
+	return err
 }
 
 // Stats aggregates runtime statistics.
@@ -659,7 +677,13 @@ type Stats struct {
 	UntrustedHeap heap.Stats
 	Trusted       RuntimeStats
 	Untrusted     RuntimeStats
-	Shim          shim.Stats
+	// TrustedSweeps and UntrustedSweeps report the GC helpers' observed
+	// sweep cadence per runtime, so servers tuning
+	// Options.GCHelperInterval can see whether mirrors are reclaimed
+	// promptly.
+	TrustedSweeps   SweepStats
+	UntrustedSweeps SweepStats
+	Shim            shim.Stats
 }
 
 // Stats returns a snapshot of all counters.
@@ -671,6 +695,7 @@ func (w *World) Stats() Stats {
 	if w.trusted != nil {
 		s.TrustedHeap = w.trusted.HeapStats()
 		s.Trusted = w.trusted.Stats()
+		s.TrustedSweeps = w.trusted.SweepStats()
 		if ts, ok := w.trusted.fs.(*shim.TrustedShim); ok {
 			s.Shim = ts.Stats()
 		}
@@ -678,6 +703,7 @@ func (w *World) Stats() Stats {
 	if w.untrusted != nil {
 		s.UntrustedHeap = w.untrusted.HeapStats()
 		s.Untrusted = w.untrusted.Stats()
+		s.UntrustedSweeps = w.untrusted.SweepStats()
 	}
 	return s
 }
