@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-full serve-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-full serve-smoke obs-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -10,11 +10,12 @@ build:
 	$(GO) build ./...
 
 # Tier-1: full suite, vet, and a race pass over the boundary-crossing
-# packages (worker-pool mailboxes and batching queues are concurrent).
+# packages (worker-pool mailboxes, batching queues, and the telemetry
+# instruments they all publish into are concurrent).
 test:
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sgx/... ./internal/world/... ./internal/serve/...
+	$(GO) test -race ./internal/sgx/... ./internal/world/... ./internal/serve/... ./internal/telemetry/...
 
 race:
 	$(GO) test -race ./...
@@ -40,6 +41,13 @@ bench-full:
 # drain, and fail on any handshake failure or request error.
 serve-smoke:
 	$(GO) run ./cmd/montsalvat-serve -smoke -sessions 32 -requests 16
+
+# Observability check: same gateway smoke with the live introspection
+# endpoint up — the run scrapes its own /metrics and /traces and fails
+# unless the core metric families and a sampled cross-boundary trace
+# (ecall with nested ocall) are present.
+obs-smoke:
+	$(GO) run ./cmd/montsalvat-serve -smoke -sessions 16 -requests 16 -metrics-addr 127.0.0.1:0
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/

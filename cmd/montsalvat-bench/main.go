@@ -8,6 +8,7 @@
 //	montsalvat-bench -list                # list experiment IDs
 //	montsalvat-bench -quick               # reduced problem sizes
 //	montsalvat-bench -spin=false          # virtual-only cost accounting
+//	montsalvat-bench -profile-dispatch    # telemetry-instrumented dispatch profile
 //
 // With -spin (the default), simulated costs — enclave transitions, MEE
 // traffic — are charged as real busy-wait time so wall-clock measurements
@@ -39,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		spin       = fs.Bool("spin", true, "charge simulated costs as real busy-wait time")
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
 		format     = fs.String("format", "text", "output format: text or csv")
+		profile    = fs.Bool("profile-dispatch", false, "run the KV demo with full-rate telemetry and print the dispatch profile")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +57,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := bench.Options{Quick: *quick, Spin: *spin}
+	if *profile {
+		report, err := bench.DispatchProfile(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, report)
+		return nil
+	}
 	experiments := bench.All()
 	if *experiment != "all" {
 		e, err := bench.ByID(*experiment)

@@ -29,6 +29,25 @@ func TestSingleExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestProfileDispatch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-profile-dispatch", "-quick", "-spin=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dispatch profile",
+		"boundary calls by route",
+		"montsalvat_boundary_dispatch_ns",
+		"KVStore.relay$put",
+		"AuditLog.relay$record",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-experiment", "fig99"}, &sb); err == nil {

@@ -20,6 +20,22 @@ func TestSmokeMode(t *testing.T) {
 	}
 }
 
+// TestSmokeModeObservability runs the smoke with the introspection
+// endpoint up: the run must scrape its own /metrics and /traces and
+// find the core families plus a sampled nested-ocall trace.
+func TestSmokeModeObservability(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-smoke", "-sessions", "2", "-requests", "8", "-metrics-addr", "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatalf("run -smoke -metrics-addr: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"telemetry on http://", "nested ocall present", "smoke: OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestBadFlags rejects unknown flags.
 func TestBadFlags(t *testing.T) {
 	var out strings.Builder

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/telemetry"
+	"montsalvat/internal/world"
+)
+
+// DispatchProfile runs the secure KV demo workload with full-rate
+// transition telemetry attached and renders what an operator would see
+// on the live introspection endpoint: boundary calls by route, latency
+// and size distributions, and a sampled cross-boundary trace with its
+// nested ocall children. It backs the montsalvat-bench
+// -profile-dispatch flag; it is intentionally not a registered
+// experiment (the experiment list regenerates paper figures, this
+// inspects the machinery).
+func DispatchProfile(opts Options) (string, error) {
+	tel := telemetry.New(telemetry.Options{
+		TraceSampleRate: 1,
+		TraceBuffer:     4096,
+		Seed:            1,
+	})
+	wopts := world.DefaultOptions()
+	wopts.Cfg = opts.Config()
+	wopts.Telemetry = tel
+	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), wopts)
+	if err != nil {
+		return "", err
+	}
+	defer w.Close()
+
+	m := startMeter(w.Clock())
+	if _, err := w.RunMain(); err != nil {
+		return "", err
+	}
+	if err := w.SweepOnce(w.Untrusted()); err != nil {
+		return "", err
+	}
+	elapsed := m.elapsed()
+
+	snap := tel.Registry().Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== dispatch profile: secure KV demo (%d requests) ==\n", demo.KVRequests)
+	fmt.Fprintf(&sb, "elapsed             %v\n\n", elapsed.Round(time.Microsecond))
+
+	sb.WriteString("boundary calls by route\n")
+	routes := make([]string, 0, 4)
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "montsalvat_boundary_calls_total{") {
+			routes = append(routes, name)
+		}
+	}
+	sort.Strings(routes)
+	for _, name := range routes {
+		fmt.Fprintf(&sb, "  %-44s %d\n", name, snap.Counters[name])
+	}
+	fmt.Fprintf(&sb, "  %-44s %d\n", "montsalvat_sgx_ecalls_total", snap.Counters["montsalvat_sgx_ecalls_total"])
+	fmt.Fprintf(&sb, "  %-44s %d\n", "montsalvat_sgx_ocalls_total", snap.Counters["montsalvat_sgx_ocalls_total"])
+
+	sb.WriteString("\nlatency and size distributions\n")
+	for _, h := range []struct{ name, unit string }{
+		{"montsalvat_boundary_dispatch_ns", "ns"},
+		{"montsalvat_boundary_body_cycles", "cycles"},
+		{"montsalvat_boundary_marshal_bytes", "bytes"},
+	} {
+		hs, ok := snap.Histograms[h.name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-36s n=%-6d p50=%-8d p95=%-8d p99=%-8d max=%d %s\n",
+			h.name, hs.Count, hs.P50, hs.P95, hs.P99, hs.Max, h.unit)
+	}
+
+	sb.WriteString("\nsampled trace (one put ecall with its nested audit ocall)\n")
+	writeProfileTrace(&sb, tel.Tracer().Dump())
+	return sb.String(), nil
+}
+
+// writeProfileTrace picks the last relay root that has children and
+// renders its span tree, oldest child first.
+func writeProfileTrace(sb *strings.Builder, spans []telemetry.Span) {
+	children := make(map[uint64][]telemetry.Span, len(spans))
+	for _, sp := range spans {
+		if sp.ParentID != 0 {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		}
+	}
+	var root *telemetry.Span
+	for i := range spans {
+		sp := &spans[i]
+		if sp.ParentID == 0 && len(children[sp.SpanID]) > 0 {
+			root = sp // keep the newest qualifying root
+		}
+	}
+	if root == nil {
+		sb.WriteString("  (no sampled trace with nested spans in the ring)\n")
+		return
+	}
+	var render func(sp telemetry.Span, depth int)
+	render = func(sp telemetry.Span, depth int) {
+		fmt.Fprintf(sb, "  %s%s dir=%s route=%s bytes=%d cycles=%d span=%x parent=%x\n",
+			strings.Repeat("  ", depth), sp.Name, sp.Dir, sp.Route,
+			sp.MarshalBytes, sp.BodyCycles, sp.SpanID, sp.ParentID)
+		kids := children[sp.SpanID]
+		sort.Slice(kids, func(a, b int) bool { return kids[a].StartNS < kids[b].StartNS })
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	fmt.Fprintf(sb, "  trace %x\n", root.TraceID)
+	render(*root, 1)
+}

@@ -2,13 +2,13 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"montsalvat/internal/demo"
 	"montsalvat/internal/serve"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -80,11 +80,14 @@ func (r ServeLoadResult) String() string {
 func ServeLoad(opts ServeLoadOptions) (ServeLoadResult, error) {
 	o := opts.withDefaults()
 	type sessionOut struct {
-		latencies []time.Duration
 		errors    int
 		handshake bool // failed to attest
 		fatal     error
 	}
+	// All sessions observe into one concurrent histogram; percentiles
+	// come from its buckets instead of a sorted slice, so memory stays
+	// fixed regardless of request count.
+	hist := telemetry.NewHistogram()
 	outs := make([]sessionOut, o.Sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -105,7 +108,6 @@ func ServeLoad(opts ServeLoadOptions) (ServeLoadResult, error) {
 				out.fatal = err
 				return
 			}
-			out.latencies = make([]time.Duration, 0, o.Requests)
 			for r := 0; r < o.Requests; r++ {
 				key := wire.Str(fmt.Sprintf("s%d:key-%04d", i, r%32))
 				t0 := time.Now()
@@ -119,7 +121,7 @@ func ServeLoad(opts ServeLoadOptions) (ServeLoadResult, error) {
 					out.errors++
 					continue
 				}
-				out.latencies = append(out.latencies, lat)
+				hist.ObserveDuration(lat)
 			}
 			_ = c.Release(store)
 		}(i)
@@ -130,7 +132,6 @@ func ServeLoad(opts ServeLoadOptions) (ServeLoadResult, error) {
 	var res ServeLoadResult
 	res.Sessions = o.Sessions
 	res.Elapsed = elapsed
-	var all []time.Duration
 	var firstFatal error
 	for i := range outs {
 		out := &outs[i]
@@ -141,33 +142,19 @@ func ServeLoad(opts ServeLoadOptions) (ServeLoadResult, error) {
 			firstFatal = out.fatal
 		}
 		res.Errors += out.errors
-		all = append(all, out.latencies...)
 	}
-	res.Requests = len(all)
+	res.Requests = int(hist.Count())
 	if elapsed > 0 {
 		res.Throughput = float64(res.Requests) / elapsed.Seconds()
 	}
-	if len(all) > 0 {
-		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-		res.P50 = percentile(all, 50)
-		res.P95 = percentile(all, 95)
-		res.P99 = percentile(all, 99)
-		res.Max = all[len(all)-1]
+	if res.Requests > 0 {
+		res.P50 = hist.QuantileDuration(0.50)
+		res.P95 = hist.QuantileDuration(0.95)
+		res.P99 = hist.QuantileDuration(0.99)
+		res.Max = time.Duration(hist.Max())
 	}
 	if res.Requests == 0 && firstFatal != nil {
 		return res, firstFatal
 	}
 	return res, nil
-}
-
-// percentile returns the p-th percentile of sorted latencies.
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := (len(sorted)*p + 99) / 100
-	if idx > 0 {
-		idx--
-	}
-	return sorted[idx]
 }

@@ -25,10 +25,12 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"montsalvat/internal/cycles"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/simcfg"
+	"montsalvat/internal/telemetry"
 )
 
 // Transport performs full enclave transitions. *sgx.Enclave satisfies
@@ -74,6 +76,12 @@ type Dispatcher struct {
 	full       atomic.Uint64
 	switchless atomic.Uint64
 	fallback   atomic.Uint64
+
+	// Telemetry instruments, resolved once by SetTelemetry. All nil when
+	// observability is off; every use is nil-safe, so the disabled cost
+	// is one pointer comparison per call.
+	hDispatchNS *telemetry.Histogram
+	hBodyCycles *telemetry.Histogram
 }
 
 // NewDispatcher builds a dispatcher over a transport. The clock feeds
@@ -96,19 +104,56 @@ func (d *Dispatcher) UsePools(ecallPool, ocallPool Pool) {
 	d.ocallPool = ocallPool
 }
 
+// SetTelemetry attaches a metrics registry. The dispatcher resolves its
+// instruments once here; the routing counters themselves stay private
+// atomics and are absorbed by a collector at scrape time (see
+// world.initTelemetry), so the hot path gains no extra writes.
+func (d *Dispatcher) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.hDispatchNS = reg.Histogram("montsalvat_boundary_dispatch_ns")
+	d.hBodyCycles = reg.Histogram("montsalvat_boundary_body_cycles")
+}
+
 // Invoke crosses the boundary in the given direction (in=true enters
 // the enclave) and runs fn on the other side. long forces a full
 // transition regardless of the adaptive policy — callers use it for
 // calls known to hold a worker for a long time (GC helper loops).
 func (d *Dispatcher) Invoke(in bool, id int, long bool, fn func() error) error {
-	wrapped := d.observed(id, fn)
+	return d.InvokeSpan(in, id, long, nil, fn)
+}
+
+// InvokeSpan is Invoke carrying an optional trace span for the
+// transition. The span (nil for unsampled calls) receives the routing
+// decision, direction and routine id here, and the far-side body cost
+// from the observation wrapper; the caller owns Finish.
+func (d *Dispatcher) InvokeSpan(in bool, id int, long bool, sp *telemetry.Span, fn func() error) error {
+	sp.SetDir(in)
+	sp.SetRoutine(id)
+	var start time.Time
+	if d.hDispatchNS != nil {
+		start = time.Now()
+	}
+	err := d.route(in, id, long, sp, d.observed(id, sp, fn))
+	if d.hDispatchNS != nil {
+		d.hDispatchNS.ObserveDuration(time.Since(start))
+	}
+	return err
+}
+
+func (d *Dispatcher) route(in bool, id int, long bool, sp *telemetry.Span, wrapped func() error) error {
 	if pool := d.pool(in); pool != nil && !long && d.prefersSwitchless(id) {
 		err := pool.TryCall(id, wrapped)
 		if !errors.Is(err, sgx.ErrPoolBusy) && !errors.Is(err, sgx.ErrPoolStopped) {
 			d.switchless.Add(1)
+			sp.SetRoute("switchless")
 			return err
 		}
 		d.fallback.Add(1)
+		sp.SetRoute("fallback-full")
+	} else {
+		sp.SetRoute("full")
 	}
 	d.full.Add(1)
 	if in {
@@ -162,15 +207,19 @@ func (d *Dispatcher) prefersSwitchless(id int) bool {
 }
 
 // observed wraps fn to record its body cost (cycles charged between
-// entry and return, excluding the transition itself) into the EWMA.
-func (d *Dispatcher) observed(id int, fn func() error) func() error {
+// entry and return, excluding the transition itself) into the EWMA,
+// the body-cycles histogram and the span.
+func (d *Dispatcher) observed(id int, sp *telemetry.Span, fn func() error) func() error {
 	if d.clock == nil {
 		return fn
 	}
 	return func() error {
 		start := d.clock.Total()
 		err := fn()
-		cost := float64(d.clock.Total() - start)
+		spent := d.clock.Total() - start
+		sp.SetBodyCycles(spent)
+		d.hBodyCycles.Observe(spent)
+		cost := float64(spent)
 		d.mu.Lock()
 		if old, ok := d.avg[id]; ok {
 			d.avg[id] = old + simcfg.SwitchlessEWMAWeight*(cost-old)

@@ -3,6 +3,9 @@ package boundary
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"montsalvat/internal/telemetry"
 )
 
 // Entry is one queued cross-runtime call: the routing key (EDL routine
@@ -16,6 +19,11 @@ type Entry struct {
 	Method string
 	Hash   int64
 	Args   []byte
+
+	// EnqueuedNS is the wall clock at Enqueue, stamped only when
+	// telemetry is attached (zero otherwise) — it feeds the queue-wait
+	// histogram and batch flush spans.
+	EnqueuedNS int64
 }
 
 // Queue coalesces result-independent calls from one runtime into
@@ -36,6 +44,9 @@ type Queue struct {
 
 	flushes atomic.Uint64
 	batched atomic.Uint64
+
+	hWait *telemetry.Histogram // oldest-entry wait per flush
+	hSize *telemetry.Histogram // calls per flushed batch
 }
 
 // NewQueue builds a queue flushing through run at the given watermark.
@@ -43,10 +54,20 @@ func NewQueue(watermark int, run func([]Entry) error) *Queue {
 	return &Queue{watermark: watermark, run: run}
 }
 
+// SetTelemetry attaches the queue-wait and batch-size histograms.
+// Enqueue stamps entries with a wall clock only once these are set.
+func (q *Queue) SetTelemetry(wait, size *telemetry.Histogram) {
+	q.hWait = wait
+	q.hSize = size
+}
+
 // Enqueue appends a call, flushing first the moment the queue reaches
 // the watermark. The returned error is a flush error; the enqueued call
 // itself reports nothing until a later flush.
 func (q *Queue) Enqueue(e Entry) error {
+	if q.hWait != nil {
+		e.EnqueuedNS = time.Now().UnixNano()
+	}
 	q.mu.Lock()
 	q.pending = append(q.pending, e)
 	full := len(q.pending) >= q.watermark
@@ -72,6 +93,10 @@ func (q *Queue) Flush() error {
 	}
 	q.flushes.Add(1)
 	q.batched.Add(uint64(len(batch)))
+	q.hSize.Observe(int64(len(batch)))
+	if q.hWait != nil && batch[0].EnqueuedNS != 0 {
+		q.hWait.Observe(time.Now().UnixNano() - batch[0].EnqueuedNS)
+	}
 	return q.run(batch)
 }
 

@@ -15,6 +15,7 @@ const (
 	KVEntry    = "Entry"
 	KVStoreCls = "KVStore"
 	KVFrontEnd = "FrontEnd"
+	KVAuditLog = "AuditLog"
 )
 
 // KVRequests is the per-run request count of FrontEnd.main.
@@ -29,6 +30,9 @@ func KVProgram() (*classmodel.Program, error) {
 		return nil, err
 	}
 	if err := p.AddClass(kvStoreClass()); err != nil {
+		return nil, err
+	}
+	if err := p.AddClass(kvAuditLogClass()); err != nil {
 		return nil, err
 	}
 	if err := p.AddClass(kvFrontEndClass()); err != nil {
@@ -80,20 +84,62 @@ func kvEntryClass() *classmodel.Class {
 	return c
 }
 
+// kvAuditLogClass is an untrusted audit sink the trusted store reports
+// writes to: its record method returns the running count, so the
+// trusted→untrusted call is result-dependent and crosses the boundary
+// immediately as an ocall nested under the put ecall — the pattern the
+// transition tracer captures as a child span.
+func kvAuditLogClass() *classmodel.Class {
+	c := classmodel.NewClass(KVAuditLog, classmodel.Untrusted)
+	mustField(c, classmodel.Field{Name: "count", Kind: classmodel.FieldInt})
+
+	mustMethod(c, &classmodel.Method{
+		Name: classmodel.CtorName, Public: true,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return wire.Null(), env.SetField(self, "count", wire.Int(0))
+		},
+	})
+	mustMethod(c, &classmodel.Method{
+		Name: "record", Public: true,
+		Params:  []classmodel.Param{{Name: "k", Kind: wire.KindString}},
+		Returns: wire.KindInt,
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			v, err := env.GetField(self, "count")
+			if err != nil {
+				return wire.Null(), err
+			}
+			n, _ := v.AsInt()
+			if err := env.SetField(self, "count", wire.Int(n+1)); err != nil {
+				return wire.Null(), err
+			}
+			return wire.Int(n + 1), nil
+		},
+	})
+	return c
+}
+
 // kvStoreClass holds Entry objects in an enclave-resident list.
 func kvStoreClass() *classmodel.Class {
 	c := classmodel.NewClass(KVStoreCls, classmodel.Trusted)
 	mustField(c, classmodel.Field{Name: "entries", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
+	mustField(c, classmodel.Field{Name: "audit", Kind: classmodel.FieldRef, ClassName: KVAuditLog})
 
 	mustMethod(c, &classmodel.Method{
 		Name: classmodel.CtorName, Public: true,
-		Allocates: []string{classmodel.BuiltinList},
+		Allocates: []string{classmodel.BuiltinList, KVAuditLog},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
 			list, err := env.New(classmodel.BuiltinList)
 			if err != nil {
 				return wire.Null(), err
 			}
-			return wire.Null(), env.SetField(self, "entries", list)
+			if err := env.SetField(self, "entries", list); err != nil {
+				return wire.Null(), err
+			}
+			audit, err := env.New(KVAuditLog)
+			if err != nil {
+				return wire.Null(), err
+			}
+			return wire.Null(), env.SetField(self, "audit", audit)
 		},
 	})
 	mustMethod(c, &classmodel.Method{
@@ -109,6 +155,7 @@ func kvStoreClass() *classmodel.Class {
 			{Class: classmodel.BuiltinList, Method: "get"},
 			{Class: classmodel.BuiltinList, Method: "set"},
 			{Class: KVEntry, Method: "getkey"},
+			{Class: KVAuditLog, Method: "record"},
 		},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
 			list, err := env.GetField(self, "entries")
@@ -124,9 +171,23 @@ func kvStoreClass() *classmodel.Class {
 				return wire.Null(), err
 			}
 			if idx >= 0 {
-				return env.Call(list, "set", wire.Int(idx), e)
+				if _, err := env.Call(list, "set", wire.Int(idx), e); err != nil {
+					return wire.Null(), err
+				}
+			} else if _, err := env.Call(list, "add", e); err != nil {
+				return wire.Null(), err
 			}
-			return env.Call(list, "add", e)
+			// Report the write out to the untrusted audit log. The result
+			// dependency forces an immediate nested ocall under this
+			// (ecall-relayed) put.
+			audit, err := env.GetField(self, "audit")
+			if err != nil {
+				return wire.Null(), err
+			}
+			if _, err := env.Call(audit, "record", args[0]); err != nil {
+				return wire.Null(), err
+			}
+			return wire.Null(), nil
 		},
 	})
 	mustMethod(c, &classmodel.Method{

@@ -13,6 +13,7 @@ import (
 
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/sgx"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/world"
 )
 
@@ -52,6 +53,11 @@ type Options struct {
 	// Logf, when set, receives diagnostic messages (e.g. teardown
 	// release failures). Defaults to discarding them.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, exposes the gateway through the metrics
+	// registry: per-reason admission rejections, handshake and request
+	// latency histograms, live session/in-flight gauges. Pass the same
+	// bundle as world.Options.Telemetry so one scrape covers both layers.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o *Options) withDefaults() Options {
@@ -100,12 +106,17 @@ type Stats struct {
 	// is the high-water mark (never exceeds MaxInFlight).
 	InFlight     int
 	PeakInFlight int
-	// Typed rejection counters.
-	RejectedOverload uint64
-	RejectedDraining uint64
-	RejectedDeadline uint64
-	RejectedForeign  uint64
-	RejectedSession  uint64
+	// Typed rejection counters. RejectedOverload counts global
+	// queue/deadline overflow; RejectedSessionBusy counts requests turned
+	// away at one session's SessionInFlight cap (reported to the client
+	// as overloaded, but a distinct operator signal: one noisy client,
+	// not a saturated gateway).
+	RejectedOverload    uint64
+	RejectedDraining    uint64
+	RejectedDeadline    uint64
+	RejectedForeign     uint64
+	RejectedSession     uint64
+	RejectedSessionBusy uint64
 	// BytesIn / BytesOut count post-handshake wire traffic.
 	BytesIn  uint64
 	BytesOut uint64
@@ -145,8 +156,14 @@ type Server struct {
 	rejDeadline    atomic.Uint64
 	rejForeign     atomic.Uint64
 	rejSession     atomic.Uint64
+	rejSessionBusy atomic.Uint64
 	bytesIn        atomic.Uint64
 	bytesOut       atomic.Uint64
+
+	// Telemetry latency histograms, nil when observability is off (the
+	// counters above are absorbed by a registered collector instead).
+	hHandshake *telemetry.Histogram
+	hRequest   *telemetry.Histogram
 }
 
 // New builds a gateway over an already-booted partitioned world.
@@ -174,7 +191,34 @@ func New(opts Options) (*Server, error) {
 			srv.allowed[c] = true
 		}
 	}
+	if reg := o.Telemetry.Registry(); reg != nil {
+		srv.hHandshake = reg.Histogram("montsalvat_serve_handshake_ns")
+		srv.hRequest = reg.Histogram("montsalvat_serve_request_ns")
+		reg.RegisterCollector(srv.collectMetrics)
+	}
 	return srv, nil
+}
+
+// collectMetrics absorbs the gateway's private counters into registry
+// metrics at scrape time — the serve-layer collector mirroring the
+// world's.
+func (srv *Server) collectMetrics(reg *telemetry.Registry) {
+	s := srv.Stats()
+	reg.Gauge("montsalvat_serve_sessions_active").Set(int64(s.Sessions))
+	reg.Counter("montsalvat_serve_sessions_total").Set(s.SessionsTotal)
+	reg.Counter("montsalvat_serve_handshake_failures_total").Set(s.HandshakeFailures)
+	reg.Counter("montsalvat_serve_requests_total").Set(s.Requests)
+	reg.Counter("montsalvat_serve_app_errors_total").Set(s.AppErrors)
+	reg.Gauge("montsalvat_serve_inflight").Set(int64(s.InFlight))
+	reg.Gauge("montsalvat_serve_inflight_peak").Set(int64(s.PeakInFlight))
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "overloaded").Set(s.RejectedOverload)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "draining").Set(s.RejectedDraining)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "deadline").Set(s.RejectedDeadline)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "foreign_ref").Set(s.RejectedForeign)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "session_limit").Set(s.RejectedSession)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "session_busy").Set(s.RejectedSessionBusy)
+	reg.Counter("montsalvat_serve_bytes_in_total").Set(s.BytesIn)
+	reg.Counter("montsalvat_serve_bytes_out_total").Set(s.BytesOut)
 }
 
 // Measurement returns the served enclave's measurement — what clients
@@ -283,20 +327,21 @@ func (srv *Server) Stats() Stats {
 	live := len(srv.sessions)
 	srv.mu.Unlock()
 	return Stats{
-		Sessions:          live,
-		SessionsTotal:     srv.sessionsTotal.Load(),
-		HandshakeFailures: srv.handshakeFails.Load(),
-		Requests:          srv.requests.Load(),
-		AppErrors:         srv.appErrors.Load(),
-		InFlight:          srv.adm.current(),
-		PeakInFlight:      srv.adm.peakInFlight(),
-		RejectedOverload:  srv.rejOverload.Load(),
-		RejectedDraining:  srv.rejDraining.Load(),
-		RejectedDeadline:  srv.rejDeadline.Load(),
-		RejectedForeign:   srv.rejForeign.Load(),
-		RejectedSession:   srv.rejSession.Load(),
-		BytesIn:           srv.bytesIn.Load(),
-		BytesOut:          srv.bytesOut.Load(),
+		Sessions:            live,
+		SessionsTotal:       srv.sessionsTotal.Load(),
+		HandshakeFailures:   srv.handshakeFails.Load(),
+		Requests:            srv.requests.Load(),
+		AppErrors:           srv.appErrors.Load(),
+		InFlight:            srv.adm.current(),
+		PeakInFlight:        srv.adm.peakInFlight(),
+		RejectedOverload:    srv.rejOverload.Load(),
+		RejectedDraining:    srv.rejDraining.Load(),
+		RejectedDeadline:    srv.rejDeadline.Load(),
+		RejectedForeign:     srv.rejForeign.Load(),
+		RejectedSession:     srv.rejSession.Load(),
+		RejectedSessionBusy: srv.rejSessionBusy.Load(),
+		BytesIn:             srv.bytesIn.Load(),
+		BytesOut:            srv.bytesOut.Load(),
 	}
 }
 
@@ -320,6 +365,7 @@ func (srv *Server) checkClass(name string) error {
 // the connection.
 func (srv *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	start := time.Now()
 	s, err := srv.handshake(conn)
 	if err != nil {
 		if !errors.Is(err, ErrDraining) && !errors.Is(err, ErrSessionLimit) {
@@ -328,6 +374,7 @@ func (srv *Server) handleConn(conn net.Conn) {
 		}
 		return
 	}
+	srv.hHandshake.ObserveDuration(time.Since(start))
 	defer srv.dropSession(s)
 	s.loop()
 }

@@ -93,7 +93,10 @@ func (s *session) dispatch(req request) {
 		return
 	}
 	if s.inflight.Load() >= int64(s.srv.opts.SessionInFlight) {
-		s.srv.rejOverload.Add(1)
+		// The client sees the same overloaded status either way, but the
+		// operator-facing counter distinguishes one saturated session
+		// from a saturated gateway.
+		s.srv.rejSessionBusy.Add(1)
 		s.reply(req.id, response{status: statusOverloaded, message: "session in-flight limit"})
 		return
 	}
@@ -115,8 +118,10 @@ func (s *session) dispatch(req request) {
 	s.wg.Add(1)
 	s.srv.reqWG.Add(1)
 	s.srv.drainMu.RUnlock()
+	start := time.Now()
 	go func() {
 		defer func() {
+			s.srv.hRequest.ObserveDuration(time.Since(start))
 			s.srv.adm.release()
 			s.inflight.Add(-1)
 			s.srv.reqWG.Done()

@@ -282,6 +282,13 @@ func (e *Enclave) Ocall(id int, fn func() error) error {
 // InEnclave reports whether any enclave thread is currently executing.
 func (e *Enclave) InEnclave() bool { return e.depth.Load() > 0 }
 
+// TCSCap returns the number of TCS slots the enclave was created with.
+func (e *Enclave) TCSCap() int { return cap(e.tcs) }
+
+// TCSInUse returns how many TCS slots are currently held — by in-flight
+// ecalls and by resident switchless workers pinning a slot each.
+func (e *Enclave) TCSInUse() int { return cap(e.tcs) - len(e.tcs) }
+
 // NewMemory allocates an encrypted memory region of the given size inside
 // the enclave, counted against the configured enclave heap bound. It is
 // the backend factory for the trusted isolate's heap semispaces.

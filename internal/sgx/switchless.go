@@ -3,6 +3,7 @@ package sgx
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"montsalvat/internal/simcfg"
 )
@@ -61,13 +62,36 @@ type mailbox struct {
 
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	workers int
+	busy    atomic.Int64 // workers currently executing a request
 }
 
 func newMailbox(buffer int) *mailbox {
 	return &mailbox{
-		reqs: make(chan swReq, buffer),
-		stop: make(chan struct{}),
+		reqs:    make(chan swReq, buffer),
+		stop:    make(chan struct{}),
+		workers: buffer,
 	}
+}
+
+// stats snapshots worker occupancy for the telemetry collector.
+func (m *mailbox) stats() PoolStats {
+	return PoolStats{
+		Workers: m.workers,
+		Busy:    int(m.busy.Load()),
+		Queued:  len(m.reqs),
+	}
+}
+
+// PoolStats reports switchless-pool occupancy at one instant.
+type PoolStats struct {
+	// Workers is the resident worker count.
+	Workers int
+	// Busy is how many workers are executing a request right now.
+	Busy int
+	// Queued is how many accepted requests are waiting in the mailbox.
+	Queued int
 }
 
 // post submits a request, blocking while the mailbox is full. It returns
@@ -170,15 +194,20 @@ func (p *SwitchlessPool) worker() {
 	for {
 		select {
 		case req := <-p.mb.reqs:
+			p.mb.busy.Add(1)
 			p.e.mu.Lock()
 			p.e.ecallsByID[req.id]++
 			p.e.mu.Unlock()
 			req.reply <- req.fn()
+			p.mb.busy.Add(-1)
 		case <-p.mb.stop:
 			return
 		}
 	}
 }
+
+// Stats reports the pool's current worker occupancy.
+func (p *SwitchlessPool) Stats() PoolStats { return p.mb.stats() }
 
 // Call executes fn inside the enclave via the worker mailbox, charging
 // only the switchless hand-off cost instead of a full transition. It
@@ -246,15 +275,20 @@ func (p *HostPool) worker() {
 	for {
 		select {
 		case req := <-p.mb.reqs:
+			p.mb.busy.Add(1)
 			p.e.mu.Lock()
 			p.e.ocallsByID[req.id]++
 			p.e.mu.Unlock()
 			req.reply <- req.fn()
+			p.mb.busy.Add(-1)
 		case <-p.mb.stop:
 			return
 		}
 	}
 }
+
+// Stats reports the pool's current worker occupancy.
+func (p *HostPool) Stats() PoolStats { return p.mb.stats() }
 
 // Call executes fn outside the enclave via the host-worker mailbox. Like
 // Ocall, it is an error to call out when no enclave thread is executing.

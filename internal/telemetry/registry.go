@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics. Instrument lookup (Counter, Gauge,
+// Histogram) is get-or-create and safe for concurrent use; callers on
+// hot paths resolve their instruments once and cache the pointers, so
+// the registry map is never consulted per call.
+//
+// Labels are passed as alternating key, value pairs and become part of
+// the metric identity, Prometheus-style:
+//
+//	reg.Counter("montsalvat_boundary_calls_total", "route", "full")
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	baseNames  map[string]string // canonical key -> metric base name
+	collectors []func(*Registry)
+
+	// collectMu serialises collector runs so two concurrent scrapes do
+	// not interleave snapshot absorption.
+	collectMu sync.Mutex
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		baseNames: make(map[string]string),
+	}
+}
+
+// canonKey renders the canonical identity of a metric: the base name
+// plus its sorted label pairs.
+func canonKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		labels = append(labels[:len(labels):len(labels)], "INVALID")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter returns the counter registered under name+labels, creating it
+// on first use. Returns nil when r is nil.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := canonKey(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[key] = c
+	r.baseNames[key] = name
+	return c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use. Returns nil when r is nil.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := canonKey(name, labels)
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[key] = g
+	r.baseNames[key] = name
+	return g
+}
+
+// Histogram returns the histogram registered under name+labels,
+// creating it on first use. Returns nil when r is nil.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := canonKey(name, labels)
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[key] = h
+	r.baseNames[key] = name
+	return h
+}
+
+// RegisterCollector adds a function invoked before every snapshot or
+// scrape. Collectors absorb externally maintained statistics (dispatch
+// routing counters, gateway admission counters, sweep stats) into
+// registry metrics with Counter.Set/Gauge.Set, keeping the producing
+// hot paths free of double accounting.
+func (r *Registry) RegisterCollector(fn func(*Registry)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// collect runs the registered collectors.
+func (r *Registry) collect() {
+	r.mu.RLock()
+	fns := make([]func(*Registry), len(r.collectors))
+	copy(fns, r.collectors)
+	r.mu.RUnlock()
+	r.collectMu.Lock()
+	defer r.collectMu.Unlock()
+	for _, fn := range fns {
+		fn(r)
+	}
+}
+
+// Snapshot is a point-in-time copy of every metric in the registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot runs the collectors and copies every metric.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.collect()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		hs := h.Snapshot()
+		hs.Buckets = nil // keep JSON snapshots compact; buckets stay on /metrics
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// SnapshotJSON renders the snapshot as one JSON object.
+func (r *Registry) SnapshotJSON() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err)
+	}
+	return string(b)
+}
+
+// WritePrometheus runs the collectors and renders every metric in the
+// Prometheus text exposition format, sorted by canonical name. Counter
+// and gauge samples are one line each; histograms expose cumulative
+// _bucket{le=...} samples over their non-empty buckets plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.collect()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	typed := make(map[string]bool)
+	writeType := func(key, kind string) string {
+		base := r.baseNames[key]
+		if base == "" {
+			base = key
+		}
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+		return base
+	}
+
+	for _, key := range sortedKeys(r.counters) {
+		writeType(key, "counter")
+		if _, err := fmt.Fprintf(w, "%s %d\n", key, r.counters[key].Value()); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(r.gauges) {
+		writeType(key, "gauge")
+		if _, err := fmt.Fprintf(w, "%s %d\n", key, r.gauges[key].Value()); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(r.hists) {
+		base := writeType(key, "histogram")
+		snap := r.hists[key].Snapshot()
+		labels := strings.TrimPrefix(key, base) // "{...}" or ""
+		var cum uint64
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, mergeLE(labels, fmt.Sprintf("%d", b.Upper)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, mergeLE(labels, "+Inf"), snap.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, labels, snap.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, snap.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeLE injects the le label into an existing (possibly empty)
+// rendered label set.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`{le="%s"}`, le)
+	}
+	return fmt.Sprintf(`%s,le="%s"}`, strings.TrimSuffix(labels, "}"), le)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one traced boundary crossing: a proxy relay invocation, a
+// batched frame flush, or a GC mirror-release transition. Spans form
+// trees — a relay executing inside the enclave that proxies back out
+// records the nested ocall as a child sharing the TraceID.
+//
+// A span is mutated only by the goroutine carrying the call, then
+// published to the tracer's ring on Finish; all setters are nil-safe so
+// unsampled calls cost one branch.
+type Span struct {
+	tracer *Tracer
+
+	// TraceID groups every span of one cross-boundary call chain;
+	// SpanID identifies this span; ParentID is 0 for roots.
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+
+	// Name labels the operation (e.g. "relay KVStore.put").
+	Name string `json:"name"`
+	// Dir is the transition direction: "ecall" or "ocall".
+	Dir string `json:"dir,omitempty"`
+	// Route records the dispatcher's decision: "switchless", "full",
+	// "fallback-full" (wanted switchless, pool saturated), or
+	// "batched".
+	Route string `json:"route,omitempty"`
+	// RoutineID is the EDL routine id of the transition.
+	RoutineID int `json:"routine_id,omitempty"`
+
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// QueueWaitNS is time spent queued before the transition ran (the
+	// oldest entry's wait for a batched flush).
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	// MarshalBytes counts argument plus result bytes serialized across
+	// the boundary for this call.
+	MarshalBytes int `json:"marshal_bytes,omitempty"`
+	// BodyCycles is the simulated cycle cost charged by the call body
+	// on the far side, excluding the transition itself.
+	BodyCycles int64 `json:"body_cycles,omitempty"`
+	// BatchSize is the number of coalesced calls for a batched flush.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Err carries the call error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// SetDir records the transition direction.
+func (sp *Span) SetDir(in bool) {
+	if sp == nil {
+		return
+	}
+	if in {
+		sp.Dir = "ecall"
+	} else {
+		sp.Dir = "ocall"
+	}
+}
+
+// SetRoute records the dispatcher's routing decision.
+func (sp *Span) SetRoute(route string) {
+	if sp == nil {
+		return
+	}
+	sp.Route = route
+}
+
+// SetRoutine records the EDL routine id.
+func (sp *Span) SetRoutine(id int) {
+	if sp == nil {
+		return
+	}
+	sp.RoutineID = id
+}
+
+// AddMarshalBytes accumulates serialized boundary traffic.
+func (sp *Span) AddMarshalBytes(n int) {
+	if sp == nil {
+		return
+	}
+	sp.MarshalBytes += n
+}
+
+// SetBodyCycles records the far-side body cost.
+func (sp *Span) SetBodyCycles(c int64) {
+	if sp == nil {
+		return
+	}
+	sp.BodyCycles = c
+}
+
+// SetQueueWait records time spent queued before the transition.
+func (sp *Span) SetQueueWait(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.QueueWaitNS = int64(d)
+}
+
+// SetBatchSize records the coalesced call count of a batched flush.
+func (sp *Span) SetBatchSize(n int) {
+	if sp == nil {
+		return
+	}
+	sp.BatchSize = n
+}
+
+// Finish stamps the end time, records the error, and publishes the
+// span into the tracer's ring buffer.
+func (sp *Span) Finish(err error) {
+	if sp == nil {
+		return
+	}
+	sp.EndNS = time.Now().UnixNano()
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	if sp.tracer != nil {
+		sp.tracer.publish(sp)
+	}
+}
+
+// Tracer samples boundary-call chains into a fixed-size lock-free ring
+// of completed spans. Sampling is decided at the root of a chain; child
+// spans of a sampled root are always captured.
+type Tracer struct {
+	ring   []atomic.Pointer[Span]
+	next   atomic.Uint64 // ring write cursor
+	thresh uint64        // sample iff next prng draw < thresh
+	rng    atomic.Uint64 // splitmix64 state
+	ids    atomic.Uint64 // span/trace id sequence
+}
+
+// NewTracer builds a tracer sampling the given fraction of roots into a
+// ring of the given capacity, with a deterministic seeded sampler.
+func NewTracer(sampleRate float64, buffer int, seed uint64) *Tracer {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	t := &Tracer{ring: make([]atomic.Pointer[Span], buffer)}
+	switch {
+	case sampleRate >= 1:
+		t.thresh = math.MaxUint64
+	case sampleRate <= 0:
+		t.thresh = 0
+	default:
+		t.thresh = uint64(sampleRate * float64(math.MaxUint64))
+	}
+	t.rng.Store(seed)
+	return t
+}
+
+// splitmix64 advances the sampler state and returns the next draw. The
+// additive-constant construction keeps the draw lock-free under
+// concurrency while the sequence of states stays deterministic for a
+// single-threaded caller (what the sampling-determinism test pins).
+func (t *Tracer) splitmix64() uint64 {
+	z := t.rng.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sampled draws one sampling decision. Exported for tests.
+func (t *Tracer) Sampled() bool {
+	if t == nil {
+		return false
+	}
+	if t.thresh == math.MaxUint64 {
+		return true
+	}
+	if t.thresh == 0 {
+		return false
+	}
+	return t.splitmix64() < t.thresh
+}
+
+// StartRoot starts a root span, or returns nil if this chain is not
+// sampled (or t is nil).
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil || !t.Sampled() {
+		return nil
+	}
+	id := t.ids.Add(1)
+	return &Span{
+		tracer:  t,
+		TraceID: id,
+		SpanID:  id,
+		Name:    name,
+		StartNS: time.Now().UnixNano(),
+	}
+}
+
+// StartChild starts a child of parent, or returns nil when parent is
+// nil — children exist only inside sampled chains.
+func (t *Tracer) StartChild(parent *Span, name string) *Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	return &Span{
+		tracer:   t,
+		TraceID:  parent.TraceID,
+		SpanID:   t.ids.Add(1),
+		ParentID: parent.SpanID,
+		Name:     name,
+		StartNS:  time.Now().UnixNano(),
+	}
+}
+
+// publish stores a finished span into the ring, overwriting the oldest
+// slot on wraparound.
+func (t *Tracer) publish(sp *Span) {
+	i := t.next.Add(1) - 1
+	t.ring[i%uint64(len(t.ring))].Store(sp)
+}
+
+// Dump returns the retained spans, oldest first (best effort under
+// concurrent publishing). The returned spans are copies.
+func (t *Tracer) Dump() []Span {
+	if t == nil {
+		return nil
+	}
+	n := uint64(len(t.ring))
+	head := t.next.Load()
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]Span, 0, n)
+	for i := start; i < head; i++ {
+		if sp := t.ring[i%n].Load(); sp != nil {
+			cp := *sp
+			cp.tracer = nil
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// Len reports how many spans are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Dump())
+}

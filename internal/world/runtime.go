@@ -15,6 +15,7 @@ import (
 	"montsalvat/internal/registry"
 	"montsalvat/internal/shim"
 	"montsalvat/internal/simcfg"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/transform"
 	"montsalvat/internal/wire"
 )
@@ -225,9 +226,16 @@ func (rt *Runtime) Unpin(v wire.Value) error {
 // ---- frames ----------------------------------------------------------
 
 // frame tracks the object-table retentions of one method activation (the
-// stand-in for stack/register roots in a real VM).
+// stand-in for stack/register roots in a real VM). It also carries the
+// activation's trace span: a relay executing a sampled cross-boundary
+// call stores the call's span here, so proxy invocations the body makes
+// become child spans of the same trace — including across the worker
+// goroutines of the switchless pools, which run the closure that
+// captured this frame. Nil when the chain is unsampled or telemetry is
+// off.
 type frame struct {
 	owned []int64
+	span  *telemetry.Span
 }
 
 func (rt *Runtime) newFrame() *frame { return &frame{} }
@@ -620,6 +628,9 @@ func (rt *Runtime) dispatch(ref classmodel.MethodRef, self wire.Value, args []wi
 	}
 	rt.w.clock.Charge(simcfg.LocalCallCycles)
 	fr := rt.newFrame()
+	if adoptInto != nil {
+		fr.span = adoptInto.span
+	}
 	defer rt.releaseFrame(fr)
 	// Retain self and ref arguments for the duration of the activation.
 	for _, v := range append([]wire.Value{self}, args...) {
@@ -709,23 +720,40 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		}
 	}
 
+	// Start the call's trace span: a child when the current activation
+	// is already part of a sampled chain (nested ocall under an ecall
+	// relay), otherwise a freshly sampled root. Nil in the common case.
+	var sp *telemetry.Span
+	if tracer := w.tel.Tracer(); tracer != nil {
+		name := "relay " + class + "." + relayName
+		if fr.span != nil {
+			sp = tracer.StartChild(fr.span, name)
+		} else {
+			sp = tracer.StartRoot(name)
+		}
+		sp.AddMarshalBytes(len(argBuf))
+	}
+
 	var resultBuf []byte
 	invoke := func() error {
 		var rerr error
-		resultBuf, rerr = to.dispatchRelay(class, relayName, hash, argBuf, true)
+		resultBuf, rerr = to.dispatchRelay(class, relayName, hash, argBuf, true, sp)
 		return rerr
 	}
 	if w.enclave != nil {
 		// Copying the argument and result buffers across the boundary
 		// streams them through the MEE.
 		w.clock.ChargeBytes(len(argBuf), simcfg.MEEBytesPerCycle)
-		err = w.disp.Invoke(dir == edl.Ecall, routine.ID, false, invoke)
+		err = w.disp.InvokeSpan(dir == edl.Ecall, routine.ID, false, sp, invoke)
 		if err == nil {
 			w.clock.ChargeBytes(len(resultBuf), simcfg.MEEBytesPerCycle)
 		}
 	} else {
 		err = invoke()
 	}
+	sp.AddMarshalBytes(len(resultBuf))
+	sp.Finish(err)
+	w.hMarshal.Observe(int64(len(argBuf) + len(resultBuf)))
 	w.bufs.Put(argBuf)
 	if err != nil {
 		return wire.Value{}, err
@@ -750,7 +778,10 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 // mirror and register it; instance relays resolve the mirror in the
 // registry and invoke the concrete method. Batched void calls pass
 // wantResult=false to skip serializing (and charging for) the result.
-func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []byte, wantResult bool) ([]byte, error) {
+// parent is the caller's trace span (nil when unsampled); it is threaded
+// into the relay's frame so calls the body makes back across the
+// boundary become children of the same trace.
+func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []byte, wantResult bool, parent *telemetry.Span) ([]byte, error) {
 	_, relay, err := rt.img.Lookup(classmodel.MethodRef{Class: class, Method: relayName})
 	if err != nil {
 		return nil, err
@@ -761,6 +792,7 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 	target := relay.RelayFor
 
 	fr := rt.newFrame()
+	fr.span = parent
 	defer rt.releaseFrame(fr)
 
 	args, err := rt.unmarshalIn(fr, argBuf)
@@ -800,7 +832,9 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 		}
 		rt.mu.Unlock()
 		self := wire.Ref(class, hash)
-		if _, err := rt.dispatch(classmodel.MethodRef{Class: class, Method: target}, self, args, nil); err != nil {
+		// The relay frame is passed through so the ctor body inherits
+		// the trace span (its null result adopts nothing).
+		if _, err := rt.dispatch(classmodel.MethodRef{Class: class, Method: target}, self, args, fr); err != nil {
 			return nil, err
 		}
 		result = wire.Null()

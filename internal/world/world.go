@@ -33,6 +33,7 @@ import (
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/shim"
 	"montsalvat/internal/simcfg"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -109,6 +110,12 @@ type Options struct {
 	// sessions tune this down so released sessions' mirrors are reclaimed
 	// promptly (see World.SweepStats for observed cadence).
 	GCHelperInterval time.Duration
+	// Telemetry, when non-nil, instruments every boundary crossing:
+	// transition latency/cycle histograms, batching queue waits, GC sweep
+	// counters and — if the bundle has tracing enabled — sampled spans
+	// per proxy-call chain. Nil disables observability at a cost of one
+	// branch per instrumented site.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultOptions returns options suitable for tests.
@@ -137,6 +144,14 @@ type World struct {
 	disp     *boundary.Dispatcher
 	bufs     *boundary.BufPool
 	batching bool
+
+	// tel is the optional observability layer (nil when disabled); epool
+	// and opool are retained for the occupancy collector. hMarshal is the
+	// cached marshal-bytes histogram (nil when telemetry is off).
+	tel      *telemetry.Telemetry
+	epool    *sgx.SwitchlessPool
+	opool    *sgx.HostPool
+	hMarshal *telemetry.Histogram
 
 	hashCounter atomic.Int64
 
@@ -188,6 +203,7 @@ func NewPartitioned(opts Options, tImg, uImg *image.Image, iface *edl.File) (*Wo
 // in switchless mode — the resident worker pools of both directions.
 func (w *World) initBoundary() error {
 	w.disp = boundary.NewDispatcher(w.enclave, w.clock)
+	w.disp.SetTelemetry(w.tel.Registry())
 	if w.cfg.Switchless {
 		epool, err := w.enclave.StartSwitchless(w.cfg.SwitchlessWorkers)
 		if err != nil {
@@ -199,6 +215,7 @@ func (w *World) initBoundary() error {
 			return fmt.Errorf("world: switchless ocall pool: %w", err)
 		}
 		w.disp.UsePools(epool, opool)
+		w.epool, w.opool = epool, opool
 	}
 	w.batching = w.cfg.Batching
 	watermark := w.cfg.BatchWatermark
@@ -207,6 +224,12 @@ func (w *World) initBoundary() error {
 	}
 	w.trusted.queue = boundary.NewQueue(watermark, w.batchRun(w.trusted))
 	w.untrusted.queue = boundary.NewQueue(watermark, w.batchRun(w.untrusted))
+	if reg := w.tel.Registry(); reg != nil {
+		wait := reg.Histogram("montsalvat_boundary_queue_wait_ns")
+		size := reg.Histogram("montsalvat_boundary_batch_size")
+		w.trusted.queue.SetTelemetry(wait, size)
+		w.untrusted.queue.SetTelemetry(wait, size)
+	}
 	return nil
 }
 
@@ -253,14 +276,20 @@ func newWorld(mode Mode, opts Options) (*World, error) {
 	if cfg.CPUHz == 0 {
 		cfg = simcfg.ForTest()
 	}
-	return &World{
+	w := &World{
 		mode:           mode,
 		cfg:            cfg,
 		clock:          cycles.New(cfg.CPUHz, cfg.Spin),
 		bufs:           boundary.NewBufPool(),
 		hostFS:         hostFS,
 		helperInterval: opts.GCHelperInterval,
-	}, nil
+		tel:            opts.Telemetry,
+	}
+	if reg := w.tel.Registry(); reg != nil {
+		w.hMarshal = reg.Histogram("montsalvat_boundary_marshal_bytes")
+		reg.RegisterCollector(w.collectMetrics)
+	}
+	return w, nil
 }
 
 // initEnclave performs the SGX application-creation phase: create the
@@ -363,6 +392,9 @@ func (w *World) Untrusted() *Runtime { return w.untrusted }
 
 // HostFS returns the untrusted filesystem.
 func (w *World) HostFS() shim.FS { return w.hostFS }
+
+// Telemetry returns the observability layer (nil when disabled).
+func (w *World) Telemetry() *telemetry.Telemetry { return w.tel }
 
 func (w *World) nextHash() int64 { return w.hashCounter.Add(1) }
 
@@ -558,7 +590,11 @@ func (w *World) sweep(rt *Runtime) error {
 	// The removal message crosses the enclave boundary: the trusted
 	// helper ocalls out, the untrusted helper ecalls in.
 	if w.enclave != nil {
-		return w.disp.Invoke(!rt.trusted, idGCSweep, false, release)
+		sp := w.tel.Tracer().StartRoot("gc-sweep " + rt.name)
+		sp.SetBatchSize(len(dead))
+		err := w.disp.InvokeSpan(!rt.trusted, idGCSweep, false, sp, release)
+		sp.Finish(err)
+		return err
 	}
 	return release()
 }
@@ -585,6 +621,14 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 			calls[i] = wire.FrameCall{Class: e.Class, Method: e.Method, Hash: e.Hash, Args: e.Args}
 		}
 		frame := wire.AppendFrame(w.bufs.Get(wire.FrameSize(calls)), calls)
+		// A flush is a trace root: one span for the whole coalesced
+		// transition, parenting any calls its batched relays make.
+		sp := w.tel.Tracer().StartRoot("batch-flush " + rt.name)
+		sp.SetBatchSize(len(entries))
+		sp.AddMarshalBytes(len(frame))
+		if sp != nil && entries[0].EnqueuedNS != 0 {
+			sp.SetQueueWait(time.Duration(time.Now().UnixNano() - entries[0].EnqueuedNS))
+		}
 		invoke := func() error {
 			decoded, err := wire.UnmarshalFrame(frame)
 			if err != nil {
@@ -592,7 +636,7 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 			}
 			var errs []error
 			for _, c := range decoded {
-				errs = append(errs, w.runBatchedCall(to, c))
+				errs = append(errs, w.runBatchedCall(to, c, sp))
 			}
 			return errors.Join(errs...)
 		}
@@ -601,10 +645,11 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 			// The frame crosses the boundary once, streaming through
 			// the MEE like any marshalled argument buffer.
 			w.clock.ChargeBytes(len(frame), simcfg.MEEBytesPerCycle)
-			err = w.disp.Invoke(to.trusted, idBatch, false, invoke)
+			err = w.disp.InvokeSpan(to.trusted, idBatch, false, sp, invoke)
 		} else {
 			err = invoke()
 		}
+		sp.Finish(err)
 		for _, e := range entries {
 			w.bufs.Put(e.Args)
 		}
@@ -615,14 +660,15 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 
 // runBatchedCall executes one decoded frame entry on the receiving
 // runtime: a registry release from the GC sweep, or a void relay call.
-func (w *World) runBatchedCall(to *Runtime, c wire.FrameCall) error {
+// The flush span parents any nested calls the relay makes.
+func (w *World) runBatchedCall(to *Runtime, c wire.FrameCall, sp *telemetry.Span) error {
 	if c.Method == gcReleaseMethod {
 		to.mu.Lock()
 		_, err := to.reg.Release(c.Hash)
 		to.mu.Unlock()
 		return err
 	}
-	if _, err := to.dispatchRelay(c.Class, c.Method, c.Hash, c.Args, false); err != nil {
+	if _, err := to.dispatchRelay(c.Class, c.Method, c.Hash, c.Args, false, sp); err != nil {
 		return fmt.Errorf("world: batched call %s.%s: %w", c.Class, c.Method, err)
 	}
 	return nil
@@ -684,6 +730,71 @@ type Stats struct {
 	TrustedSweeps   SweepStats
 	UntrustedSweeps SweepStats
 	Shim            shim.Stats
+}
+
+// collectMetrics is the telemetry collector of the world layer: it
+// absorbs the snapshot-style statistics every subsystem already keeps —
+// dispatcher routing counters, batching queues, enclave transitions,
+// TCS and pool occupancy, GC sweeps, registry sizes — into stable
+// registry metrics at scrape time, so the producing hot paths stay
+// untouched.
+func (w *World) collectMetrics(reg *telemetry.Registry) {
+	reg.Gauge("montsalvat_world_cycles_total").Set(w.clock.Total())
+
+	if w.disp != nil {
+		ds := w.disp.Stats()
+		reg.Counter("montsalvat_boundary_calls_total", "route", "full").Set(ds.FullCalls)
+		reg.Counter("montsalvat_boundary_calls_total", "route", "switchless").Set(ds.SwitchlessCalls)
+		reg.Counter("montsalvat_boundary_calls_total", "route", "fallback").Set(ds.FallbackCalls)
+	}
+
+	var flushes, batched uint64
+	for _, rt := range []*Runtime{w.trusted, w.untrusted} {
+		if rt != nil && rt.queue != nil {
+			qs := rt.queue.Stats()
+			flushes += qs.Flushes
+			batched += qs.BatchedCalls
+		}
+	}
+	reg.Counter("montsalvat_boundary_batch_flushes_total").Set(flushes)
+	reg.Counter("montsalvat_boundary_batched_calls_total").Set(batched)
+
+	if w.enclave != nil {
+		es := w.enclave.Stats()
+		reg.Counter("montsalvat_sgx_ecalls_total").Set(es.Ecalls)
+		reg.Counter("montsalvat_sgx_ocalls_total").Set(es.Ocalls)
+		reg.Counter("montsalvat_sgx_switchless_ecalls_total").Set(es.SwitchlessEcalls)
+		reg.Counter("montsalvat_sgx_switchless_ocalls_total").Set(es.SwitchlessOcalls)
+		reg.Gauge("montsalvat_sgx_heap_bytes_in_use").Set(int64(es.HeapBytesInUse))
+		reg.Gauge("montsalvat_sgx_tcs_in_use").Set(int64(w.enclave.TCSInUse()))
+		reg.Gauge("montsalvat_sgx_tcs_cap").Set(int64(w.enclave.TCSCap()))
+	}
+	if w.epool != nil {
+		ps := w.epool.Stats()
+		reg.Gauge("montsalvat_sgx_pool_workers", "dir", "ecall").Set(int64(ps.Workers))
+		reg.Gauge("montsalvat_sgx_pool_busy", "dir", "ecall").Set(int64(ps.Busy))
+		reg.Gauge("montsalvat_sgx_pool_queued", "dir", "ecall").Set(int64(ps.Queued))
+	}
+	if w.opool != nil {
+		ps := w.opool.Stats()
+		reg.Gauge("montsalvat_sgx_pool_workers", "dir", "ocall").Set(int64(ps.Workers))
+		reg.Gauge("montsalvat_sgx_pool_busy", "dir", "ocall").Set(int64(ps.Busy))
+		reg.Gauge("montsalvat_sgx_pool_queued", "dir", "ocall").Set(int64(ps.Queued))
+	}
+
+	for _, rt := range []*Runtime{w.trusted, w.untrusted} {
+		if rt == nil {
+			continue
+		}
+		ss := rt.SweepStats()
+		reg.Counter("montsalvat_gc_sweeps_total", "runtime", rt.name).Set(ss.Sweeps)
+		reg.Counter("montsalvat_gc_released_total", "runtime", rt.name).Set(ss.Released)
+		rs := rt.Stats()
+		reg.Counter("montsalvat_world_remote_calls_total", "runtime", rt.name).Set(rs.RemoteCallsOut)
+		reg.Counter("montsalvat_world_proxies_created_total", "runtime", rt.name).Set(rs.ProxiesCreated)
+		reg.Gauge("montsalvat_world_registry_size", "runtime", rt.name).Set(int64(rs.RegistrySize))
+		reg.Gauge("montsalvat_world_weak_list_len", "runtime", rt.name).Set(int64(rs.WeakListLen))
+	}
 }
 
 // Stats returns a snapshot of all counters.
