@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-full serve-smoke obs-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-full serve-smoke obs-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -31,6 +31,13 @@ bench:
 # cycle-reduction bar for batched+switchless routing.
 bench-smoke:
 	$(GO) test -run TestDispatchSmoke -v ./internal/bench/
+
+# Parallel-scaling sanity check: boot the gateway in-process and compare
+# 1-client vs 2-client attested throughput through the worker pool and
+# the sharded crossing engine; fails on zero parallel throughput or any
+# request error.
+bench-scale-smoke:
+	$(GO) run ./cmd/montsalvat-serve -clients 2 -requests 32
 
 # Regenerate every paper table/figure at full scale (minutes).
 bench-full:

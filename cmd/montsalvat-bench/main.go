@@ -16,6 +16,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,8 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
 		format     = fs.String("format", "text", "output format: text or csv")
 		profile    = fs.Bool("profile-dispatch", false, "run the KV demo with full-rate telemetry and print the dispatch profile")
+		jsonPath   = fs.String("json", "", "run the RMI perf suite and append a machine-readable entry to this file (e.g. BENCH_rmi.json)")
+		label      = fs.String("label", "run", "entry label for -json records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +61,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := bench.Options{Quick: *quick, Spin: *spin}
+	if *jsonPath != "" {
+		return writeRMIPerf(opts, *jsonPath, *label, out)
+	}
 	if *profile {
 		report, err := bench.DispatchProfile(opts)
 		if err != nil {
@@ -90,4 +97,47 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// writeRMIPerf runs the RMI perf suite and appends the labelled entry to
+// the trajectory file, creating it when absent.
+func writeRMIPerf(opts bench.Options, path, label string, out io.Writer) error {
+	entry, err := bench.RMIPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	var file bench.RMIPerfFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First record: start a fresh trajectory.
+	default:
+		return err
+	}
+	file.Schema = bench.RMIPerfSchema
+	file.Entries = append(file.Entries, *entry)
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: appended %q (single %.0f ops/s, 8-goroutine speedup %.2fx)\n",
+		path, label, entry.SingleOpsPerSec, speedupAt(entry, 8))
+	return nil
+}
+
+// speedupAt returns the measured speedup at a goroutine count, or 0.
+func speedupAt(e *bench.RMIPerfEntry, goroutines int) float64 {
+	for _, p := range e.Scaling {
+		if p.Goroutines == goroutines {
+			return p.Speedup
+		}
+	}
+	return 0
 }

@@ -78,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		smoke      = fs.Bool("smoke", false, "boot an in-process gateway, run a load burst, verify, exit")
 		sessions   = fs.Int("sessions", 8, "load generator: concurrent attested sessions")
 		requests   = fs.Int("requests", 64, "load generator: requests per session")
+		clients    = fs.Int("clients", 0, "scaling benchmark: boot an in-process gateway, compare 1-client vs N-client throughput, exit")
 		attestSeed = fs.String("attest-seed", "montsalvat-serve-demo", "shared attestation platform seed")
 		cfg        gatewayConfig
 	)
@@ -93,6 +94,9 @@ func run(args []string, out io.Writer) error {
 	}
 	platform := sgx.NewPlatformFromSeed([]byte(*attestSeed))
 
+	if *clients > 0 {
+		return runScale(out, platform, *clients, *requests, cfg)
+	}
 	if *load {
 		return runLoad(out, *addr, platform, *sessions, *requests)
 	}
@@ -256,6 +260,78 @@ func runLoad(out io.Writer, addr string, platform *sgx.Platform, sessions, reque
 	fmt.Fprint(out, res.String())
 	if res.HandshakeFailures > 0 {
 		return fmt.Errorf("%d sessions failed attestation", res.HandshakeFailures)
+	}
+	return nil
+}
+
+// runScale boots a gateway in-process and measures ServeLoad throughput
+// at one attested client and at N, reporting the parallel speedup — the
+// end-to-end check that concurrent sessions' proxy calls really execute
+// in parallel through the worker pool and the sharded crossing engine.
+func runScale(out io.Writer, platform *sgx.Platform, clients, requests int, cfg gatewayConfig) error {
+	tel := cfg.newTelemetry()
+	w, err := buildWorld(cfg, tel)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	srv, err := serve.New(serve.Options{
+		World:       w,
+		Platform:    platform,
+		MaxInFlight: cfg.maxInflight,
+		MaxSessions: cfg.maxSessions,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "scale: gateway on %s, %d requests/client\n", ln.Addr(), requests)
+
+	client := serve.ClientConfig{Platform: platform, Measurement: srv.Measurement()}
+	run := func(n int) (bench.ServeLoadResult, error) {
+		res, err := bench.ServeLoad(bench.ServeLoadOptions{
+			Addr:     ln.Addr().String(),
+			Client:   client,
+			Sessions: n,
+			Requests: requests,
+		})
+		if err != nil {
+			return res, err
+		}
+		if res.HandshakeFailures > 0 || res.Errors > 0 {
+			return res, fmt.Errorf("%d handshake failures, %d request errors at %d clients",
+				res.HandshakeFailures, res.Errors, n)
+		}
+		return res, nil
+	}
+	solo, err := run(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scale:  1 client : %8.0f req/s  p50 %v\n", solo.Throughput, solo.P50.Round(time.Microsecond))
+	par, err := run(clients)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scale: %2d clients: %8.0f req/s  p50 %v  speedup %.2fx\n",
+		clients, par.Throughput, par.P50.Round(time.Microsecond), par.Throughput/solo.Throughput)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveDone; err != nil {
+		return err
+	}
+	if par.Throughput <= 0 {
+		return fmt.Errorf("scale failed: zero parallel throughput at %d clients", clients)
 	}
 	return nil
 }

@@ -250,6 +250,7 @@ func All() []Experiment {
 		{ID: "ablation-dispatch", Title: "Ablation: boundary dispatch (switchless + batching)", Run: AblationDispatch},
 		{ID: "ablation-tcb", Title: "Ablation: TCB size, partitioned vs LibOS-style", Run: AblationTCB},
 		{ID: "ablation-transition", Title: "Ablation: transition-cost sensitivity", Run: AblationTransitionCost},
+		{ID: "concurrent-rmi", Title: "Concurrent RMI throughput scaling", Run: ConcurrentRMI},
 	}
 }
 

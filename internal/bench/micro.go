@@ -133,12 +133,18 @@ func microProgram() (*classmodel.Program, error) {
 // microWorld builds a partitioned world for the micro-benchmarks with
 // heaps sized for the object-count sweeps.
 func microWorld(opts Options) (*world.World, error) {
+	return microWorldCfg(opts.Config())
+}
+
+// microWorldCfg is microWorld with an explicit platform configuration
+// (the concurrency experiments tune charging and boundary modes).
+func microWorldCfg(cfg simcfg.Config) (*world.World, error) {
 	p, err := microProgram()
 	if err != nil {
 		return nil, err
 	}
 	wopts := world.DefaultOptions()
-	wopts.Cfg = opts.Config()
+	wopts.Cfg = cfg
 	wopts.TrustedHeap = heap.Config{InitialSemi: 8 << 20, MaxSemi: 1 << 30}
 	wopts.UntrustedHeap = heap.Config{InitialSemi: 8 << 20, MaxSemi: 1 << 30}
 	w, _, err := core.NewPartitionedWorld(p, wopts)

@@ -294,3 +294,32 @@ func TestBufPoolReuse(t *testing.T) {
 	p.Put(make([]byte, 0, maxPooledCap+1))
 	p.Put(nil)
 }
+
+func TestBufPoolSizeClasses(t *testing.T) {
+	p := NewBufPool()
+	// A buffer recycled into a small class must not satisfy a larger
+	// request with insufficient capacity.
+	p.Put(make([]byte, 0, 256))
+	big := p.Get(10000)
+	if cap(big) < 10000 {
+		t.Fatalf("Get(10000): cap=%d", cap(big))
+	}
+	// Each class hands back at least its class size, so repeated small
+	// requests reuse one allocation.
+	for want, n := range map[int]int{256: 1, 4096: 300, 65536: 5000, 1 << 20: 70000} {
+		buf := p.Get(n)
+		if cap(buf) < want {
+			t.Fatalf("Get(%d): cap=%d, want >= %d", n, cap(buf), want)
+		}
+		p.Put(buf)
+		if again := p.Get(n); cap(again) < n {
+			t.Fatalf("recycled Get(%d): cap=%d", n, cap(again))
+		}
+	}
+	// Beyond the largest class: exact allocation, never pooled.
+	huge := p.Get(maxPooledCap + 1)
+	if cap(huge) < maxPooledCap+1 {
+		t.Fatalf("huge Get: cap=%d", cap(huge))
+	}
+	p.Put(huge)
+}

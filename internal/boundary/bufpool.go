@@ -6,34 +6,61 @@ import "sync"
 // huge marshal must not pin its buffer in the pool forever.
 const maxPooledCap = 1 << 20
 
+// bufClasses are the pooled capacity classes, covering scalar-only call
+// frames (256 B) through large blob payloads (1 MiB). A request is
+// served from the smallest class that fits, so under mixed traffic the
+// arenas stay dense instead of every pooled buffer drifting toward the
+// largest allocation ever seen.
+var bufClasses = [...]int{256, 4096, 65536, 1 << 20}
+
 // BufPool recycles marshal buffers on the proxy-call hot path. Returned
 // buffers have zero length and at least the requested capacity, so a
 // size-precomputed encode (wire.SizeValues + wire.AppendValues) never
-// reallocates.
+// reallocates. Each size class is an independent sync.Pool, which is
+// itself sharded per-P — concurrent workers draw from local arenas
+// without contending on a shared free list.
 type BufPool struct {
-	pool sync.Pool
+	classes [len(bufClasses)]sync.Pool
 }
 
 // NewBufPool creates an empty pool.
 func NewBufPool() *BufPool {
-	return &BufPool{pool: sync.Pool{New: func() any { return new([]byte) }}}
-}
-
-// Get returns a zero-length buffer with capacity >= capacity.
-func (p *BufPool) Get(capacity int) []byte {
-	buf := *p.pool.Get().(*[]byte)
-	if cap(buf) < capacity {
-		return make([]byte, 0, capacity)
+	p := &BufPool{}
+	for i := range p.classes {
+		p.classes[i].New = func() any { return new([]byte) }
 	}
-	return buf[:0]
+	return p
 }
 
-// Put recycles a buffer. The caller must not touch buf afterwards; any
-// slice aliasing it (e.g. a decoded view) must have been copied first.
-// Nil and oversized buffers are dropped.
+// Get returns a zero-length buffer with capacity >= capacity, drawn from
+// the smallest size class that fits. Requests beyond the largest class
+// allocate directly and are never pooled.
+func (p *BufPool) Get(capacity int) []byte {
+	for i, class := range bufClasses {
+		if capacity <= class {
+			buf := *p.classes[i].Get().(*[]byte)
+			if cap(buf) < capacity {
+				return make([]byte, 0, class)
+			}
+			return buf[:0]
+		}
+	}
+	return make([]byte, 0, capacity)
+}
+
+// Put recycles a buffer into the largest class its capacity covers. The
+// caller must not touch buf afterwards; any slice aliasing it (e.g. a
+// decoded view) must have been copied first. Nil, undersized, and
+// oversized buffers are dropped.
 func (p *BufPool) Put(buf []byte) {
 	if buf == nil || cap(buf) > maxPooledCap {
 		return
 	}
-	p.pool.Put(&buf)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if cap(buf) >= bufClasses[i] {
+			p.classes[i].Put(&buf)
+			return
+		}
+	}
+	// Below the smallest class: not worth keeping.
 }

@@ -14,9 +14,11 @@ import (
 // leave the gateway.
 //
 // A Namespace is safe for concurrent use (one session may pipeline
-// requests served by several gateway workers).
+// requests served by several gateway workers). Lookups dominate the
+// request path — every call and release resolves a handle — so reads
+// take a shared lock and only Add/Remove/Drain write-lock.
 type Namespace struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	next     int64
 	byHandle map[int64]NSEntry
 	byHash   map[int64]int64 // identity hash -> handle (canonicalisation)
@@ -64,8 +66,8 @@ func (ns *Namespace) Add(class string, hash int64) (handle int64, added bool) {
 
 // Lookup resolves a handle issued by this namespace.
 func (ns *Namespace) Lookup(handle int64) (NSEntry, bool) {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
 	e, ok := ns.byHandle[handle]
 	return e, ok
 }
@@ -86,8 +88,8 @@ func (ns *Namespace) Remove(handle int64) (NSEntry, bool) {
 
 // Len returns the number of live handles.
 func (ns *Namespace) Len() int {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
 	return len(ns.byHandle)
 }
 

@@ -105,3 +105,49 @@ func TestNamespaceConcurrent(t *testing.T) {
 		t.Fatal("expected surviving handles")
 	}
 }
+
+// BenchmarkNamespaceLookupParallel guards the RWMutex read path: session
+// request dispatch does a Lookup per call, so read-mostly traffic from
+// many goroutines must not serialise on the namespace. A regression back
+// to an exclusive lock shows up here as a collapse in parallel ops/s.
+func BenchmarkNamespaceLookupParallel(b *testing.B) {
+	ns := NewNamespace()
+	handles := make([]int64, 1024)
+	for i := range handles {
+		h, _ := ns.Add("C", int64(i))
+		handles[i] = h
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := handles[i&(len(handles)-1)]
+			if _, ok := ns.Lookup(h); !ok {
+				b.Fatal("lost handle")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkNamespaceMixed is the same traffic with a 1/64 write mix —
+// the realistic session profile (mostly calls, occasional export).
+func BenchmarkNamespaceMixed(b *testing.B) {
+	ns := NewNamespace()
+	handles := make([]int64, 1024)
+	for i := range handles {
+		h, _ := ns.Add("C", int64(i))
+		handles[i] = h
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%64 == 0 {
+				h, _ := ns.Add("C", int64(100000+i))
+				ns.Remove(h)
+			} else {
+				ns.Lookup(handles[i&(len(handles)-1)])
+			}
+			i++
+		}
+	})
+}

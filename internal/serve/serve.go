@@ -147,6 +147,10 @@ type Server struct {
 	connWG sync.WaitGroup // one per accepted connection
 	reqWG  sync.WaitGroup // one per admitted request
 
+	// pool runs admitted requests on MaxInFlight resident workers, so
+	// concurrent sessions' proxy calls execute in parallel.
+	pool *workerPool
+
 	sessionsTotal  atomic.Uint64
 	handshakeFails atomic.Uint64
 	requests       atomic.Uint64
@@ -184,6 +188,7 @@ func New(opts Options) (*Server, error) {
 		adm:      newAdmission(o.MaxInFlight, o.QueueDepth),
 		drainCh:  make(chan struct{}),
 		sessions: make(map[int64]*session),
+		pool:     newWorkerPool(o.MaxInFlight),
 	}
 	if len(o.Classes) > 0 {
 		srv.allowed = make(map[string]bool, len(o.Classes))
@@ -315,6 +320,9 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 		s.closeConn()
 	}
 	srv.connWG.Wait()
+	// Every session loop has exited, so no further submits: retire the
+	// worker pool.
+	srv.pool.stop()
 
 	// Surface batched-call errors from the final flush instead of
 	// dropping them (the CloseErr contract).

@@ -44,8 +44,8 @@ func (s *session) closeConn() {
 	s.closeOnce.Do(func() { _ = s.conn.Close() })
 }
 
-// loop reads sealed request frames until the connection drops. Requests
-// execute on their own goroutines once admitted; admission itself runs
+// loop reads sealed request frames until the connection drops. Admitted
+// requests execute on the server's worker pool; admission itself runs
 // on the loop goroutine, so a saturated gateway back-pressures the
 // session's reads (bounding this session's queued work to one request).
 func (s *session) loop() {
@@ -119,7 +119,7 @@ func (s *session) dispatch(req request) {
 	s.srv.reqWG.Add(1)
 	s.srv.drainMu.RUnlock()
 	start := time.Now()
-	go func() {
+	s.srv.pool.submit(func() {
 		defer func() {
 			s.srv.hRequest.ObserveDuration(time.Since(start))
 			s.srv.adm.release()
@@ -138,7 +138,7 @@ func (s *session) dispatch(req request) {
 			return
 		}
 		s.reply(req.id, response{status: statusOK, result: result})
-	}()
+	})
 }
 
 func (s *session) countReject(err error) {

@@ -1,0 +1,42 @@
+package serve
+
+import "sync"
+
+// workerPool executes admitted requests on a fixed set of resident
+// goroutines — the gateway's parallel execution engine. The pool is
+// sized to the admission cap (MaxInFlight), so every admitted request
+// finds a worker without per-request goroutine churn, and requests from
+// different sessions execute their proxy calls genuinely in parallel
+// through the world's sharded registries and object tables.
+type workerPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{tasks: make(chan func())}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// submit hands one task to a worker, blocking until one receives it.
+// Admission bounds concurrent requests to the pool size, so a submitted
+// task waits only for an already-admitted request to finish. Blocking
+// the session's read loop here is the gateway's documented back-pressure.
+func (p *workerPool) submit(fn func()) { p.tasks <- fn }
+
+// stop closes the pool and waits for the workers to exit. Callers must
+// guarantee no further submits (the gateway stops after every session
+// loop has finished).
+func (p *workerPool) stop() {
+	close(p.tasks)
+	p.wg.Wait()
+}

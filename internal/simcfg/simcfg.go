@@ -198,6 +198,14 @@ type Config struct {
 	// virtual accounting (tests).
 	Spin bool
 
+	// SleepCharges, together with Spin, charges costs as timer waits
+	// instead of busy-waits: stall-dominated costs (transitions, MEE
+	// traffic) release the core while they elapse, so concurrently
+	// crossing goroutines overlap their charged time. The concurrency
+	// benchmarks use it to measure lock scaling on hosts with few cores.
+	// Ignored when Spin is false.
+	SleepCharges bool
+
 	// GCHelperInterval is the scan period of the GC helper threads
 	// (§5.5 "periodically (e.g., every second)"; tests use milliseconds).
 	GCHelperInterval time.Duration

@@ -37,10 +37,7 @@ func (e *env) New(class string, args ...wire.Value) (wire.Value, error) {
 		// local proxy object, then transition to create the mirror
 		// (Listing 2/3 constructor stubs).
 		hash := rt.w.nextHash()
-		rt.mu.Lock()
-		err := rt.newProxyLocked(e.fr, class, hash)
-		rt.mu.Unlock()
-		if err != nil {
+		if err := rt.newProxy(e.fr, class, hash); err != nil {
 			return wire.Value{}, err
 		}
 		// Constructor relays return no value, so under Config.Batching
@@ -61,12 +58,12 @@ func (e *env) New(class string, args ...wire.Value) (wire.Value, error) {
 	}
 	rt.w.clock.Charge(simcfg.LocalAllocCycles)
 	hash := rt.w.nextHash()
-	rt.mu.Lock()
+	rt.heapMu.Lock()
 	h, err := rt.iso.NewObject(class, hash)
+	rt.heapMu.Unlock()
 	if err == nil {
-		_, err = rt.retainLocked(e.fr, hash, h)
+		_, err = rt.adoptHandle(e.fr, hash, h)
 	}
-	rt.mu.Unlock()
 	if err != nil {
 		return wire.Value{}, err
 	}
@@ -133,31 +130,28 @@ func (e *env) GetField(recv wire.Value, field string) (wire.Value, error) {
 		return wire.Value{}, fmt.Errorf("world: proxy %s has no fields (access fields via methods)", class)
 	}
 	rt.w.clock.Charge(simcfg.FieldAccessCycles)
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	h, err := rt.resolveLocked(e.fr, hash)
+	h, err := rt.resolve(e.fr, hash)
 	if err != nil {
 		return wire.Value{}, err
 	}
+	// The field read and the ref-handle creation share one heap critical
+	// section, so the slot cannot change between them; the fresh handle
+	// is then adopted (a racing adopter's entry wins, the duplicate
+	// handle is dropped).
+	rt.heapMu.Lock()
 	v, err := rt.iso.GetField(h, field)
+	var fh heap.Handle
+	_, refHash, isRef := v.AsRef()
+	if err == nil && isRef {
+		fh, err = rt.iso.GetFieldRefHandle(h, field)
+	}
+	rt.heapMu.Unlock()
 	if err != nil {
 		return wire.Value{}, err
 	}
-	if _, refHash, isRef := v.AsRef(); isRef {
-		// Make the target live for the caller: reuse the table entry or
-		// create a handle from the field slot.
-		if _, ok := rt.objects[refHash]; ok {
-			if _, err := rt.resolveLocked(e.fr, refHash); err != nil {
-				return wire.Value{}, err
-			}
-		} else {
-			fh, err := rt.iso.GetFieldRefHandle(h, field)
-			if err != nil {
-				return wire.Value{}, err
-			}
-			if _, err := rt.retainLocked(e.fr, refHash, fh); err != nil {
-				return wire.Value{}, err
-			}
+	if isRef && fh != 0 {
+		if _, err := rt.adoptHandle(e.fr, refHash, fh); err != nil {
+			return wire.Value{}, err
 		}
 	}
 	return v, nil
@@ -182,29 +176,38 @@ func (e *env) SetField(recv wire.Value, field string, v wire.Value) error {
 		return fmt.Errorf("world: unknown field %s.%s", class, field)
 	}
 	rt.w.clock.Charge(simcfg.FieldAccessCycles)
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	h, err := rt.resolveLocked(e.fr, hash)
+	h, err := rt.resolve(e.fr, hash)
 	if err != nil {
 		return err
 	}
+	// Receiver and target stay live across the heap critical section via
+	// the frame's retentions; handles are GC-stable, so resolving first
+	// and writing second is safe.
 	switch f.Kind {
 	case classmodel.FieldRef:
 		if v.IsNull() {
+			rt.heapMu.Lock()
+			defer rt.heapMu.Unlock()
 			return rt.iso.SetFieldRef(h, field, 0)
 		}
 		_, targetHash, isRef := v.AsRef()
 		if !isRef {
 			return fmt.Errorf("world: field %s.%s wants a reference, got %s", class, field, v.Kind())
 		}
-		th, err := rt.resolveLocked(e.fr, targetHash)
+		th, err := rt.resolve(e.fr, targetHash)
 		if err != nil {
 			return err
 		}
+		rt.heapMu.Lock()
+		defer rt.heapMu.Unlock()
 		return rt.iso.SetFieldRef(h, field, th)
 	case classmodel.FieldInt, classmodel.FieldFloat, classmodel.FieldBool:
+		rt.heapMu.Lock()
+		defer rt.heapMu.Unlock()
 		return rt.iso.SetFieldScalar(h, field, v)
 	default:
+		rt.heapMu.Lock()
+		defer rt.heapMu.Unlock()
 		return rt.iso.SetFieldData(h, field, v)
 	}
 }
@@ -228,43 +231,44 @@ func (e *env) FS() shim.FS { return e.rt.fs }
 func (e *env) newBuiltin(class string, args []wire.Value) (wire.Value, error) {
 	rt := e.rt
 	rt.w.clock.Charge(simcfg.LocalAllocCycles)
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	var (
-		h   heap.Handle
-		err error
-	)
+	// Validate arguments before entering the heap critical section, so
+	// the section is a straight-line allocate-and-hash.
+	var alloc func() (heap.Handle, error)
 	switch class {
 	case classmodel.BuiltinList:
 		if len(args) != 0 {
 			return wire.Value{}, fmt.Errorf("%w: List() takes no arguments", ErrBadArity)
 		}
-		h, err = rt.iso.NewList()
+		alloc = rt.iso.NewList
 	case classmodel.BuiltinString:
 		s, ok := oneArg(args).AsStr()
 		if !ok {
 			return wire.Value{}, fmt.Errorf("world: String(value) wants a string argument")
 		}
-		h, err = rt.iso.NewString(s)
+		alloc = func() (heap.Handle, error) { return rt.iso.NewString(s) }
 	case classmodel.BuiltinBytes:
 		b, ok := oneArg(args).AsBytes()
 		if !ok {
 			return wire.Value{}, fmt.Errorf("world: Bytes(value) wants a bytes argument")
 		}
-		h, err = rt.iso.NewBytes(b)
+		alloc = func() (heap.Handle, error) { return rt.iso.NewBytes(b) }
 	case classmodel.BuiltinBlob:
-		h, err = rt.iso.NewBlob(oneArg(args))
+		v := oneArg(args)
+		alloc = func() (heap.Handle, error) { return rt.iso.NewBlob(v) }
 	default:
 		return wire.Value{}, fmt.Errorf("world: cannot instantiate builtin %s directly", class)
 	}
+	rt.heapMu.Lock()
+	h, err := alloc()
+	var hash int64
+	if err == nil {
+		hash, err = rt.iso.HashOf(h)
+	}
+	rt.heapMu.Unlock()
 	if err != nil {
 		return wire.Value{}, err
 	}
-	hash, err := rt.iso.HashOf(h)
-	if err != nil {
-		return wire.Value{}, err
-	}
-	if _, err := rt.retainLocked(e.fr, hash, h); err != nil {
+	if _, err := rt.adoptHandle(e.fr, hash, h); err != nil {
 		return wire.Value{}, err
 	}
 	return wire.Ref(class, hash), nil
@@ -274,9 +278,7 @@ func (e *env) callBuiltin(recv wire.Value, method string, args []wire.Value) (wi
 	rt := e.rt
 	class, hash, _ := recv.AsRef()
 	rt.w.clock.Charge(simcfg.LocalCallCycles)
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	h, err := rt.resolveLocked(e.fr, hash)
+	h, err := rt.resolve(e.fr, hash)
 	if err != nil {
 		return wire.Value{}, err
 	}
@@ -284,7 +286,9 @@ func (e *env) callBuiltin(recv wire.Value, method string, args []wire.Value) (wi
 	case classmodel.BuiltinList:
 		return e.callList(h, method, args)
 	case classmodel.BuiltinString:
+		rt.heapMu.Lock()
 		s, err := rt.iso.StrValue(h)
+		rt.heapMu.Unlock()
 		if err != nil {
 			return wire.Value{}, err
 		}
@@ -295,7 +299,9 @@ func (e *env) callBuiltin(recv wire.Value, method string, args []wire.Value) (wi
 			return wire.Int(int64(len(s))), nil
 		}
 	case classmodel.BuiltinBytes:
+		rt.heapMu.Lock()
 		b, err := rt.iso.BytesValue(h)
+		rt.heapMu.Unlock()
 		if err != nil {
 			return wire.Value{}, err
 		}
@@ -307,18 +313,24 @@ func (e *env) callBuiltin(recv wire.Value, method string, args []wire.Value) (wi
 		}
 	case classmodel.BuiltinBlob:
 		if method == "value" {
+			rt.heapMu.Lock()
+			defer rt.heapMu.Unlock()
 			return rt.iso.BlobValue(h)
 		}
 	}
 	return wire.Value{}, fmt.Errorf("%w: method %s.%s", image.ErrClosedWorld, class, method)
 }
 
-// callList dispatches List methods. rt.mu is held.
+// callList dispatches List methods. The list handle is retained by the
+// activation frame, so it stays valid across the heap critical sections
+// below.
 func (e *env) callList(list heap.Handle, method string, args []wire.Value) (wire.Value, error) {
 	rt := e.rt
 	switch method {
 	case "size":
+		rt.heapMu.Lock()
 		n, err := rt.iso.ListSize(list)
+		rt.heapMu.Unlock()
 		if err != nil {
 			return wire.Value{}, err
 		}
@@ -342,10 +354,12 @@ func (e *env) callList(list heap.Handle, method string, args []wire.Value) (wire
 		if !ok {
 			return wire.Value{}, fmt.Errorf("world: List elements are object references, got %s", args[0].Kind())
 		}
-		eh, err := rt.resolveLocked(e.fr, elemHash)
+		eh, err := rt.resolve(e.fr, elemHash)
 		if err != nil {
 			return wire.Value{}, err
 		}
+		rt.heapMu.Lock()
+		defer rt.heapMu.Unlock()
 		if method == "add" {
 			return wire.Null(), rt.iso.ListAdd(list, eh)
 		}
@@ -358,22 +372,28 @@ func (e *env) callList(list heap.Handle, method string, args []wire.Value) (wire
 		if !ok {
 			return wire.Value{}, fmt.Errorf("world: List.get index must be int")
 		}
+		// Element handle, hash and class name come from one critical
+		// section; the fresh handle is then adopted into the table.
+		rt.heapMu.Lock()
 		eh, err := rt.iso.ListGet(list, int(i))
+		var (
+			elemHash int64
+			name     string
+		)
+		if err == nil && eh != 0 {
+			elemHash, err = rt.iso.HashOf(eh)
+			if err == nil {
+				name, err = rt.iso.ClassNameOf(eh)
+			}
+		}
+		rt.heapMu.Unlock()
 		if err != nil {
 			return wire.Value{}, err
 		}
 		if eh == 0 {
 			return wire.Null(), nil
 		}
-		elemHash, err := rt.iso.HashOf(eh)
-		if err != nil {
-			return wire.Value{}, err
-		}
-		name, err := rt.iso.ClassNameOf(eh)
-		if err != nil {
-			return wire.Value{}, err
-		}
-		if _, err := rt.retainLocked(e.fr, elemHash, eh); err != nil {
+		if _, err := rt.adoptHandle(e.fr, elemHash, eh); err != nil {
 			return wire.Value{}, err
 		}
 		return wire.Ref(name, elemHash), nil

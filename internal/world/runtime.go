@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"montsalvat/internal/boundary"
@@ -35,6 +36,9 @@ type RuntimeStats struct {
 	// RegistrySize and WeakListLen snapshot the GC-sync structures.
 	RegistrySize int
 	WeakListLen  int
+	// ObjectTableLen snapshots the live entries of the sharded object
+	// table (frames and pins currently retaining objects).
+	ObjectTableLen int
 }
 
 // SweepStats describes the GC helper's sweep activity over one runtime's
@@ -70,15 +74,26 @@ type Runtime struct {
 	// (nil unless partitioned; active only with Config.Batching).
 	queue *boundary.Queue
 
-	// mu serialises all isolate/heap/table access (one mutator at a
-	// time, plus the GC helper).
-	mu      sync.Mutex
-	objects map[int64]*objEntry // identity hash -> cached strong handle
-	pins    *frame              // permanent roots (static-field analog)
+	// heapMu is the narrow isolate/heap lock of the concurrent crossing
+	// engine: it serialises actual heap mutation (allocation — which may
+	// trigger a collection — field access, GC, weak dereference) and
+	// nothing else. It is never held across a boundary transition, while
+	// calling into the opposite runtime, or around a table/registry
+	// mutation. Handles are GC-stable and may cross heapMu critical
+	// sections; raw heap addresses may not (a collection between
+	// sections moves objects).
+	heapMu sync.Mutex
+	// table is the sharded object table: identity hash → refcounted
+	// strong handle, retained and released by activation frames.
+	table *objTable
+	// pinMu guards the permanent-root frame (static-field analog);
+	// outermost in the lock order.
+	pinMu sync.Mutex
+	pins  *frame
 
-	remoteOut  uint64
-	proxiesNew uint64
-	marshalled uint64
+	remoteOut  atomic.Uint64
+	proxiesNew atomic.Uint64
+	marshalled atomic.Uint64
 
 	// sweepMu guards the helper-sweep statistics (the GC helper and
 	// stats readers race).
@@ -104,13 +119,6 @@ func (rt *Runtime) SweepStats() SweepStats {
 	return rt.sweeps
 }
 
-// objEntry is a reference-counted strong handle in the local object
-// table; frames retain and release entries.
-type objEntry struct {
-	handle heap.Handle
-	refs   int
-}
-
 func newRuntime(w *World, name string, trusted bool, img *image.Image, h *heap.Heap) (*Runtime, error) {
 	iso, err := isolate.New(0, h, w.nextHash)
 	if err != nil {
@@ -124,9 +132,18 @@ func newRuntime(w *World, name string, trusted bool, img *image.Image, h *heap.H
 		iso:     iso,
 		reg:     registry.New(h),
 		weaks:   registry.NewWeakList(h),
-		objects: make(map[int64]*objEntry),
+		table:   newObjTable(),
 		pins:    &frame{},
 	}
+	// Registry strong-handle drops run outside every registry shard lock
+	// (the registry defers them), so taking the heap lock here cannot
+	// deadlock against the shard locks. Callers therefore must not hold
+	// heapMu across mutating registry calls (Export/Release).
+	rt.reg.SetReleaser(func(hd heap.Handle) error {
+		rt.heapMu.Lock()
+		defer rt.heapMu.Unlock()
+		return rt.iso.Release(hd)
+	})
 	for _, c := range img.Classes() {
 		if classmodel.IsBuiltin(c.Name) {
 			continue
@@ -159,30 +176,33 @@ func (rt *Runtime) WeakList() *registry.WeakList { return rt.weaks }
 
 // Collect forces a stop-and-copy GC cycle on the runtime's heap.
 func (rt *Runtime) Collect() error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
 	return rt.iso.Collect()
 }
 
 // HeapStats snapshots the heap statistics.
 func (rt *Runtime) HeapStats() heap.Stats {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
 	return rt.iso.Heap().Stats()
 }
 
 // Stats snapshots the runtime counters.
 func (rt *Runtime) Stats() RuntimeStats {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	return RuntimeStats{
-		RemoteCallsOut:  rt.remoteOut,
-		ProxiesCreated:  rt.proxiesNew,
-		MarshalledBytes: rt.marshalled,
+		RemoteCallsOut:  rt.remoteOut.Load(),
+		ProxiesCreated:  rt.proxiesNew.Load(),
+		MarshalledBytes: rt.marshalled.Load(),
 		RegistrySize:    rt.reg.Size(),
 		WeakListLen:     rt.weaks.Len(),
+		ObjectTableLen:  rt.table.len(),
 	}
 }
+
+// ObjectTableLen reports the number of live object-table entries — zero
+// once every frame and pin retaining objects has been released.
+func (rt *Runtime) ObjectTableLen() int { return rt.table.len() }
 
 // Pin adds a permanent strong root for the object behind a ref — the
 // analog of storing it in a static field. The object must currently be
@@ -192,9 +212,9 @@ func (rt *Runtime) Pin(v wire.Value) error {
 	if !ok {
 		return ErrNotRef
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	_, err := rt.resolveLocked(rt.pins, hash)
+	rt.pinMu.Lock()
+	defer rt.pinMu.Unlock()
+	_, err := rt.resolve(rt.pins, hash)
 	return err
 }
 
@@ -204,19 +224,17 @@ func (rt *Runtime) Unpin(v wire.Value) error {
 	if !ok {
 		return ErrNotRef
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.pinMu.Lock()
+	defer rt.pinMu.Unlock()
 	for i, h := range rt.pins.owned {
 		if h != hash {
 			continue
 		}
 		rt.pins.owned = append(rt.pins.owned[:i], rt.pins.owned[i+1:]...)
-		if e, ok := rt.objects[hash]; ok {
-			e.refs--
-			if e.refs <= 0 {
-				_ = rt.iso.Release(e.handle)
-				delete(rt.objects, hash)
-			}
+		if drop := rt.table.release(hash); drop != 0 {
+			rt.heapMu.Lock()
+			_ = rt.iso.Release(drop)
+			rt.heapMu.Unlock()
 		}
 		return nil
 	}
@@ -238,79 +256,86 @@ type frame struct {
 	span  *telemetry.Span
 }
 
+// own records a table retention taken on behalf of this frame. A frame
+// belongs to exactly one activation, so no lock guards the slice.
+func (fr *frame) own(hash int64) { fr.owned = append(fr.owned, hash) }
+
 func (rt *Runtime) newFrame() *frame { return &frame{} }
 
 // releaseFrame drops the frame's retentions; entries reaching zero lose
-// their strong handle, making the objects collectable.
+// their strong handle — and leave the table eagerly — making the objects
+// collectable. The handle drops batch into one heap critical section.
 func (rt *Runtime) releaseFrame(fr *frame) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	var drops []heap.Handle
 	for _, hash := range fr.owned {
-		e, ok := rt.objects[hash]
-		if !ok {
-			continue
-		}
-		e.refs--
-		if e.refs <= 0 {
-			// Best effort: a released handle only pins memory.
-			_ = rt.iso.Release(e.handle)
-			delete(rt.objects, hash)
+		if d := rt.table.release(hash); d != 0 {
+			drops = append(drops, d)
 		}
 	}
 	fr.owned = nil
+	if len(drops) == 0 {
+		return
+	}
+	rt.heapMu.Lock()
+	for _, d := range drops {
+		// Best effort: a released handle only pins memory.
+		_ = rt.iso.Release(d)
+	}
+	rt.heapMu.Unlock()
 }
 
-// retainLocked records (hash -> handle) in the object table and the
-// frame. If the hash is already cached, the redundant handle is released.
-// Must be called with rt.mu held.
-func (rt *Runtime) retainLocked(fr *frame, hash int64, handle heap.Handle) (heap.Handle, error) {
-	if e, ok := rt.objects[hash]; ok {
-		e.refs++
-		if handle != 0 && handle != e.handle {
-			if err := rt.iso.Release(handle); err != nil {
-				return 0, err
-			}
+// adoptHandle installs a freshly created strong handle into the object
+// table and retains it in fr. When a racing goroutine adopted the hash
+// first, the table keeps the established handle and the redundant fresh
+// one is dropped here, under the heap lock, outside all table locks.
+func (rt *Runtime) adoptHandle(fr *frame, hash int64, fresh heap.Handle) (heap.Handle, error) {
+	kept, dup := rt.table.adopt(hash, fresh)
+	if dup != 0 {
+		rt.heapMu.Lock()
+		err := rt.iso.Release(dup)
+		rt.heapMu.Unlock()
+		if err != nil {
+			return 0, err
 		}
-		fr.owned = append(fr.owned, hash)
-		return e.handle, nil
 	}
-	if handle == 0 {
+	fr.own(hash)
+	return kept, nil
+}
+
+// resolve finds a live local object for hash, looking through the object
+// table, the mirror–proxy registry, and the weak list (canonical
+// proxies). The returned handle is retained in fr. The slow path
+// materialises a fresh handle under the heap lock, then adopts it —
+// losing an adoption race only costs the redundant handle.
+func (rt *Runtime) resolve(fr *frame, hash int64) (heap.Handle, error) {
+	if h, ok := rt.table.retain(hash); ok {
+		fr.own(hash)
+		return h, nil
+	}
+	rt.heapMu.Lock()
+	var (
+		fresh heap.Handle
+		err   error
+	)
+	// reg.Resolve is a read — it never triggers the registry's releaser
+	// hook — so calling it under heapMu preserves the lock order.
+	if regHandle, ok := rt.reg.Resolve(hash); ok {
+		var addr heap.Addr
+		addr, err = rt.iso.Heap().Deref(regHandle)
+		if err == nil {
+			fresh, err = rt.iso.HandleAt(addr)
+		}
+	} else if addr, ok := rt.weaks.LiveHash(hash); ok {
+		fresh, err = rt.iso.HandleAt(addr)
+	}
+	rt.heapMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if fresh == 0 {
 		return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, hash)
 	}
-	rt.objects[hash] = &objEntry{handle: handle, refs: 1}
-	fr.owned = append(fr.owned, hash)
-	return handle, nil
-}
-
-// resolveLocked finds a live local object for hash, looking through the
-// object table, the mirror–proxy registry, and the weak list (canonical
-// proxies). The returned handle is retained in fr.
-// Must be called with rt.mu held.
-func (rt *Runtime) resolveLocked(fr *frame, hash int64) (heap.Handle, error) {
-	if e, ok := rt.objects[hash]; ok {
-		e.refs++
-		fr.owned = append(fr.owned, hash)
-		return e.handle, nil
-	}
-	if regHandle, ok := rt.reg.Resolve(hash); ok {
-		addr, err := rt.iso.Heap().Deref(regHandle)
-		if err != nil {
-			return 0, err
-		}
-		fresh, err := rt.iso.HandleAt(addr)
-		if err != nil {
-			return 0, err
-		}
-		return rt.retainLocked(fr, hash, fresh)
-	}
-	if addr, ok := rt.weaks.LiveHash(hash); ok {
-		fresh, err := rt.iso.HandleAt(addr)
-		if err != nil {
-			return 0, err
-		}
-		return rt.retainLocked(fr, hash, fresh)
-	}
-	return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, hash)
+	return rt.adoptHandle(fr, hash, fresh)
 }
 
 // resolveRef resolves a ref value to a live handle retained in fr.
@@ -319,9 +344,7 @@ func (rt *Runtime) resolveRef(fr *frame, v wire.Value) (heap.Handle, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: got %s", ErrNotRef, v.Kind())
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.resolveLocked(fr, hash)
+	return rt.resolve(fr, hash)
 }
 
 // classDecl returns the image declaration of a ref's class.
@@ -354,9 +377,7 @@ func (rt *Runtime) marshalOut(fr *frame, vals []wire.Value) ([]byte, error) {
 	// receiver has decoded it (decoding copies).
 	buf := wire.AppendValues(rt.w.bufs.Get(wire.SizeValues(out)), out)
 	rt.chargeSerialization(out, simcfg.SerializeCyclesPerValue)
-	rt.mu.Lock()
-	rt.marshalled += uint64(len(buf))
-	rt.mu.Unlock()
+	rt.marshalled.Add(uint64(len(buf)))
 	return buf, nil
 }
 
@@ -450,21 +471,26 @@ func (rt *Runtime) marshalRef(fr *frame, v wire.Value) (wire.Value, error) {
 	default:
 		// A local concrete annotated object leaves the runtime: export
 		// a strong reference into OUR registry so the opposite runtime's
-		// new proxy keeps the mirror alive (§5.2).
-		rt.mu.Lock()
-		defer rt.mu.Unlock()
-		h, err := rt.resolveLocked(fr, hash)
+		// new proxy keeps the mirror alive (§5.2). The frame's retention
+		// keeps h valid between the critical sections; the address is
+		// derefed and re-handled inside one, so no collection can move
+		// the object in between.
+		h, err := rt.resolve(fr, hash)
 		if err != nil {
 			return wire.Value{}, err
 		}
+		rt.heapMu.Lock()
 		addr, err := rt.iso.Heap().Deref(h)
+		var regHandle heap.Handle
+		if err == nil {
+			regHandle, err = rt.iso.HandleAt(addr)
+		}
+		rt.heapMu.Unlock()
 		if err != nil {
 			return wire.Value{}, err
 		}
-		regHandle, err := rt.iso.HandleAt(addr)
-		if err != nil {
-			return wire.Value{}, err
-		}
+		// Export outside heapMu: a duplicate export triggers the
+		// registry's releaser, which takes heapMu itself.
 		if err := rt.reg.Export(hash, regHandle); err != nil {
 			return wire.Value{}, err
 		}
@@ -482,9 +508,7 @@ func (rt *Runtime) unmarshalIn(fr *frame, buf []byte) ([]wire.Value, error) {
 		return nil, fmt.Errorf("world: corrupt boundary buffer: %w", err)
 	}
 	rt.chargeSerialization(vals, simcfg.DeserializeCyclesPerValue)
-	rt.mu.Lock()
-	rt.marshalled += uint64(len(buf))
-	rt.mu.Unlock()
+	rt.marshalled.Add(uint64(len(buf)))
 	for i, v := range vals {
 		lv, err := rt.localiseValue(fr, v, 0)
 		if err != nil {
@@ -531,8 +555,10 @@ func (rt *Runtime) localiseValue(fr *frame, v wire.Value, depth int) (wire.Value
 }
 
 // localiseRef ensures a live local object exists for an incoming ref.
-// It never holds rt.mu while touching the opposite runtime (lock-order
-// discipline: at most one runtime mutex at a time).
+// It never touches the opposite runtime while holding the local heap
+// lock (lock-order discipline: at most one runtime's heap lock at a
+// time — the duplicate-export release below takes the opposite one via
+// the registry's releaser hook).
 func (rt *Runtime) localiseRef(fr *frame, v wire.Value) error {
 	class, hash, _ := v.AsRef()
 	decl, err := rt.classDecl(class)
@@ -540,51 +566,52 @@ func (rt *Runtime) localiseRef(fr *frame, v wire.Value) error {
 		return err
 	}
 
+	if !decl.Proxy {
+		// The object lives here: it must be a registered mirror (or an
+		// already-known local object).
+		if _, err := rt.resolve(fr, hash); err != nil {
+			return fmt.Errorf("%w (class %s, hash %d)", ErrStaleMirror, class, hash)
+		}
+		return nil
+	}
+
+	// The ref names a remote object: reuse the canonical live proxy if
+	// one exists, otherwise materialise a new proxy instance. Two
+	// goroutines importing the same hash at once may both materialise;
+	// the adoption race keeps one canonical proxy, the loser's becomes
+	// garbage and its sender export is reclaimed by a later sweep.
 	dropDuplicateExport := false
-	err = func() error {
-		rt.mu.Lock()
-		defer rt.mu.Unlock()
-		if !decl.Proxy {
-			// The object lives here: it must be a registered mirror (or
-			// an already-known local object).
-			if _, err := rt.resolveLocked(fr, hash); err != nil {
-				return fmt.Errorf("%w (class %s, hash %d)", ErrStaleMirror, class, hash)
-			}
-			return nil
+	if _, ok := rt.table.retain(hash); ok {
+		fr.own(hash)
+		dropDuplicateExport = true
+	} else {
+		rt.heapMu.Lock()
+		var fresh heap.Handle
+		addr, live := rt.weaks.LiveHash(hash)
+		if live {
+			fresh, err = rt.iso.HandleAt(addr)
 		}
-		// The ref names a remote object: reuse the canonical live proxy
-		// if one exists, otherwise materialise a new proxy instance.
-		if _, ok := rt.objects[hash]; ok {
-			if _, err := rt.resolveLocked(fr, hash); err != nil {
+		rt.heapMu.Unlock()
+		if err != nil {
+			return err
+		}
+		switch {
+		case live:
+			if _, err := rt.adoptHandle(fr, hash, fresh); err != nil {
 				return err
 			}
 			dropDuplicateExport = true
-			return nil
-		}
-		if addr, ok := rt.weaks.LiveHash(hash); ok {
-			fresh, err := rt.iso.HandleAt(addr)
-			if err != nil {
+		default:
+			if err := rt.newProxy(fr, class, hash); err != nil {
 				return err
 			}
-			if _, err := rt.retainLocked(fr, hash, fresh); err != nil {
-				return err
-			}
-			dropDuplicateExport = true
-			return nil
 		}
-		return rt.newProxyLocked(fr, class, hash)
-	}()
-	if err != nil {
-		return err
 	}
 	if dropDuplicateExport {
 		// A live local representative already holds a registry export;
 		// drop the duplicate export made by the sender.
 		if opp := rt.w.opposite(rt); opp != nil {
-			opp.mu.Lock()
-			_, rerr := opp.reg.Release(hash)
-			opp.mu.Unlock()
-			if rerr != nil {
+			if _, rerr := opp.reg.Release(hash); rerr != nil {
 				return rerr
 			}
 		}
@@ -592,20 +619,22 @@ func (rt *Runtime) localiseRef(fr *frame, v wire.Value) error {
 	return nil
 }
 
-// newProxyLocked materialises a proxy instance for a remote object and
-// weak-tracks it. Must be called with rt.mu held.
-func (rt *Runtime) newProxyLocked(fr *frame, class string, hash int64) error {
+// newProxy materialises a proxy instance for a remote object and
+// weak-tracks it.
+func (rt *Runtime) newProxy(fr *frame, class string, hash int64) error {
+	rt.heapMu.Lock()
 	h, err := rt.iso.NewObject(class, hash)
-	if err != nil {
-		return err
+	var w heap.WeakRef
+	if err == nil {
+		w, err = rt.iso.NewWeak(h)
 	}
-	w, err := rt.iso.NewWeak(h)
+	rt.heapMu.Unlock()
 	if err != nil {
 		return err
 	}
 	rt.weaks.Track(w, hash)
-	rt.proxiesNew++
-	_, err = rt.retainLocked(fr, hash, h)
+	rt.proxiesNew.Add(1)
+	_, err = rt.adoptHandle(fr, hash, h)
 	return err
 }
 
@@ -707,9 +736,7 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		// and coalesced into one batched transition; the caller observes
 		// null immediately and any call error at the flush.
 		if w.batching && !routine.ReturnsValue {
-			rt.mu.Lock()
-			rt.remoteOut++
-			rt.mu.Unlock()
+			rt.remoteOut.Add(1)
 			return wire.Null(), rt.queue.Enqueue(boundary.Entry{ID: routine.ID, Class: class, Method: relayName, Hash: hash, Args: argBuf})
 		}
 		// A result-dependent call must observe the effects of every
@@ -758,9 +785,7 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 	if err != nil {
 		return wire.Value{}, err
 	}
-	rt.mu.Lock()
-	rt.remoteOut++
-	rt.mu.Unlock()
+	rt.remoteOut.Add(1)
 
 	results, err := rt.unmarshalIn(fr, resultBuf)
 	w.bufs.Put(resultBuf)
@@ -805,32 +830,30 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 	case target == classmodel.CtorName:
 		// Mirror instantiation: allocate the concrete object under the
 		// proxy's hash, run the constructor, and export a strong
-		// reference into the mirror–proxy registry.
-		rt.mu.Lock()
+		// reference into the mirror–proxy registry. Allocation and the
+		// registry handle share one heap critical section (the address
+		// must not cross it); the export itself runs outside heapMu
+		// because a duplicate export triggers the registry's releaser.
+		rt.heapMu.Lock()
 		h, err := rt.iso.NewObject(class, hash)
+		var regHandle heap.Handle
+		if err == nil {
+			var addr heap.Addr
+			addr, err = rt.iso.Heap().Deref(h)
+			if err == nil {
+				regHandle, err = rt.iso.HandleAt(addr)
+			}
+		}
+		rt.heapMu.Unlock()
 		if err != nil {
-			rt.mu.Unlock()
 			return nil, err
 		}
-		if _, err := rt.retainLocked(fr, hash, h); err != nil {
-			rt.mu.Unlock()
-			return nil, err
-		}
-		addr, err := rt.iso.Heap().Deref(h)
-		if err != nil {
-			rt.mu.Unlock()
-			return nil, err
-		}
-		regHandle, err := rt.iso.HandleAt(addr)
-		if err != nil {
-			rt.mu.Unlock()
+		if _, err := rt.adoptHandle(fr, hash, h); err != nil {
 			return nil, err
 		}
 		if err := rt.reg.Export(hash, regHandle); err != nil {
-			rt.mu.Unlock()
 			return nil, err
 		}
-		rt.mu.Unlock()
 		self := wire.Ref(class, hash)
 		// The relay frame is passed through so the ctor body inherits
 		// the trace span (its null result adopts nothing).
@@ -848,10 +871,7 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 		}
 		if !tm.Static {
 			// Resolve the mirror: it must still be registered.
-			rt.mu.Lock()
-			_, rerr := rt.resolveLocked(fr, hash)
-			rt.mu.Unlock()
-			if rerr != nil {
+			if _, rerr := rt.resolve(fr, hash); rerr != nil {
 				return nil, fmt.Errorf("%w: %s#%d", ErrStaleMirror, class, hash)
 			}
 			self = wire.Ref(class, hash)

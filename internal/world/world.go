@@ -276,10 +276,17 @@ func newWorld(mode Mode, opts Options) (*World, error) {
 	if cfg.CPUHz == 0 {
 		cfg = simcfg.ForTest()
 	}
+	clockMode := cycles.ModeVirtual
+	if cfg.Spin {
+		clockMode = cycles.ModeSpin
+		if cfg.SleepCharges {
+			clockMode = cycles.ModeSleep
+		}
+	}
 	w := &World{
 		mode:           mode,
 		cfg:            cfg,
-		clock:          cycles.New(cfg.CPUHz, cfg.Spin),
+		clock:          cycles.NewWithMode(cfg.CPUHz, clockMode),
 		bufs:           boundary.NewBufPool(),
 		hostFS:         hostFS,
 		helperInterval: opts.GCHelperInterval,
@@ -345,6 +352,12 @@ func (w *World) newRuntime(name string, trusted bool, img *image.Image, hc heap.
 	rt, err := newRuntime(w, name, trusted, img, h)
 	if err != nil {
 		return nil, err
+	}
+	if reg := w.tel.Registry(); reg != nil {
+		// Lock hold-time histogram of the registry's mutating critical
+		// sections — with the shard-wait gauges, the contention telemetry
+		// of the concurrent crossing engine.
+		rt.reg.SetHoldObserver(reg.Histogram("montsalvat_registry_lock_hold_ns").Observe)
 	}
 	if trusted {
 		rt.fs = shim.NewTrustedShim(w.enclave, w.hostFS)
@@ -551,9 +564,10 @@ func (w *World) sweep(rt *Runtime) error {
 	if rt == nil {
 		return ErrWrongRuntime
 	}
-	rt.mu.Lock()
+	// SweepDead dereferences weak refs on rt's heap: hold rt's heap lock.
+	rt.heapMu.Lock()
 	dead, err := rt.weaks.SweepDead()
-	rt.mu.Unlock()
+	rt.heapMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -578,8 +592,9 @@ func (w *World) sweep(rt *Runtime) error {
 		return rt.queue.Flush()
 	}
 	release := func() error {
-		opposite.mu.Lock()
-		defer opposite.mu.Unlock()
+		// Registry releases take only shard locks; the dropped mirror
+		// handles are released via the opposite runtime's heap lock by
+		// the registry's releaser hook — never while rt's is held.
 		for _, hash := range dead {
 			if _, err := opposite.reg.Release(hash); err != nil {
 				return err
@@ -663,9 +678,7 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 // The flush span parents any nested calls the relay makes.
 func (w *World) runBatchedCall(to *Runtime, c wire.FrameCall, sp *telemetry.Span) error {
 	if c.Method == gcReleaseMethod {
-		to.mu.Lock()
 		_, err := to.reg.Release(c.Hash)
-		to.mu.Unlock()
 		return err
 	}
 	if _, err := to.dispatchRelay(c.Class, c.Method, c.Hash, c.Args, false, sp); err != nil {
@@ -710,6 +723,7 @@ func (w *World) CloseErr() error {
 	if w.enclave != nil {
 		w.enclave.Destroy()
 	}
+	w.clock.Stop()
 	return err
 }
 
@@ -794,6 +808,11 @@ func (w *World) collectMetrics(reg *telemetry.Registry) {
 		reg.Counter("montsalvat_world_proxies_created_total", "runtime", rt.name).Set(rs.ProxiesCreated)
 		reg.Gauge("montsalvat_world_registry_size", "runtime", rt.name).Set(int64(rs.RegistrySize))
 		reg.Gauge("montsalvat_world_weak_list_len", "runtime", rt.name).Set(int64(rs.WeakListLen))
+		reg.Gauge("montsalvat_world_object_table_len", "runtime", rt.name).Set(int64(rs.ObjectTableLen))
+		// Shard contention of the concurrent crossing engine: lock
+		// acquisitions that found a registry/object-table shard held.
+		reg.Gauge("montsalvat_registry_shard_waits", "runtime", rt.name).Set(int64(rt.reg.Waits()))
+		reg.Gauge("montsalvat_objtable_shard_waits", "runtime", rt.name).Set(int64(rt.table.waits.Load()))
 	}
 }
 
