@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-full serve-smoke obs-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-full serve-smoke obs-smoke crash-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -15,7 +15,7 @@ build:
 test:
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sgx/... ./internal/world/... ./internal/serve/... ./internal/telemetry/...
+	$(GO) test -race ./internal/sgx/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/...
 
 race:
 	$(GO) test -race ./...
@@ -55,6 +55,13 @@ serve-smoke:
 # (ecall with nested ocall) are present.
 obs-smoke:
 	$(GO) run ./cmd/montsalvat-serve -smoke -sessions 16 -requests 16 -metrics-addr 127.0.0.1:0
+
+# Durability check: boot a durable gateway (sealed WAL + checkpoints +
+# monotonic-counter rollback protection), kill and recover the enclave
+# twice with attested sessions re-established after each crash, and fail
+# unless every acked write survives both.
+crash-smoke:
+	$(GO) run ./cmd/montsalvat-serve -crash-smoke -sessions 8 -requests 16
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/

@@ -43,7 +43,8 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
 		format     = fs.String("format", "text", "output format: text or csv")
 		profile    = fs.Bool("profile-dispatch", false, "run the KV demo with full-rate telemetry and print the dispatch profile")
-		jsonPath   = fs.String("json", "", "run the RMI perf suite and append a machine-readable entry to this file (e.g. BENCH_rmi.json)")
+		jsonPath   = fs.String("json", "", "run a perf suite (see -suite) and append a machine-readable entry to this file (e.g. BENCH_rmi.json)")
+		suite      = fs.String("suite", "rmi", "perf suite for -json: rmi (BENCH_rmi.json) or persist (BENCH_persist.json)")
 		label      = fs.String("label", "run", "entry label for -json records")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +63,14 @@ func run(args []string, out io.Writer) error {
 
 	opts := bench.Options{Quick: *quick, Spin: *spin}
 	if *jsonPath != "" {
-		return writeRMIPerf(opts, *jsonPath, *label, out)
+		switch *suite {
+		case "rmi":
+			return writeRMIPerf(opts, *jsonPath, *label, out)
+		case "persist":
+			return writeRecoveryPerf(opts, *jsonPath, *label, out)
+		default:
+			return fmt.Errorf("unknown -suite %q (want rmi or persist)", *suite)
+		}
 	}
 	if *profile {
 		report, err := bench.DispatchProfile(opts)
@@ -129,6 +137,45 @@ func writeRMIPerf(opts bench.Options, path, label string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%s: appended %q (single %.0f ops/s, 8-goroutine speedup %.2fx)\n",
 		path, label, entry.SingleOpsPerSec, speedupAt(entry, 8))
+	return nil
+}
+
+// writeRecoveryPerf runs the durability recovery suite and appends the
+// labelled entry to the trajectory file, creating it when absent.
+func writeRecoveryPerf(opts bench.Options, path, label string, out io.Writer) error {
+	entry, err := bench.RecoveryPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	var file bench.RecoveryPerfFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First record: start a fresh trajectory.
+	default:
+		return err
+	}
+	file.Schema = bench.RecoveryPerfSchema
+	file.Entries = append(file.Entries, *entry)
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	worst := entry.Points[0]
+	for _, p := range entry.Points {
+		if p.RecoverMS > worst.RecoverMS {
+			worst = p
+		}
+	}
+	fmt.Fprintf(out, "%s: appended %q (%d points, worst recovery %.1fms at %d records / interval %d)\n",
+		path, label, len(entry.Points), worst.RecoverMS, worst.Records, worst.CkptInterval)
 	return nil
 }
 

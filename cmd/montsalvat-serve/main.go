@@ -9,6 +9,7 @@
 //	montsalvat-serve -addr 127.0.0.1:0        # serve on an ephemeral port
 //	montsalvat-serve -load -addr HOST:PORT    # run the load generator
 //	montsalvat-serve -smoke                   # in-process server + load burst
+//	montsalvat-serve -crash-smoke             # durable gateway kill/recover cycle
 //	montsalvat-serve -metrics-addr :9415      # live introspection endpoint
 //
 // Server and load generator share the simulated attestation platform
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		addr       = fs.String("addr", "127.0.0.1:7415", "gateway listen (or -load target) address")
 		load       = fs.Bool("load", false, "run the load generator against -addr instead of serving")
 		smoke      = fs.Bool("smoke", false, "boot an in-process gateway, run a load burst, verify, exit")
+		crashSmoke = fs.Bool("crash-smoke", false, "boot a durable in-process gateway, kill and recover the enclave twice under load, verify, exit")
 		sessions   = fs.Int("sessions", 8, "load generator: concurrent attested sessions")
 		requests   = fs.Int("requests", 64, "load generator: requests per session")
 		clients    = fs.Int("clients", 0, "scaling benchmark: boot an in-process gateway, compare 1-client vs N-client throughput, exit")
@@ -99,6 +101,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *load {
 		return runLoad(out, *addr, platform, *sessions, *requests)
+	}
+	if *crashSmoke {
+		return runCrashSmoke(out, platform, *sessions, *requests, cfg)
 	}
 	if *smoke {
 		// The observability smoke asserts a sampled trace is present, so

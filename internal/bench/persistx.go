@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"montsalvat/internal/cycles"
+	"montsalvat/internal/persist"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/simcfg"
+)
+
+// recoveryIntervals are the checkpoint cadences swept by the recovery
+// experiment: 0 means no checkpoint is ever taken after boot, so the
+// whole WAL replays.
+var recoveryIntervals = []int{0, 1024, 256, 64}
+
+// recoveryLineage is one durable lineage prepared for a recovery
+// measurement: the untrusted storage plus the identity (signer, platform
+// secret, counter store) that survives a crash.
+type recoveryLineage struct {
+	cfg    simcfg.Config
+	fs     shim.FS
+	secret sgx.PlatformSecret
+	ctrs   *sgx.MemCounterStore
+	signer *sgx.Signer
+}
+
+func newRecoveryLineage(cfg simcfg.Config) (*recoveryLineage, error) {
+	secret, err := sgx.NewPlatformSecret()
+	if err != nil {
+		return nil, err
+	}
+	signer, err := sgx.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	return &recoveryLineage{
+		cfg:    cfg,
+		fs:     shim.NewMemFS(),
+		secret: secret,
+		ctrs:   sgx.NewMemCounterStore(),
+		signer: signer,
+	}, nil
+}
+
+// boot builds an initialized enclave and a Manager over the lineage's
+// storage — one machine lifetime. The signer is shared across boots, so
+// MRSIGNER-sealed blobs written before a crash unseal after it.
+func (l *recoveryLineage) boot() (*persist.Manager, *persist.MapState, error) {
+	clk := cycles.New(simcfg.CPUHz, false)
+	e, err := sgx.Create(l.cfg, clk, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.AddPages([]byte("bench recovery image")); err != nil {
+		return nil, nil, err
+	}
+	ss, err := l.signer.Sign(e.Measurement())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.Init(ss); err != nil {
+		return nil, nil, err
+	}
+	ctr, err := sgx.NewMonotonicCounter(l.secret, l.ctrs, "bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	st := persist.NewMapState("kv")
+	m, err := persist.Open(persist.Options{
+		FS:      l.fs,
+		Enclave: e,
+		Secret:  l.secret,
+		Counter: ctr,
+		Dir:     "p/",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Register(st); err != nil {
+		return nil, nil, err
+	}
+	return m, st, nil
+}
+
+// runRecovery journals records under one checkpoint cadence, crashes,
+// and measures the recovery of a fresh boot over the surviving files.
+// interval 0 never checkpoints after boot; otherwise a checkpoint is
+// taken every interval records, so roughly records%interval WAL records
+// remain to replay.
+func runRecovery(cfg simcfg.Config, records, interval int) (persist.Report, error) {
+	l, err := newRecoveryLineage(cfg)
+	if err != nil {
+		return persist.Report{}, err
+	}
+	m, st, err := l.boot()
+	if err != nil {
+		return persist.Report{}, err
+	}
+	if _, err := m.Recover(); err != nil {
+		return persist.Report{}, err
+	}
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < records; i++ {
+		key := fmt.Sprintf("user:%06d", i%4096)
+		if _, err := m.Append("kv", persist.OpPut, key, val); err != nil {
+			return persist.Report{}, err
+		}
+		st.Put(key, val)
+		if interval > 0 && (i+1)%interval == 0 {
+			if err := m.Checkpoint(); err != nil {
+				return persist.Report{}, err
+			}
+		}
+	}
+	// Crash: the enclave heap is gone; only l.fs and the counter store
+	// survive. A fresh boot recovers checkpoint + WAL tail.
+	m2, st2, err := l.boot()
+	if err != nil {
+		return persist.Report{}, err
+	}
+	rep, err := m2.Recover()
+	if err != nil {
+		return persist.Report{}, err
+	}
+	if got := st2.Len(); got == 0 && records > 0 {
+		return persist.Report{}, fmt.Errorf("bench recovery: state empty after recovering %d records", records)
+	}
+	return rep, nil
+}
+
+// intervalName labels a checkpoint cadence row.
+func intervalName(interval int) string {
+	if interval == 0 {
+		return "no-ckpt"
+	}
+	return fmt.Sprintf("ckpt/%d", interval)
+}
+
+// RecoveryTime regenerates the durability experiment: crash-recovery
+// latency as a function of WAL length and checkpoint cadence. Recovery
+// is dominated by the WAL tail — unsealing and replaying every record
+// since the last checkpoint — so tighter cadences buy flatter recovery
+// at the cost of more sealed snapshot writes during normal operation.
+func RecoveryTime(opts Options) (*Table, error) {
+	counts := sweep(opts.scale(1_000, 200), opts.scale(8_000, 1_000), opts.scale(4, 3))
+	cfg := opts.Config()
+	t := &Table{
+		ID:      "recovery",
+		Title:   "Crash-recovery latency vs WAL length and checkpoint cadence",
+		XLabel:  "cadence \\ records",
+		Unit:    "milliseconds",
+		Columns: intColumns(counts),
+	}
+	var worst, best []float64
+	for _, interval := range recoveryIntervals {
+		values := make([]float64, 0, len(counts))
+		for _, n := range counts {
+			rep, err := runRecovery(cfg, n, interval)
+			if err != nil {
+				return nil, fmt.Errorf("recovery n=%d interval=%d: %w", n, interval, err)
+			}
+			values = append(values, float64(rep.Duration.Microseconds())/1000)
+		}
+		t.AddRow(intervalName(interval), values...)
+		switch interval {
+		case 0:
+			worst = values
+		case recoveryIntervals[len(recoveryIntervals)-1]:
+			best = values
+		}
+	}
+	if len(worst) > 0 && len(best) > 0 && best[len(best)-1] > 0 {
+		t.AddNote("full-WAL replay vs %s at max records: %.1fx slower recovery",
+			intervalName(recoveryIntervals[len(recoveryIntervals)-1]),
+			worst[len(worst)-1]/best[len(best)-1])
+	}
+	t.AddNote("recovery = unseal counter-valid checkpoint + replay sealed WAL tail + recovery checkpoint")
+	return t, nil
+}
+
+// RecoveryPoint is one (records, cadence) measurement of a RecoveryPerf
+// run.
+type RecoveryPoint struct {
+	Records         int     `json:"records"`
+	CkptInterval    int     `json:"ckpt_interval"`
+	RecoverMS       float64 `json:"recover_ms"`
+	ReplayedRecords int     `json:"replayed_records"`
+	RecordsPerSec   float64 `json:"replayed_per_sec"`
+}
+
+// RecoveryPerfEntry is one machine-readable recovery performance record
+// — the perf-trajectory format of BENCH_persist.json that future
+// changes compare against.
+type RecoveryPerfEntry struct {
+	Label      string          `json:"label"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Quick      bool            `json:"quick"`
+	Points     []RecoveryPoint `json:"points"`
+}
+
+// RecoveryPerfFile is the on-disk shape of BENCH_persist.json: an
+// append-only list of labelled runs.
+type RecoveryPerfFile struct {
+	Schema  string              `json:"schema"`
+	Entries []RecoveryPerfEntry `json:"entries"`
+}
+
+// RecoveryPerfSchema identifies the BENCH_persist.json format.
+const RecoveryPerfSchema = "montsalvat-bench-persist/v1"
+
+// RecoveryPerf produces one labelled recovery performance record: the
+// full (records × cadence) sweep with replay throughput per point.
+func RecoveryPerf(opts Options, label string) (*RecoveryPerfEntry, error) {
+	counts := sweep(opts.scale(1_000, 200), opts.scale(8_000, 1_000), opts.scale(4, 3))
+	cfg := opts.Config()
+	e := &RecoveryPerfEntry{
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      opts.Quick,
+	}
+	for _, interval := range recoveryIntervals {
+		for _, n := range counts {
+			rep, err := runRecovery(cfg, n, interval)
+			if err != nil {
+				return nil, fmt.Errorf("recovery-perf n=%d interval=%d: %w", n, interval, err)
+			}
+			p := RecoveryPoint{
+				Records:         n,
+				CkptInterval:    interval,
+				RecoverMS:       float64(rep.Duration.Microseconds()) / 1000,
+				ReplayedRecords: rep.ReplayedRecords,
+			}
+			if secs := rep.Duration.Seconds(); secs > 0 && rep.ReplayedRecords > 0 {
+				p.RecordsPerSec = float64(rep.ReplayedRecords) / secs
+			}
+			e.Points = append(e.Points, p)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+func TestRecoveryTimeShape(t *testing.T) {
+	tab, err := RecoveryTime(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "recovery" {
+		t.Fatalf("ID = %s", tab.ID)
+	}
+	if len(tab.Rows) != len(recoveryIntervals) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(recoveryIntervals))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.Columns) {
+			t.Fatalf("row %s has %d values, want %d", r.Name, len(r.Values), len(tab.Columns))
+		}
+		for i, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %s col %d: non-positive recovery time %g", r.Name, i, v)
+			}
+		}
+	}
+	// Tight checkpoint cadence must recover faster than never
+	// checkpointing at the longest WAL: that trade-off is the point of
+	// the experiment.
+	worst, _ := tab.Row("no-ckpt")
+	best, _ := tab.Row(intervalName(recoveryIntervals[len(recoveryIntervals)-1]))
+	last := len(tab.Columns) - 1
+	if best.Values[last] >= worst.Values[last] {
+		t.Errorf("ckpt cadence did not flatten recovery: best %g >= worst %g",
+			best.Values[last], worst.Values[last])
+	}
+}
+
+func TestRecoveryPerfEntry(t *testing.T) {
+	e, err := RecoveryPerf(quickOpts(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Label != "test" || !e.Quick {
+		t.Fatalf("entry meta = %+v", e)
+	}
+	if len(e.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range e.Points {
+		if p.RecoverMS <= 0 {
+			t.Errorf("point %+v: non-positive recovery time", p)
+		}
+		// With no checkpoints, every record replays from the WAL.
+		if p.CkptInterval == 0 && p.ReplayedRecords != p.Records {
+			t.Errorf("no-ckpt point replayed %d of %d records", p.ReplayedRecords, p.Records)
+		}
+	}
+}

@@ -220,6 +220,39 @@ func kvStoreClass() *classmodel.Class {
 		},
 	})
 	mustMethod(c, &classmodel.Method{
+		Name: "keyat", Public: true,
+		Params:  []classmodel.Param{{Name: "i", Kind: wire.KindInt}},
+		Returns: wire.KindString,
+		Calls: []classmodel.MethodRef{
+			{Class: classmodel.BuiltinList, Method: "size"},
+			{Class: classmodel.BuiltinList, Method: "get"},
+			{Class: KVEntry, Method: "getkey"},
+		},
+		// keyat enumerates the store by index — with get, the iteration
+		// surface the durability layer's snapshot walker uses to drain
+		// the enclave-resident entries into a sealed checkpoint.
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			list, err := env.GetField(self, "entries")
+			if err != nil {
+				return wire.Null(), err
+			}
+			sz, err := env.Call(list, "size")
+			if err != nil {
+				return wire.Null(), err
+			}
+			n, _ := sz.AsInt()
+			i, _ := args[0].AsInt()
+			if i < 0 || i >= n {
+				return wire.Null(), nil
+			}
+			e, err := env.Call(list, "get", wire.Int(i))
+			if err != nil {
+				return wire.Null(), err
+			}
+			return env.Call(e, "getkey")
+		},
+	})
+	mustMethod(c, &classmodel.Method{
 		Name: "size", Public: true, Returns: wire.KindInt,
 		Calls: []classmodel.MethodRef{{Class: classmodel.BuiltinList, Method: "size"}},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
@@ -245,6 +278,10 @@ func kvFrontEndClass() *classmodel.Class {
 			{Class: KVStoreCls, Method: "put"},
 			{Class: KVStoreCls, Method: "get"},
 			{Class: KVStoreCls, Method: "size"},
+			// Keeps the snapshot-enumeration surface reachable in the
+			// closed-world build for gateway deployments that persist the
+			// store (the build prunes undeclared methods).
+			{Class: KVStoreCls, Method: "keyat"},
 		},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
 			store, err := env.New(KVStoreCls)

@@ -1,0 +1,185 @@
+package persist
+
+// This file holds world-backed state adapters: bridges from application
+// state living inside a partitioned World to the Manager's State
+// interface, so the durability layer can checkpoint and replay
+// enclave-resident objects, not just in-process maps.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+// ErrNoStoreRef reports a WorldKV used before SetRef pointed it at a
+// live store object (required again after every World restart — refs
+// die with the enclave).
+var ErrNoStoreRef = errors.New("persist: WorldKV has no live store ref (SetRef after boot and after every restart)")
+
+// WorldKV adapts an enclave-resident key-value store object (the demo
+// KVStore shape: put/get/size/keyat, string keys and values) to State.
+// Snapshot drains the store through its enumeration surface
+// (keyat/get) into the deterministic MapState encoding; Restore and
+// Apply drive mutations back in through put. The adapter holds a world
+// ref, not the object: after a crash/restart cycle the caller re-creates
+// the store and re-points the adapter with SetRef before Recover.
+type WorldKV struct {
+	name string
+	w    *world.World
+
+	mu  sync.Mutex
+	ref wire.Value
+}
+
+// NewWorldKV returns an adapter named name over w, with no store ref
+// yet.
+func NewWorldKV(name string, w *world.World) *WorldKV {
+	return &WorldKV{name: name, w: w, ref: wire.Null()}
+}
+
+// SetRef points the adapter at a live store object. Must be called
+// before the first Snapshot/Restore/Apply and again after every world
+// restart.
+func (k *WorldKV) SetRef(ref wire.Value) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.ref = ref
+}
+
+// Ref returns the current store ref (null before SetRef).
+func (k *WorldKV) Ref() wire.Value {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.ref
+}
+
+func (k *WorldKV) liveRef() (wire.Value, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.ref.IsNull() {
+		return wire.Value{}, ErrNoStoreRef
+	}
+	return k.ref, nil
+}
+
+// Name implements State.
+func (k *WorldKV) Name() string { return k.name }
+
+// Snapshot implements State: the store is enumerated inside one Exec
+// frame (size, then keyat/get per index) and encoded as sorted
+// length-prefixed pairs — the same deterministic shape MapState uses,
+// so a WorldKV checkpoint restores into either adapter.
+func (k *WorldKV) Snapshot() ([]byte, error) {
+	ref, err := k.liveRef()
+	if err != nil {
+		return nil, err
+	}
+	pairs := map[string]string{}
+	err = k.w.Exec(false, func(env classmodel.Env) error {
+		sz, err := env.Call(ref, "size")
+		if err != nil {
+			return err
+		}
+		n, _ := sz.AsInt()
+		for i := int64(0); i < n; i++ {
+			kv, err := env.Call(ref, "keyat", wire.Int(i))
+			if err != nil {
+				return err
+			}
+			key, _ := kv.AsStr()
+			vv, err := env.Call(ref, "get", wire.Str(key))
+			if err != nil {
+				return err
+			}
+			val, _ := vv.AsStr()
+			pairs[key] = val
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot %s: %w", k.name, err)
+	}
+	keys := make([]string, 0, len(pairs))
+	for key := range pairs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, key := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		buf = binary.AppendUvarint(buf, uint64(len(pairs[key])))
+		buf = append(buf, pairs[key]...)
+	}
+	return buf, nil
+}
+
+// Restore implements State: the snapshot's pairs are written into the
+// (freshly re-created, empty) store through put.
+func (k *WorldKV) Restore(data []byte) error {
+	ref, err := k.liveRef()
+	if err != nil {
+		return err
+	}
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: kv count", ErrRecordTruncated)
+	}
+	data = data[n:]
+	type pair struct{ key, val string }
+	pairs := make([]pair, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, rest, err := decodeField(data, "kv key")
+		if err != nil {
+			return err
+		}
+		val, rest, err := decodeField(rest, "kv value")
+		if err != nil {
+			return err
+		}
+		pairs = append(pairs, pair{string(key), string(val)})
+		data = rest
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing snapshot bytes", ErrRecordMalformed, len(data))
+	}
+	err = k.w.Exec(false, func(env classmodel.Env) error {
+		for _, p := range pairs {
+			if _, err := env.Call(ref, "put", wire.Str(p.key), wire.Str(p.val)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("persist: restore %s: %w", k.name, err)
+	}
+	return nil
+}
+
+// Apply implements State: a journaled put replays through the store's
+// put (idempotent — last write wins). The demo store has no delete
+// surface, so OpDelete is a replay error.
+func (k *WorldKV) Apply(rec Record) error {
+	ref, err := k.liveRef()
+	if err != nil {
+		return err
+	}
+	if rec.Op != OpPut {
+		return fmt.Errorf("%w: op %d on world kv", ErrRecordMalformed, rec.Op)
+	}
+	err = k.w.Exec(false, func(env classmodel.Env) error {
+		_, err := env.Call(ref, "put", wire.Str(rec.Key), wire.Str(string(rec.Value)))
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("persist: replay %s put %q: %w", k.name, rec.Key, err)
+	}
+	return nil
+}

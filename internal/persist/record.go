@@ -1,0 +1,156 @@
+// Package persist is the durable-state subsystem: it journals
+// trusted-side mutations into a sealed write-ahead log, takes periodic
+// sealed checkpoints of registered trusted state, and defends both
+// against rollback/fork attacks with an SGX monotonic counter stamped
+// into every checkpoint and segment header (DESIGN.md §10).
+//
+// Sealed blobs are the only enclave state that survives teardown
+// (Montsalvat §5.4): everything else — the mirror–proxy registry, the
+// trusted heap, PalDB's in-enclave index — is volatile. The Manager in
+// this package turns that volatile state into a restartable service:
+// after a crash, Recover unseals the latest counter-valid checkpoint
+// and replays the WAL tail to a prefix-consistent state.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op identifies a journaled mutation. The subsystem is op-agnostic —
+// replay hands (op, key, value) back to the registered State — but ops
+// must be idempotent upserts/deletes: a checkpoint may capture a
+// mutation that is also replayed from the overlapping WAL tail.
+type Op uint8
+
+// Well-known ops for KV-shaped state.
+const (
+	OpPut Op = 1 + iota
+	OpDelete
+)
+
+// Record is one journaled mutation, in plaintext form. LSN (log
+// sequence number) is assigned by the Manager: strictly sequential from
+// 1, never reused, so duplicates and gaps are detectable at replay.
+// State names the registered State the mutation belongs to; replay
+// routes the record to that state's Apply.
+type Record struct {
+	LSN   uint64
+	Op    Op
+	State string
+	Key   string
+	Value []byte
+}
+
+// Record decode errors. DecodeWALRecord is the untrusted-input surface
+// of the WAL (fuzzed by FuzzDecodeWALRecord); it must fail cleanly on
+// arbitrary bytes.
+var (
+	// ErrRecordTruncated reports a record plaintext that ends mid-field.
+	ErrRecordTruncated = errors.New("persist: truncated WAL record")
+	// ErrRecordMalformed reports structurally invalid record bytes.
+	ErrRecordMalformed = errors.New("persist: malformed WAL record")
+)
+
+const (
+	recordVersion = 1
+	// maxRecordField bounds key/value lengths so a corrupted length
+	// prefix cannot drive a huge allocation before the bound check.
+	maxRecordField = 1 << 20
+)
+
+// EncodeWALRecord serialises a record to its plaintext form (the bytes
+// that are sealed into the log). Layout: version u8, op u8, lsn
+// uvarint, then state, key, and value, each uvarint-length-prefixed.
+func EncodeWALRecord(r Record) []byte {
+	buf := make([]byte, 0, 2+binary.MaxVarintLen64*4+len(r.State)+len(r.Key)+len(r.Value))
+	buf = append(buf, recordVersion, byte(r.Op))
+	buf = binary.AppendUvarint(buf, r.LSN)
+	buf = binary.AppendUvarint(buf, uint64(len(r.State)))
+	buf = append(buf, r.State...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Key)))
+	buf = append(buf, r.Key...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Value)))
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// DecodeWALRecord parses record plaintext produced by EncodeWALRecord.
+// Trailing garbage after the value is rejected.
+func DecodeWALRecord(buf []byte) (Record, error) {
+	var r Record
+	if len(buf) < 2 {
+		return r, fmt.Errorf("%w: %d bytes", ErrRecordTruncated, len(buf))
+	}
+	if buf[0] != recordVersion {
+		return r, fmt.Errorf("%w: version %d", ErrRecordMalformed, buf[0])
+	}
+	r.Op = Op(buf[1])
+	if r.Op == 0 {
+		return r, fmt.Errorf("%w: zero op", ErrRecordMalformed)
+	}
+	rest := buf[2:]
+	lsn, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, fmt.Errorf("%w: lsn", ErrRecordTruncated)
+	}
+	r.LSN = lsn
+	rest = rest[n:]
+
+	state, rest, err := decodeField(rest, "state")
+	if err != nil {
+		return r, err
+	}
+	r.State = string(state)
+	key, rest, err := decodeField(rest, "key")
+	if err != nil {
+		return r, err
+	}
+	r.Key = string(key)
+	val, rest, err := decodeField(rest, "value")
+	if err != nil {
+		return r, err
+	}
+	if len(val) > 0 {
+		r.Value = append([]byte(nil), val...)
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrRecordMalformed, len(rest))
+	}
+	return r, nil
+}
+
+func decodeField(buf []byte, what string) (field, rest []byte, err error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("%w: %s length", ErrRecordTruncated, what)
+	}
+	if n > maxRecordField {
+		return nil, nil, fmt.Errorf("%w: %s length %d", ErrRecordMalformed, what, n)
+	}
+	buf = buf[w:]
+	if uint64(len(buf)) < n {
+		return nil, nil, fmt.Errorf("%w: %s needs %d bytes, have %d", ErrRecordTruncated, what, n, len(buf))
+	}
+	return buf[:n], buf[n:], nil
+}
+
+// appendU64 / readU64: fixed-width big-endian fields for headers, where
+// self-description matters more than size.
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func readU64(buf []byte) (uint64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("%w: u64", ErrRecordTruncated)
+	}
+	return binary.BigEndian.Uint64(buf), buf[8:], nil
+}
+
+// sanity guard for 32-bit length prefixes on sealed envelopes.
+func fitsLen(n int) bool { return n >= 0 && n <= math.MaxInt32 }

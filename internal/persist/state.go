@@ -1,0 +1,191 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"montsalvat/internal/shim"
+)
+
+// State is one registered piece of durable trusted state. The Manager
+// snapshots it into checkpoints and replays journaled mutations into it
+// during recovery. Apply must be idempotent (last-write-wins): the WAL
+// tail replayed after a checkpoint may overlap mutations the snapshot
+// already captured.
+type State interface {
+	// Name identifies the state inside checkpoints; it must be stable
+	// across restarts and unique within a Manager.
+	Name() string
+	// Snapshot serialises the current state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state from a snapshot.
+	Restore(data []byte) error
+	// Apply replays one journaled mutation.
+	Apply(rec Record) error
+}
+
+// MapState is a string→bytes map implementing State — the in-memory
+// model the crash matrix and the recovery bench check against, and the
+// shape demo KVStore state is mirrored through.
+type MapState struct {
+	name string
+	mu   sync.Mutex
+	m    map[string][]byte
+}
+
+// NewMapState returns an empty named map state.
+func NewMapState(name string) *MapState {
+	return &MapState{name: name, m: make(map[string][]byte)}
+}
+
+// Name implements State.
+func (s *MapState) Name() string { return s.name }
+
+// Put upserts a key (the mutation side; journaling is the caller's job).
+func (s *MapState) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), value...)
+}
+
+// Get returns the value for key.
+func (s *MapState) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Delete removes a key.
+func (s *MapState) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}
+
+// Len returns the number of keys.
+func (s *MapState) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Keys returns the keys in sorted order.
+func (s *MapState) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot implements State: count, then sorted (key, value) pairs,
+// each length-prefixed — deterministic so equal states snapshot equal.
+func (s *MapState) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(s.m[k])))
+		buf = append(buf, s.m[k]...)
+	}
+	return buf, nil
+}
+
+// Restore implements State.
+func (s *MapState) Restore(data []byte) error {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: map count", ErrRecordTruncated)
+	}
+	data = data[n:]
+	m := make(map[string][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		key, rest, err := decodeField(data, "map key")
+		if err != nil {
+			return err
+		}
+		val, rest, err := decodeField(rest, "map value")
+		if err != nil {
+			return err
+		}
+		m[string(key)] = append([]byte(nil), val...)
+		data = rest
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing snapshot bytes", ErrRecordMalformed, len(data))
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+	return nil
+}
+
+// Apply implements State.
+func (s *MapState) Apply(rec Record) error {
+	switch rec.Op {
+	case OpPut:
+		s.Put(rec.Key, rec.Value)
+	case OpDelete:
+		s.Delete(rec.Key)
+	default:
+		return fmt.Errorf("%w: op %d", ErrRecordMalformed, rec.Op)
+	}
+	return nil
+}
+
+// FSCounterStore persists monotonic-counter values on a shim.FS — the
+// untrusted non-volatile storage of the simulated platform services.
+// One small file per counter: 8-byte BE value + 32-byte MAC.
+type FSCounterStore struct {
+	fs     shim.FS
+	prefix string
+}
+
+// NewFSCounterStore returns a counter store writing prefix + id files
+// on fs.
+func NewFSCounterStore(fs shim.FS, prefix string) *FSCounterStore {
+	return &FSCounterStore{fs: fs, prefix: prefix}
+}
+
+func (s *FSCounterStore) file(id string) string { return s.prefix + "counter-" + id }
+
+// LoadCounter implements sgx.CounterStore.
+func (s *FSCounterStore) LoadCounter(id string) (uint64, [32]byte, bool, error) {
+	var mac [32]byte
+	size, err := s.fs.Size(s.file(id))
+	if err != nil {
+		return 0, mac, false, nil // never stored
+	}
+	if size != 40 {
+		// A truncated or padded counter file is indistinguishable from
+		// tampering; surface it as a bad MAC by returning zeroes.
+		return 0, mac, true, nil
+	}
+	buf, err := s.fs.ReadAt(s.file(id), 0, 40)
+	if err != nil {
+		return 0, mac, false, fmt.Errorf("persist: read counter file: %w", err)
+	}
+	copy(mac[:], buf[8:])
+	return binary.BigEndian.Uint64(buf[:8]), mac, true, nil
+}
+
+// StoreCounter implements sgx.CounterStore.
+func (s *FSCounterStore) StoreCounter(id string, value uint64, mac [32]byte) error {
+	buf := make([]byte, 40)
+	binary.BigEndian.PutUint64(buf[:8], value)
+	copy(buf[8:], mac[:])
+	return s.fs.WriteAt(s.file(id), 0, buf)
+}

@@ -1,0 +1,245 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/paldb"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+// newKVStore creates (and pins) a fresh enclave-resident KVStore.
+func newKVStore(t *testing.T, w *world.World) wire.Value {
+	t.Helper()
+	var ref wire.Value
+	err := w.Exec(false, func(env classmodel.Env) error {
+		v, err := env.New(demo.KVStoreCls)
+		if err != nil {
+			return err
+		}
+		ref = v
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("new KVStore: %v", err)
+	}
+	if err := w.Untrusted().Pin(ref); err != nil {
+		t.Fatalf("pin store: %v", err)
+	}
+	return ref
+}
+
+func kvGet(t *testing.T, w *world.World, ref wire.Value, key string) string {
+	t.Helper()
+	var out string
+	err := w.Exec(false, func(env classmodel.Env) error {
+		v, err := env.Call(ref, "get", wire.Str(key))
+		if err != nil {
+			return err
+		}
+		out, _ = v.AsStr()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("get %q: %v", key, err)
+	}
+	return out
+}
+
+// TestWorldKVRecovery is the end-to-end tentpole path: mutations on an
+// enclave-resident KVStore are journaled, the enclave dies (World.Kill)
+// and is re-created (World.Restart), and a fresh Manager over the same
+// untrusted storage recovers the store — checkpoint restore plus WAL
+// tail replay — into a brand-new KVStore object.
+func TestWorldKVRecovery(t *testing.T) {
+	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), world.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	fs := shim.NewMemFS()
+	secret, err := sgx.NewPlatformSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrStore := sgx.NewMemCounterStore()
+	openManager := func() *Manager {
+		t.Helper()
+		ctr, err := sgx.NewMonotonicCounter(secret, ctrStore, "worldkv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Open(Options{
+			FS:           fs,
+			Enclave:      w.Enclave(),
+			Secret:       secret,
+			Counter:      ctr,
+			Dir:          "p/",
+			BeforeCommit: w.Flush, // batched mutations land before capture
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	ref := newKVStore(t, w)
+	kv := NewWorldKV("kv", w)
+	kv.SetRef(ref)
+	m := openManager()
+	if err := m.Register(kv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(k, v string) {
+		t.Helper()
+		err := w.Exec(false, func(env classmodel.Env) error {
+			_, err := env.Call(ref, "put", wire.Str(k), wire.Str(v))
+			return err
+		})
+		if err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+		if _, err := m.Append("kv", OpPut, k, []byte(v)); err != nil {
+			t.Fatalf("journal %q: %v", k, err)
+		}
+	}
+	put("alice", "balance=75")
+	put("bob", "balance=50")
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	put("carol", "balance=10") // in the WAL tail only
+	put("alice", "balance=20") // overwrite, replayed over the snapshot
+
+	// The enclave dies; its heap — and the KVStore in it — is gone.
+	w.Kill()
+	if err := w.Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process-restart simulation: fresh Manager, fresh (empty) store in
+	// the new enclave, recover from the untrusted files.
+	ref2 := newKVStore(t, w)
+	kv2 := NewWorldKV("kv", w)
+	kv2.SetRef(ref2)
+	m2 := openManager() // picks up the new enclave; MRSIGNER unchanged
+	if err := m2.Register(kv2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("recover after restart: %v", err)
+	}
+	if rep.ReplayedRecords != 2 {
+		t.Errorf("replayed %d records, want 2 (the post-checkpoint tail)", rep.ReplayedRecords)
+	}
+	for key, want := range map[string]string{
+		"alice": "balance=20",
+		"bob":   "balance=50",
+		"carol": "balance=10",
+	} {
+		if got := kvGet(t, w, ref2, key); got != want {
+			t.Errorf("recovered %q = %q, want %q", key, got, want)
+		}
+	}
+
+	// The recovered lineage stays live.
+	err = w.Exec(false, func(env classmodel.Env) error {
+		_, err := env.Call(ref2, "put", wire.Str("dave"), wire.Str("balance=5"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Append("kv", OpPut, "dave", []byte("balance=5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorldKVRequiresRef pins the misuse error: the adapter refuses to
+// run against a dead/unset store ref instead of crashing into the
+// world.
+func TestWorldKVRequiresRef(t *testing.T) {
+	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), world.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	kv := NewWorldKV("kv", w)
+	if _, err := kv.Snapshot(); !errors.Is(err, ErrNoStoreRef) {
+		t.Fatalf("Snapshot without ref: %v, want ErrNoStoreRef", err)
+	}
+	if err := kv.Apply(Record{Op: OpPut, Key: "k"}); !errors.Is(err, ErrNoStoreRef) {
+		t.Fatalf("Apply without ref: %v, want ErrNoStoreRef", err)
+	}
+	kv.SetRef(newKVStore(t, w))
+	if err := kv.Apply(Record{Op: OpDelete, Key: "k"}); !errors.Is(err, ErrRecordMalformed) {
+		t.Fatalf("delete on world kv: %v, want ErrRecordMalformed", err)
+	}
+}
+
+// TestPalDBStateDurability checkpoints a built paldb store file, wipes
+// it (host-side data loss), and proves recovery rewrites a byte-exact,
+// openable store. Journaled mutations are rejected: the store is
+// write-once.
+func TestPalDBStateDurability(t *testing.T) {
+	e := newEnv(t)
+	write, err := paldb.NewWriter(e.fs, "idx.paldb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{{"k1", "v1"}, {"k2", "v2"}, {"k3", "v3"}} {
+		if err := write.Put([]byte(kv[0]), []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := write.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewPalDBState("index", e.fs, "idx.paldb")
+	m := e.open(Options{Dir: "p/"}, st)
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Host loses the store file; recovery restores it from the sealed
+	// checkpoint.
+	if err := e.fs.Remove("idx.paldb"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewPalDBState("index", e.fs, "idx.paldb")
+	m2 := e.open(Options{Dir: "p/"}, st2)
+	if _, err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := paldb.Open(e.fs, "idx.paldb")
+	if err != nil {
+		t.Fatalf("recovered store does not open: %v", err)
+	}
+	for _, kv := range [][2]string{{"k1", "v1"}, {"k2", "v2"}, {"k3", "v3"}} {
+		got, err := r.Get([]byte(kv[0]))
+		if err != nil || string(got) != kv[1] {
+			t.Fatalf("recovered %s = %q, %v; want %q", kv[0], got, err, kv[1])
+		}
+	}
+	if err := st2.Apply(Record{Op: OpPut, Key: "x"}); !errors.Is(err, ErrImmutableState) {
+		t.Fatalf("Apply on paldb state: %v, want ErrImmutableState", err)
+	}
+}

@@ -315,6 +315,23 @@ func (c *Client) CallTimeout(timeout time.Duration, h Handle, method string, arg
 	return c.call(request{op: opCall, handle: h.ID, method: method, args: args}, timeout)
 }
 
+// Bind resolves a server-exported name (Server.Export) to a
+// session-scoped handle. This is how a client reaches well-known
+// objects it did not create — in particular after the gateway recovered
+// from an enclave crash, when every pre-crash handle is gone and the
+// recovered objects are reachable only by their exported names.
+func (c *Client) Bind(name string) (Handle, error) {
+	v, err := c.call(request{op: opBind, class: name}, 0)
+	if err != nil {
+		return Handle{}, err
+	}
+	h, ok := AsHandle(v)
+	if !ok {
+		return Handle{}, fmt.Errorf("%w: bind returned %v", ErrBadRequest, v.Kind())
+	}
+	return h, nil
+}
+
 // Release drops a handle; the server unpins the object so the next GC
 // sweep reclaims it.
 func (c *Client) Release(h Handle) error {

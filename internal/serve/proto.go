@@ -55,6 +55,7 @@ const (
 	opCall    = "call"
 	opRelease = "release"
 	opPing    = "ping"
+	opBind    = "bind"
 )
 
 // Response status codes. statusErr maps them onto the package's typed
@@ -63,6 +64,7 @@ const (
 	statusOK         = "ok"
 	statusOverloaded = "overloaded"
 	statusDraining   = "draining"
+	statusRecovering = "recovering"
 	statusDeadline   = "deadline"
 	statusForeignRef = "foreign-ref"
 	statusBadRequest = "bad-request"
@@ -82,6 +84,13 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded")
 	// ErrDraining rejects work arriving while the gateway shuts down.
 	ErrDraining = errors.New("serve: draining")
+	// ErrRecovering rejects work arriving while the gateway restores its
+	// enclave from durable state (Server.Recover). Unlike ErrDraining the
+	// gateway is coming back: reconnect and retry shortly. Existing
+	// sessions are invalidated — their keys and handles died with the old
+	// enclave — so recovery surfaces client-side as a dropped connection
+	// or this error, and the remedy is a fresh Dial.
+	ErrRecovering = errors.New("serve: recovering; retry shortly")
 	// ErrDeadline rejects a request whose propagated deadline expired
 	// before (or while) it could be served.
 	ErrDeadline = errors.New("serve: deadline exceeded")
@@ -106,6 +115,8 @@ func statusErr(status string) error {
 		return ErrOverloaded
 	case statusDraining:
 		return ErrDraining
+	case statusRecovering:
+		return ErrRecovering
 	case statusDeadline:
 		return ErrDeadline
 	case statusForeignRef:
@@ -126,6 +137,8 @@ func errStatus(err error) string {
 		return statusOverloaded
 	case errors.Is(err, ErrDraining):
 		return statusDraining
+	case errors.Is(err, ErrRecovering):
+		return statusRecovering
 	case errors.Is(err, ErrDeadline):
 		return statusDeadline
 	case errors.Is(err, ErrForeignRef):
@@ -395,6 +408,8 @@ func encodeRequest(r request) []byte {
 		vs = append(vs, wire.Int(r.handle), wire.Str(r.method), wire.List(r.args...))
 	case opRelease:
 		vs = append(vs, wire.Int(r.handle))
+	case opBind:
+		vs = append(vs, wire.Str(r.class)) // the export name
 	}
 	return wire.MarshalList(vs)
 }
@@ -444,6 +459,11 @@ func decodeRequest(buf []byte) (request, error) {
 			return r, fmt.Errorf("%w: release arity", ErrBadRequest)
 		}
 		r.handle, _ = rest[0].AsInt()
+	case opBind:
+		if len(rest) != 1 {
+			return r, fmt.Errorf("%w: bind arity", ErrBadRequest)
+		}
+		r.class, _ = rest[0].AsStr()
 	case opPing:
 	default:
 		return r, fmt.Errorf("%w: unknown op %q", ErrBadRequest, r.op)

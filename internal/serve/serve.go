@@ -14,6 +14,7 @@ import (
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/telemetry"
+	"montsalvat/internal/wire"
 	"montsalvat/internal/world"
 )
 
@@ -50,6 +51,15 @@ type Options struct {
 	// WriteTimeout bounds one response write so a stalled client cannot
 	// wedge a serving goroutine (default 10s).
 	WriteTimeout time.Duration
+	// Journal, when set, receives every successfully executed
+	// state-changing request (new/call) after it ran and before the
+	// client sees the OK — the hook the durability layer uses to put
+	// mutations in the write-ahead log. A journal error withholds the
+	// ack: the client gets an application error and must treat the
+	// mutation as not durable (it may still surface after recovery if
+	// the append itself landed — the standard durable-but-unacked
+	// window).
+	Journal func(m Mutation) error
 	// Logf, when set, receives diagnostic messages (e.g. teardown
 	// release failures). Defaults to discarding them.
 	Logf func(format string, args ...any)
@@ -113,10 +123,15 @@ type Stats struct {
 	// not a saturated gateway).
 	RejectedOverload    uint64
 	RejectedDraining    uint64
+	RejectedRecovering  uint64
 	RejectedDeadline    uint64
 	RejectedForeign     uint64
 	RejectedSession     uint64
 	RejectedSessionBusy uint64
+	// Recoveries counts completed Server.Recover cycles; Recovering
+	// reports whether one is in progress right now.
+	Recoveries uint64
+	Recovering bool
 	// BytesIn / BytesOut count post-handshake wire traffic.
 	BytesIn  uint64
 	BytesOut uint64
@@ -133,6 +148,13 @@ type Server struct {
 	adm      *admission
 	draining atomic.Bool
 	drainCh  chan struct{}
+	// recovering rejects new work with statusRecovering while
+	// Server.Recover restores the enclave; recoverMu serialises Recover
+	// calls. exports maps bind names to providers (see Export).
+	recovering atomic.Bool
+	recoverMu  sync.Mutex
+	exportsMu  sync.RWMutex
+	exports    map[string]func(env classmodel.Env) (wire.Value, error)
 	// drainMu orders request registration against Shutdown's wait: a
 	// request holds the read side while it checks draining and joins
 	// reqWG, so the drain barrier (write lock) guarantees every admitted
@@ -157,6 +179,8 @@ type Server struct {
 	appErrors      atomic.Uint64
 	rejOverload    atomic.Uint64
 	rejDraining    atomic.Uint64
+	rejRecovering  atomic.Uint64
+	recoveries     atomic.Uint64
 	rejDeadline    atomic.Uint64
 	rejForeign     atomic.Uint64
 	rejSession     atomic.Uint64
@@ -188,6 +212,7 @@ func New(opts Options) (*Server, error) {
 		adm:      newAdmission(o.MaxInFlight, o.QueueDepth),
 		drainCh:  make(chan struct{}),
 		sessions: make(map[int64]*session),
+		exports:  make(map[string]func(env classmodel.Env) (wire.Value, error)),
 		pool:     newWorkerPool(o.MaxInFlight),
 	}
 	if len(o.Classes) > 0 {
@@ -218,6 +243,13 @@ func (srv *Server) collectMetrics(reg *telemetry.Registry) {
 	reg.Gauge("montsalvat_serve_inflight_peak").Set(int64(s.PeakInFlight))
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "overloaded").Set(s.RejectedOverload)
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "draining").Set(s.RejectedDraining)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "recovering").Set(s.RejectedRecovering)
+	reg.Counter("montsalvat_serve_recoveries_total").Set(s.Recoveries)
+	recovering := int64(0)
+	if s.Recovering {
+		recovering = 1
+	}
+	reg.Gauge("montsalvat_serve_recovering").Set(recovering)
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "deadline").Set(s.RejectedDeadline)
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "foreign_ref").Set(s.RejectedForeign)
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "session_limit").Set(s.RejectedSession)
@@ -344,6 +376,9 @@ func (srv *Server) Stats() Stats {
 		PeakInFlight:        srv.adm.peakInFlight(),
 		RejectedOverload:    srv.rejOverload.Load(),
 		RejectedDraining:    srv.rejDraining.Load(),
+		RejectedRecovering:  srv.rejRecovering.Load(),
+		Recoveries:          srv.recoveries.Load(),
+		Recovering:          srv.recovering.Load(),
 		RejectedDeadline:    srv.rejDeadline.Load(),
 		RejectedForeign:     srv.rejForeign.Load(),
 		RejectedSession:     srv.rejSession.Load(),
@@ -376,7 +411,7 @@ func (srv *Server) handleConn(conn net.Conn) {
 	start := time.Now()
 	s, err := srv.handshake(conn)
 	if err != nil {
-		if !errors.Is(err, ErrDraining) && !errors.Is(err, ErrSessionLimit) {
+		if !errors.Is(err, ErrDraining) && !errors.Is(err, ErrRecovering) && !errors.Is(err, ErrSessionLimit) {
 			srv.handshakeFails.Add(1)
 			srv.opts.Logf("serve: handshake from %v: %v", conn.RemoteAddr(), err)
 		}
@@ -418,6 +453,13 @@ func (srv *Server) handshake(conn net.Conn) (*session, error) {
 		srv.rejDraining.Add(1)
 		_, _ = writeFrame(conn, encodeReject(statusDraining))
 		return nil, ErrDraining
+	}
+	if srv.recovering.Load() {
+		// The enclave being quoted is mid-rebuild: tell the client to
+		// retry instead of attesting a half-recovered identity.
+		srv.rejRecovering.Add(1)
+		_, _ = writeFrame(conn, encodeReject(statusRecovering))
+		return nil, ErrRecovering
 	}
 	srv.mu.Lock()
 	if len(srv.sessions) >= srv.opts.MaxSessions {
@@ -477,6 +519,13 @@ func (srv *Server) handshake(conn net.Conn) (*session, error) {
 	if srv.draining.Load() {
 		srv.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if srv.recovering.Load() {
+		// Recover snapshots the session map after its drain barrier; a
+		// handshake that raced past the early check must not slip a live
+		// session into a world that is being torn down.
+		srv.mu.Unlock()
+		return nil, ErrRecovering
 	}
 	srv.sessions[sid] = s
 	srv.mu.Unlock()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,10 @@ type session struct {
 	inflight  atomic.Int64 // per-session admitted requests
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+	// dead marks a session invalidated by Server.Recover: its handles
+	// and keys belong to an enclave incarnation that no longer exists,
+	// so teardown must not push them through the GC-release path.
+	dead atomic.Bool
 }
 
 func newSession(srv *Server, id int64, conn net.Conn, ciph *sessionCipher) *session {
@@ -92,6 +97,11 @@ func (s *session) dispatch(req request) {
 		s.reply(req.id, response{status: statusDraining, message: ErrDraining.Error()})
 		return
 	}
+	if s.srv.recovering.Load() {
+		s.srv.rejRecovering.Add(1)
+		s.reply(req.id, response{status: statusRecovering, message: ErrRecovering.Error()})
+		return
+	}
 	if s.inflight.Load() >= int64(s.srv.opts.SessionInFlight) {
 		// The client sees the same overloaded status either way, but the
 		// operator-facing counter distinguishes one saturated session
@@ -111,6 +121,13 @@ func (s *session) dispatch(req request) {
 		s.srv.adm.release()
 		s.srv.rejDraining.Add(1)
 		s.reply(req.id, response{status: statusDraining, message: ErrDraining.Error()})
+		return
+	}
+	if s.srv.recovering.Load() {
+		s.srv.drainMu.RUnlock()
+		s.srv.adm.release()
+		s.srv.rejRecovering.Add(1)
+		s.reply(req.id, response{status: statusRecovering, message: ErrRecovering.Error()})
 		return
 	}
 	s.srv.requests.Add(1)
@@ -147,6 +164,8 @@ func (s *session) countReject(err error) {
 		s.srv.rejOverload.Add(1)
 	case errors.Is(err, ErrDraining):
 		s.srv.rejDraining.Add(1)
+	case errors.Is(err, ErrRecovering):
+		s.srv.rejRecovering.Add(1)
 	case errors.Is(err, ErrDeadline):
 		s.srv.rejDeadline.Add(1)
 	case errors.Is(err, ErrForeignRef):
@@ -215,6 +234,28 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		if err != nil {
 			return wire.Value{}, appErr(err)
 		}
+		if err := s.journal(Mutation{Op: opNew, Class: req.class, Args: args}); err != nil {
+			return wire.Value{}, err
+		}
+		return out, nil
+
+	case opBind:
+		provider := s.srv.lookupExport(req.class)
+		if provider == nil {
+			return wire.Value{}, fmt.Errorf("%w: no export named %q", ErrBadRequest, req.class)
+		}
+		var out wire.Value
+		err := s.srv.w.Exec(false, func(env classmodel.Env) error {
+			v, err := provider(env)
+			if err != nil {
+				return err
+			}
+			out, err = s.exportValue(v)
+			return err
+		})
+		if err != nil {
+			return wire.Value{}, appErr(err)
+		}
 		return out, nil
 
 	case opCall:
@@ -238,9 +279,26 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		if err != nil {
 			return wire.Value{}, appErr(err)
 		}
+		if err := s.journal(Mutation{Op: opCall, Class: e.Class, Method: req.method, Args: args}); err != nil {
+			return wire.Value{}, err
+		}
 		return out, nil
 	}
 	return wire.Value{}, ErrBadRequest
+}
+
+// journal hands a successfully executed mutation to the durability
+// hook. A failure withholds the OK: the mutation ran but is not
+// durable, so the client must not be told it succeeded.
+func (s *session) journal(m Mutation) error {
+	j := s.srv.opts.Journal
+	if j == nil {
+		return nil
+	}
+	if err := j(m); err != nil {
+		return &AppError{Msg: "journal: " + err.Error()}
+	}
+	return nil
 }
 
 // appErr passes gateway sentinels through and wraps anything else as an
@@ -364,6 +422,12 @@ func (s *session) teardown() {
 	s.wg.Wait()
 	entries := s.ns.Drain()
 	if len(entries) == 0 {
+		return
+	}
+	if s.dead.Load() || s.srv.recovering.Load() {
+		// The session was invalidated by recovery: its objects died with
+		// the enclave incarnation that owned them, and the world may be
+		// mid-rebuild. Nothing to release.
 		return
 	}
 	rt := s.srv.w.Untrusted()

@@ -93,6 +93,52 @@ func TestSealBindsEnclaveIdentity(t *testing.T) {
 	}
 }
 
+// TestSealCrossPolicyUpgrade simulates an enclave software upgrade: the
+// image (and hence MRENCLAVE) changes while the signing identity stays
+// fixed. Sealed state that must survive upgrades is sealed to MRSIGNER;
+// MRENCLAVE blobs are pinned to the exact measurement and become
+// unrecoverable — by typed error, not an incidental failure.
+func TestSealCrossPolicyUpgrade(t *testing.T) {
+	secret := testSecret(t)
+	v1, _ := initializedEnclave(t, []byte("service v1"))
+	v2, _ := initializedEnclave(t, []byte("service v2")) // same signer, new measurement
+	if v1.Measurement() == v2.Measurement() {
+		t.Fatal("upgrade did not change the measurement")
+	}
+
+	aad := []byte("persist/ckpt/1")
+	mrenclave, err := v1.Seal(secret, SealToMRENCLAVE, []byte("pinned"), aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrsigner, err := v1.Seal(secret, SealToMRSIGNER, []byte("durable"), aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-upgrade, both unseal.
+	if _, err := v1.Unseal(secret, SealToMRENCLAVE, mrenclave, aad); err != nil {
+		t.Fatalf("v1 MRENCLAVE unseal: %v", err)
+	}
+	// Post-upgrade, the MRENCLAVE blob is lost...
+	if _, err := v2.Unseal(secret, SealToMRENCLAVE, mrenclave, aad); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("v2 MRENCLAVE unseal: err = %v, want ErrUnseal", err)
+	}
+	// ...and the MRSIGNER blob survives.
+	got, err := v2.Unseal(secret, SealToMRSIGNER, mrsigner, aad)
+	if err != nil {
+		t.Fatalf("v2 MRSIGNER unseal: %v", err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("got %q", got)
+	}
+	// Policies are part of the key derivation: a blob sealed under one
+	// policy cannot be opened under the other even on the same enclave.
+	if _, err := v1.Unseal(secret, SealToMRSIGNER, mrenclave, aad); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("policy confusion: err = %v, want ErrUnseal", err)
+	}
+}
+
 func TestSealBindsPlatform(t *testing.T) {
 	e, _ := initializedEnclave(t, []byte("image"))
 	s1 := testSecret(t)

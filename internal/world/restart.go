@@ -1,0 +1,131 @@
+package world
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotKilled is returned by Restart when the world is still live.
+var ErrNotKilled = errors.New("world: restart of a live world (call Kill first)")
+
+// Kill tears down the trusted side of a partitioned world in place: GC
+// helpers stop, the dispatcher and its switchless pools shut down, and
+// the enclave is destroyed — the simulation of the enclave process
+// dying (crash, host restart, EPC eviction storm). The World object
+// itself survives: the clock keeps running, telemetry stays registered,
+// and the retained build inputs (images, options, signing identity) let
+// Restart re-create the trusted runtime with the same MRSIGNER, so
+// MRSIGNER-sealed persistent state written before the kill remains
+// unsealable after it.
+//
+// After Kill, Enclave/Trusted/Untrusted return nil, Exec returns
+// ErrWrongRuntime, and CloseErr degrades to a plain clock stop.
+// Kill is idempotent and a no-op outside ModePartitioned.
+func (w *World) Kill() {
+	if w.mode != ModePartitioned {
+		return
+	}
+	// Helpers hold a long-running ecall; stop them before destroying the
+	// enclave, and outside the state lock (their sweep paths read state).
+	helpersOn := w.helperOn
+	w.StopGCHelpers()
+
+	w.stateMu.Lock()
+	defer w.stateMu.Unlock()
+	if w.killed {
+		return
+	}
+	w.helpersOn = helpersOn
+	if w.disp != nil {
+		w.disp.Close() // stops both switchless pools
+	}
+	if w.enclave != nil {
+		w.enclave.Destroy()
+	}
+	w.enclave = nil
+	w.trusted = nil
+	w.untrusted = nil
+	w.disp = nil
+	w.epool = nil
+	w.opool = nil
+	w.killed = true
+}
+
+// Killed reports whether the world is between Kill and Restart.
+func (w *World) Killed() bool {
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
+	return w.killed
+}
+
+// Restart rebuilds a killed partitioned world: a fresh enclave is
+// created, measured and verified from the retained trusted image
+// (re-attestation — same lifecycle as first boot), both runtimes are
+// re-created empty, the boundary dispatch layer is rebuilt, and static
+// initialisers run again. Application state does NOT come back by
+// itself: callers recover it from the persistence layer (unseal the
+// latest counter-valid checkpoint, replay the WAL tail) after Restart
+// returns — see internal/persist and serve.Server.Recover.
+//
+// Because the build options retain the original signing identity, the
+// new enclave reports the same MRSIGNER: sealed blobs written under
+// sgx.SealToMRSIGNER before the kill unseal cleanly after it, while
+// MRENCLAVE-sealed blobs survive only if the trusted image is
+// bit-identical (it is — the image is retained, not rebuilt).
+//
+// If the GC helpers were running when Kill hit, Restart revives them.
+func (w *World) Restart() error {
+	w.stateMu.Lock()
+	if w.mode != ModePartitioned {
+		w.stateMu.Unlock()
+		return ErrWrongRuntime
+	}
+	if !w.killed {
+		w.stateMu.Unlock()
+		return ErrNotKilled
+	}
+	if err := w.rebuildLocked(); err != nil {
+		// A half-built world is torn back down to the killed state so the
+		// caller can retry.
+		if w.disp != nil {
+			w.disp.Close()
+		}
+		if w.enclave != nil {
+			w.enclave.Destroy()
+		}
+		w.enclave, w.trusted, w.untrusted = nil, nil, nil
+		w.disp, w.epool, w.opool = nil, nil, nil
+		w.stateMu.Unlock()
+		return fmt.Errorf("world: restart: %w", err)
+	}
+	w.killed = false
+	revive := w.helpersOn
+	w.helpersOn = false
+	w.stateMu.Unlock()
+
+	if revive {
+		w.StartGCHelpers()
+	}
+	return nil
+}
+
+// rebuildLocked re-runs the boot sequence of NewPartitioned from the
+// retained inputs. Caller holds stateMu.
+func (w *World) rebuildLocked() error {
+	if err := w.initEnclave(w.buildOpts, w.tImg); err != nil {
+		return err
+	}
+	var err error
+	w.trusted, err = w.newRuntime("trusted", true, w.tImg, w.buildOpts.TrustedHeap)
+	if err != nil {
+		return err
+	}
+	w.untrusted, err = w.newRuntime("untrusted", false, w.uImg, w.buildOpts.UntrustedHeap)
+	if err != nil {
+		return err
+	}
+	if err := w.initBoundary(); err != nil {
+		return err
+	}
+	return w.runStaticInits()
+}

@@ -138,6 +138,19 @@ type World struct {
 	trusted   *Runtime // nil in ModeNoSGX
 	untrusted *Runtime // nil in ModeUnpartitionedSGX
 
+	// stateMu guards the rebuildable state (enclave, runtimes,
+	// dispatcher, pools) against the restart path: Kill/Restart swap
+	// them under the write lock while accessors, Exec and the telemetry
+	// collector read under the read lock. buildOpts/tImg/uImg retain the
+	// build inputs — including the signing identity, so a re-created
+	// enclave keeps its MRSIGNER and can unseal persistent state.
+	stateMu   sync.RWMutex
+	buildOpts Options
+	tImg      *image.Image
+	uImg      *image.Image
+	killed    bool
+	helpersOn bool // helpers were running when Kill hit; Restart revives them
+
 	// disp routes every cross-runtime transition (nil unless
 	// partitioned); bufs recycles marshal buffers; batching mirrors
 	// cfg.Batching for the remote-call hot path.
@@ -173,11 +186,23 @@ func NewPartitioned(opts Options, tImg, uImg *image.Image, iface *edl.File) (*Wo
 	if tImg.Kind() != image.TrustedImage || uImg.Kind() != image.UntrustedImage {
 		return nil, errors.New("world: image kinds mismatched")
 	}
+	if opts.Signer == nil {
+		// Generate the signing identity up front and retain it in the
+		// build options: a restarted enclave must be re-signed by the
+		// same author or its MRSIGNER-sealed state becomes unreadable.
+		signer, err := sgx.NewSigner()
+		if err != nil {
+			return nil, err
+		}
+		opts.Signer = signer
+	}
 	w, err := newWorld(ModePartitioned, opts)
 	if err != nil {
 		return nil, err
 	}
 	w.iface = iface
+	w.buildOpts = opts
+	w.tImg, w.uImg = tImg, uImg
 	if err := w.initEnclave(opts, tImg); err != nil {
 		return nil, err
 	}
@@ -394,14 +419,28 @@ func (w *World) Mode() Mode { return w.mode }
 // Clock returns the world's cycle clock.
 func (w *World) Clock() *cycles.Clock { return w.clock }
 
-// Enclave returns the enclave (nil in ModeNoSGX).
-func (w *World) Enclave() *sgx.Enclave { return w.enclave }
+// Enclave returns the enclave (nil in ModeNoSGX, or while killed).
+func (w *World) Enclave() *sgx.Enclave {
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
+	return w.enclave
+}
 
-// Trusted returns the trusted runtime (nil in ModeNoSGX).
-func (w *World) Trusted() *Runtime { return w.trusted }
+// Trusted returns the trusted runtime (nil in ModeNoSGX, or while
+// killed).
+func (w *World) Trusted() *Runtime {
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
+	return w.trusted
+}
 
-// Untrusted returns the untrusted runtime (nil in ModeUnpartitionedSGX).
-func (w *World) Untrusted() *Runtime { return w.untrusted }
+// Untrusted returns the untrusted runtime (nil in ModeUnpartitionedSGX,
+// or while killed).
+func (w *World) Untrusted() *Runtime {
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
+	return w.untrusted
+}
 
 // HostFS returns the untrusted filesystem.
 func (w *World) HostFS() shim.FS { return w.hostFS }
@@ -462,12 +501,15 @@ func (w *World) ExecMain(fn func(env classmodel.Env) error) error {
 // harness used by benchmarks and examples to drive application objects
 // directly. Trusted execution enters the enclave through one ecall.
 func (w *World) Exec(trusted bool, fn func(env classmodel.Env) error) error {
+	w.stateMu.RLock()
 	var rt *Runtime
 	if trusted {
 		rt = w.trusted
 	} else {
 		rt = w.untrusted
 	}
+	encl := w.enclave
+	w.stateMu.RUnlock()
 	if rt == nil {
 		return ErrWrongRuntime
 	}
@@ -476,8 +518,8 @@ func (w *World) Exec(trusted bool, fn func(env classmodel.Env) error) error {
 		defer rt.releaseFrame(fr)
 		return fn(&env{rt: rt, fr: fr})
 	}
-	if trusted && w.enclave != nil {
-		return w.enclave.Ecall(idExec, run)
+	if trusted && encl != nil {
+		return encl.Ecall(idExec, run)
 	}
 	return run()
 }
@@ -690,8 +732,14 @@ func (w *World) runBatchedCall(to *Runtime, c wire.FrameCall, sp *telemetry.Span
 // Flush drains both runtimes' batching queues, running any pending
 // result-independent calls. Errors of individual batched calls surface
 // here, joined. A no-op when nothing is pending (or batching is off).
+// This is also the flush-before-commit barrier the persistence layer
+// runs before sealing a checkpoint: batched mutations must land before
+// trusted state is captured.
 func (w *World) Flush() error {
-	return errors.Join(w.flushQueue(w.untrusted), w.flushQueue(w.trusted))
+	w.stateMu.RLock()
+	trusted, untrusted := w.trusted, w.untrusted
+	w.stateMu.RUnlock()
+	return errors.Join(w.flushQueue(untrusted), w.flushQueue(trusted))
 }
 
 func (w *World) flushQueue(rt *Runtime) error {
@@ -753,6 +801,11 @@ type Stats struct {
 // registry metrics at scrape time, so the producing hot paths stay
 // untouched.
 func (w *World) collectMetrics(reg *telemetry.Registry) {
+	// The collector outlives any single enclave incarnation (it is
+	// registered once, while Kill/Restart swap the world's guts), so it
+	// reads under the state lock.
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
 	reg.Gauge("montsalvat_world_cycles_total").Set(w.clock.Total())
 
 	if w.disp != nil {
@@ -818,6 +871,8 @@ func (w *World) collectMetrics(reg *telemetry.Registry) {
 
 // Stats returns a snapshot of all counters.
 func (w *World) Stats() Stats {
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
 	s := Stats{Mode: w.mode, Cycles: w.clock.Total(), Dispatch: w.DispatchStats()}
 	if w.enclave != nil {
 		s.Enclave = w.enclave.Stats()
