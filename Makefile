@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-full serve-smoke obs-smoke crash-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -15,7 +15,7 @@ build:
 test:
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sgx/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/...
+	$(GO) test -race ./internal/sgx/... ./internal/ring/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/...
 
 race:
 	$(GO) test -race ./...
@@ -38,6 +38,12 @@ bench-smoke:
 # request error.
 bench-scale-smoke:
 	$(GO) run ./cmd/montsalvat-serve -clients 2 -requests 32
+
+# Zero-copy data plane check: run the bounded ring-vs-frame payload
+# sweep (virtual cost accounting, quick scale) — fails if the ring path
+# or its fallback routes misbehave at any payload size.
+bench-ring-smoke:
+	$(GO) run ./cmd/montsalvat-bench -experiment ring-sweep -quick -spin=false
 
 # Regenerate every paper table/figure at full scale (minutes).
 bench-full:

@@ -44,8 +44,9 @@ func run(args []string, out io.Writer) error {
 		format     = fs.String("format", "text", "output format: text or csv")
 		profile    = fs.Bool("profile-dispatch", false, "run the KV demo with full-rate telemetry and print the dispatch profile")
 		jsonPath   = fs.String("json", "", "run a perf suite (see -suite) and append a machine-readable entry to this file (e.g. BENCH_rmi.json)")
-		suite      = fs.String("suite", "rmi", "perf suite for -json: rmi (BENCH_rmi.json) or persist (BENCH_persist.json)")
+		suite      = fs.String("suite", "rmi", "perf suite for -json: rmi (BENCH_rmi.json), ring (rmi plus payload sweep) or persist (BENCH_persist.json)")
 		label      = fs.String("label", "run", "entry label for -json records")
+		sweep      = fs.Bool("payload-sweep", false, "with -json -suite rmi: include the ring payload sweep in the entry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,11 +66,13 @@ func run(args []string, out io.Writer) error {
 	if *jsonPath != "" {
 		switch *suite {
 		case "rmi":
-			return writeRMIPerf(opts, *jsonPath, *label, out)
+			return writeRMIPerf(opts, *jsonPath, *label, *sweep, out)
+		case "ring":
+			return writeRMIPerf(opts, *jsonPath, *label, true, out)
 		case "persist":
 			return writeRecoveryPerf(opts, *jsonPath, *label, out)
 		default:
-			return fmt.Errorf("unknown -suite %q (want rmi or persist)", *suite)
+			return fmt.Errorf("unknown -suite %q (want rmi, ring or persist)", *suite)
 		}
 	}
 	if *profile {
@@ -108,9 +111,14 @@ func run(args []string, out io.Writer) error {
 }
 
 // writeRMIPerf runs the RMI perf suite and appends the labelled entry to
-// the trajectory file, creating it when absent.
-func writeRMIPerf(opts bench.Options, path, label string, out io.Writer) error {
-	entry, err := bench.RMIPerf(opts, label)
+// the trajectory file, creating it when absent. With sweep, the entry
+// additionally carries the ring-vs-frame payload sweep.
+func writeRMIPerf(opts bench.Options, path, label string, sweep bool, out io.Writer) error {
+	run := bench.RMIPerf
+	if sweep {
+		run = bench.RingPerf
+	}
+	entry, err := run(opts, label)
 	if err != nil {
 		return err
 	}
@@ -137,6 +145,11 @@ func writeRMIPerf(opts bench.Options, path, label string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%s: appended %q (single %.0f ops/s, 8-goroutine speedup %.2fx)\n",
 		path, label, entry.SingleOpsPerSec, speedupAt(entry, 8))
+	if n := len(entry.PayloadSweep); n > 0 {
+		top := entry.PayloadSweep[n-1]
+		fmt.Fprintf(out, "%s: payload sweep %d points, ring %.2fx at %d B (crypto share %.0f%%)\n",
+			path, n, top.Speedup, top.PayloadBytes, top.RingCryptoShare*100)
+	}
 	return nil
 }
 

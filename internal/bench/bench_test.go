@@ -16,7 +16,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7",
 		"fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-switchless", "ablation-dispatch", "ablation-tcb",
-		"ablation-transition", "concurrent-rmi", "recovery",
+		"ablation-transition", "concurrent-rmi", "ring-sweep", "recovery",
 	}
 	all := All()
 	if len(all) != len(want) {

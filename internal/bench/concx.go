@@ -183,6 +183,9 @@ type RMIPerfEntry struct {
 	TransitionsPerOp float64         `json:"transitions_per_op"`
 	CyclesPerOp      float64         `json:"cycles_per_op"`
 	Scaling          []RMIScalePoint `json:"scaling"`
+	// PayloadSweep is present on ring-suite records: frame vs ring
+	// cycles/op across payload sizes (see RingPayloadSweep).
+	PayloadSweep []PayloadPoint `json:"payload_sweep,omitempty"`
 }
 
 // RMIPerfFile is the on-disk shape of BENCH_rmi.json: an append-only

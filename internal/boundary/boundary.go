@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"montsalvat/internal/cycles"
+	"montsalvat/internal/ring"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/simcfg"
 	"montsalvat/internal/telemetry"
@@ -64,18 +65,23 @@ type Stats struct {
 // Dispatcher routes cross-runtime calls over a Transport, optionally
 // diverting short calls through switchless pools.
 type Dispatcher struct {
-	transport Transport
-	clock     *cycles.Clock
-	ecallPool Pool
-	ocallPool Pool
-	cutoff    float64
+	transport  Transport
+	clock      *cycles.Clock
+	ecallPool  Pool
+	ocallPool  Pool
+	ecallRings *ring.Group
+	ocallRings *ring.Group
+	cutoff     float64
 
 	mu  sync.Mutex
 	avg map[int]float64 // routine id -> EWMA of body cycles
 
-	full       atomic.Uint64
-	switchless atomic.Uint64
-	fallback   atomic.Uint64
+	full         atomic.Uint64
+	switchless   atomic.Uint64
+	fallback     atomic.Uint64
+	ringCalls    atomic.Uint64
+	ringFallback atomic.Uint64
+	ringOversize atomic.Uint64
 
 	// Telemetry instruments, resolved once by SetTelemetry. All nil when
 	// observability is off; every use is nil-safe, so the disabled cost
@@ -162,7 +168,7 @@ func (d *Dispatcher) route(in bool, id int, long bool, sp *telemetry.Span, wrapp
 	return d.transport.Ocall(id, wrapped)
 }
 
-// Close stops any attached pools.
+// Close stops any attached pools and ring groups.
 func (d *Dispatcher) Close() {
 	if d.ecallPool != nil {
 		d.ecallPool.Stop()
@@ -170,6 +176,8 @@ func (d *Dispatcher) Close() {
 	if d.ocallPool != nil {
 		d.ocallPool.Stop()
 	}
+	d.ecallRings.Close()
+	d.ocallRings.Close()
 }
 
 // Stats returns a snapshot of the routing counters.

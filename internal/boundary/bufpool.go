@@ -1,6 +1,9 @@
 package boundary
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // maxPooledCap bounds the capacity of buffers kept by a BufPool: a rare
 // huge marshal must not pin its buffer in the pool forever.
@@ -13,6 +16,49 @@ const maxPooledCap = 1 << 20
 // largest allocation ever seen.
 var bufClasses = [...]int{256, 4096, 65536, 1 << 20}
 
+// getClass returns the index of the smallest class covering a requested
+// capacity, or -1 when the request exceeds the largest class.
+func getClass(capacity int) int {
+	for i, class := range bufClasses {
+		if capacity <= class {
+			return i
+		}
+	}
+	return -1
+}
+
+// putClass returns the index of the largest class a buffer's capacity
+// covers — the class it can still serve Get requests for — or -1 for
+// buffers below the smallest class. A buffer grown by append past its
+// origin class is thus re-filed upward, never returned to a class it
+// can no longer satisfy.
+func putClass(capacity int) int {
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if capacity >= bufClasses[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// BufPoolStats counts pool traffic for the miss-rate gauge.
+type BufPoolStats struct {
+	// Hits are Gets served by a pooled buffer of sufficient capacity.
+	Hits uint64
+	// Misses are Gets that allocated: an empty class, or a request
+	// beyond the largest class.
+	Misses uint64
+}
+
+// MissRate returns Misses/(Hits+Misses) in [0,1]; 0 when idle.
+func (s BufPoolStats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
 // BufPool recycles marshal buffers on the proxy-call hot path. Returned
 // buffers have zero length and at least the requested capacity, so a
 // size-precomputed encode (wire.SizeValues + wire.AppendValues) never
@@ -21,6 +67,9 @@ var bufClasses = [...]int{256, 4096, 65536, 1 << 20}
 // without contending on a shared free list.
 type BufPool struct {
 	classes [len(bufClasses)]sync.Pool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewBufPool creates an empty pool.
@@ -36,19 +85,23 @@ func NewBufPool() *BufPool {
 // the smallest size class that fits. Requests beyond the largest class
 // allocate directly and are never pooled.
 func (p *BufPool) Get(capacity int) []byte {
-	for i, class := range bufClasses {
-		if capacity <= class {
-			buf := *p.classes[i].Get().(*[]byte)
-			if cap(buf) < capacity {
-				return make([]byte, 0, class)
-			}
-			return buf[:0]
-		}
+	i := getClass(capacity)
+	if i < 0 {
+		p.misses.Add(1)
+		return make([]byte, 0, capacity)
 	}
-	return make([]byte, 0, capacity)
+	buf := *p.classes[i].Get().(*[]byte)
+	if cap(buf) < capacity {
+		p.misses.Add(1)
+		return make([]byte, 0, bufClasses[i])
+	}
+	p.hits.Add(1)
+	return buf[:0]
 }
 
-// Put recycles a buffer into the largest class its capacity covers. The
+// Put recycles a buffer into the largest class its capacity covers —
+// re-classified by CURRENT capacity, so a buffer that grew under append
+// since it was borrowed lands in the class it can actually serve. The
 // caller must not touch buf afterwards; any slice aliasing it (e.g. a
 // decoded view) must have been copied first. Nil, undersized, and
 // oversized buffers are dropped.
@@ -56,11 +109,13 @@ func (p *BufPool) Put(buf []byte) {
 	if buf == nil || cap(buf) > maxPooledCap {
 		return
 	}
-	for i := len(bufClasses) - 1; i >= 0; i-- {
-		if cap(buf) >= bufClasses[i] {
-			p.classes[i].Put(&buf)
-			return
-		}
+	if i := putClass(cap(buf)); i >= 0 {
+		p.classes[i].Put(&buf)
 	}
 	// Below the smallest class: not worth keeping.
+}
+
+// Stats snapshots the pool's hit/miss counters.
+func (p *BufPool) Stats() BufPoolStats {
+	return BufPoolStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
 }

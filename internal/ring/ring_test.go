@@ -1,0 +1,300 @@
+package ring
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"montsalvat/internal/telemetry"
+)
+
+// echoGroup builds a group whose handler echoes the request payload
+// back as the response (in place when it fits).
+func echoGroup(t *testing.T, cfg Config) (*Group, *atomic.Uint64) {
+	t.Helper()
+	var served atomic.Uint64
+	h := func(id int, req, resp []byte, sp *telemetry.Span) ([]byte, bool, error) {
+		served.Add(1)
+		// req and resp alias the same slot: consume req fully first.
+		cp := append([]byte(nil), req...)
+		return append(resp, cp...), false, nil
+	}
+	g, err := NewGroup(cfg, nil, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g, &served
+}
+
+func callEcho(g *Group, payload []byte) ([]byte, error) {
+	var got []byte
+	err := g.TryCall(7, len(payload), nil,
+		func(slot []byte) ([]byte, error) { return append(slot, payload...), nil },
+		func(resp []byte) error {
+			got = append([]byte(nil), resp...)
+			return nil
+		})
+	return got, err
+}
+
+func TestRoundTrip(t *testing.T) {
+	g, served := echoGroup(t, Config{Workers: 1, Slots: 4, SlotBytes: 256})
+	payload := []byte("sealed through the slot")
+	got, err := callEcho(g, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo mismatch: %q != %q", got, payload)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("served %d calls, want 1", served.Load())
+	}
+	st := g.Stats()
+	if st.Submits != 1 || st.Consumed != 1 {
+		t.Fatalf("stats %+v, want 1 submit / 1 consumed", st)
+	}
+	// Request and response each sealed once: plaintext + 16-byte tag.
+	wantSealed := uint64(2 * (len(payload) + gcmOverhead))
+	if st.SealedBytes != wantSealed {
+		t.Fatalf("sealed %d bytes, want %d", st.SealedBytes, wantSealed)
+	}
+}
+
+// TestSlotWraparound pushes many sequential calls through a tiny ring so
+// the indices wrap the slot array repeatedly, with distinct payloads to
+// catch any slot/sequence confusion (a wrong nonce would also fail the
+// GCM open).
+func TestSlotWraparound(t *testing.T) {
+	g, served := echoGroup(t, Config{Workers: 1, Slots: 4, SlotBytes: 128})
+	for i := 0; i < 64; i++ {
+		payload := []byte(fmt.Sprintf("call-%d", i))
+		got, err := callEcho(g, payload)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("call %d: echo mismatch %q", i, got)
+		}
+	}
+	if served.Load() != 64 {
+		t.Fatalf("served %d, want 64", served.Load())
+	}
+}
+
+// TestBatchBackpressure submits a batch much larger than the ring so the
+// producer must stall on completions and drain mid-batch.
+func TestBatchBackpressure(t *testing.T) {
+	g, served := echoGroup(t, Config{Workers: 1, Slots: 4, SlotBytes: 128})
+	const n = 37 // deliberately not a multiple of the ring size
+	entries := make([]BatchEntry, n)
+	for i := range entries {
+		payload := []byte(fmt.Sprintf("batched-%d", i))
+		entries[i] = BatchEntry{
+			ID:   3,
+			Need: len(payload),
+			Fill: func(slot []byte) ([]byte, error) { return append(slot, payload...), nil },
+		}
+	}
+	if err := g.TryBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() != n {
+		t.Fatalf("served %d, want %d", served.Load(), n)
+	}
+	st := g.Stats()
+	if st.Stalls == 0 {
+		t.Fatalf("expected slot-full stalls for a %d-entry batch on a 4-slot ring, got stats %+v", n, st)
+	}
+	if st.Submits != n || st.Consumed != n {
+		t.Fatalf("stats %+v, want %d submits/consumed", st, n)
+	}
+}
+
+// TestDoorbellRace forces the consumer to sleep constantly (poll budget
+// 1) while a producer publishes at arrival gaps longer than the spin
+// window: every submission races the consumer's check-then-wait, and
+// the Dekker protocol (publish asleep, re-check tail, then block) must
+// never lose a wakeup.
+func TestDoorbellRace(t *testing.T) {
+	g, _ := echoGroup(t, Config{Workers: 1, Slots: 4, SlotBytes: 128, PollSpins: 1})
+	for i := 0; i < 200; i++ {
+		payload := []byte(fmt.Sprintf("ding-%d", i))
+		done := make(chan error, 1)
+		go func() {
+			_, err := callEcho(g, payload)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("call %d: lost wakeup — doorbell race", i)
+		}
+		if i%3 == 0 {
+			time.Sleep(50 * time.Microsecond) // let the consumer go back to sleep
+		}
+	}
+	if st := g.Stats(); st.Doorbells == 0 {
+		t.Fatalf("expected doorbell rings with poll budget 1, got stats %+v", st)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	g, served := echoGroup(t, Config{Workers: 1, Slots: 4, SlotBytes: 64})
+	if _, err := callEcho(g, make([]byte, 65)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+	err := g.TryBatch([]BatchEntry{{ID: 1, Need: 65, Fill: func(s []byte) ([]byte, error) { return s, nil }}})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("batch: got %v, want ErrTooLarge", err)
+	}
+	if served.Load() != 0 {
+		t.Fatal("oversized submissions must not reach the handler")
+	}
+}
+
+// TestBusyFallback occupies every ring's producer side and verifies the
+// group reports ErrBusy instead of blocking (the deadlock-freedom
+// contract the dispatcher's frame fallback relies on).
+func TestBusyFallback(t *testing.T) {
+	g, _ := echoGroup(t, Config{Workers: 2, Slots: 4, SlotBytes: 64})
+	for _, r := range g.rings {
+		r.prodMu.Lock()
+	}
+	defer func() {
+		for _, r := range g.rings {
+			r.prodMu.Unlock()
+		}
+	}()
+	if _, err := callEcho(g, []byte("x")); !errors.Is(err, ErrBusy) {
+		t.Fatalf("got %v, want ErrBusy", err)
+	}
+	if st := g.Stats(); st.Busy != 1 {
+		t.Fatalf("busy stat %d, want 1", st.Busy)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	boom := errors.New("boom")
+	h := func(id int, req, resp []byte, sp *telemetry.Span) ([]byte, bool, error) {
+		return nil, false, boom
+	}
+	g, err := NewGroup(Config{Workers: 1, Slots: 4, SlotBytes: 64}, nil, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	_, cerr := callEcho(g, []byte("x"))
+	if !errors.Is(cerr, boom) {
+		t.Fatalf("got %v, want handler error", cerr)
+	}
+}
+
+// TestOverflowResponse has the handler return a response larger than the
+// slot via the overflow path and checks it reaches the producer intact.
+func TestOverflowResponse(t *testing.T) {
+	big := bytes.Repeat([]byte("L"), 4096)
+	h := func(id int, req, resp []byte, sp *telemetry.Span) ([]byte, bool, error) {
+		return append([]byte(nil), big...), true, nil
+	}
+	g, err := NewGroup(Config{Workers: 1, Slots: 4, SlotBytes: 64}, nil, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var got []byte
+	err = g.TryCall(1, 1, nil,
+		func(slot []byte) ([]byte, error) { return append(slot, 'q'), nil },
+		func(resp []byte) error { got = append([]byte(nil), resp...); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("overflow response corrupted: %d bytes", len(got))
+	}
+	st := g.Stats()
+	if st.Overflows != 1 || st.OverflowBytes != uint64(len(big)) {
+		t.Fatalf("stats %+v, want 1 overflow of %d bytes", st, len(big))
+	}
+}
+
+func TestClosedGroup(t *testing.T) {
+	g, _ := echoGroup(t, Config{Workers: 1, Slots: 4, SlotBytes: 64})
+	g.Close()
+	if _, err := callEcho(g, []byte("x")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("got %v, want ErrStopped", err)
+	}
+	g.Close() // idempotent
+}
+
+// TestConcurrentStress hammers one small group from many producers
+// mixing single calls and batches; run with -race this exercises the
+// publication ordering of tail/comp and both doorbell directions.
+func TestConcurrentStress(t *testing.T) {
+	g, served := echoGroup(t, Config{Workers: 2, Slots: 8, SlotBytes: 256, PollSpins: 4})
+	const (
+		producers = 8
+		perProd   = 50
+	)
+	var wg sync.WaitGroup
+	var riding, fell atomic.Uint64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if i%5 == 4 {
+					entries := make([]BatchEntry, 3)
+					for j := range entries {
+						payload := []byte(fmt.Sprintf("p%d-b%d-%d", p, i, j))
+						entries[j] = BatchEntry{ID: 2, Need: len(payload),
+							Fill: func(slot []byte) ([]byte, error) { return append(slot, payload...), nil }}
+					}
+					switch err := g.TryBatch(entries); {
+					case err == nil:
+						riding.Add(3)
+					case errors.Is(err, ErrBusy):
+						fell.Add(3)
+					default:
+						t.Errorf("batch: %v", err)
+						return
+					}
+					continue
+				}
+				payload := []byte(fmt.Sprintf("p%d-c%d", p, i))
+				got, err := callEcho(g, payload)
+				switch {
+				case err == nil:
+					riding.Add(1)
+					if !bytes.Equal(got, payload) {
+						t.Errorf("p%d call %d: echo mismatch", p, i)
+						return
+					}
+				case errors.Is(err, ErrBusy):
+					fell.Add(1)
+				default:
+					t.Errorf("p%d call %d: %v", p, i, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if served.Load() != riding.Load() {
+		t.Fatalf("served %d != rode %d", served.Load(), riding.Load())
+	}
+	if riding.Load() == 0 {
+		t.Fatal("no call rode the rings")
+	}
+	if g.Occupancy() != 0 {
+		t.Fatalf("occupancy %d after quiesce, want 0", g.Occupancy())
+	}
+}

@@ -185,6 +185,32 @@ func (e *Enclave) StartSwitchless(workers int) (*SwitchlessPool, error) {
 	return p, nil
 }
 
+// EnterResident establishes long-lived enclave residency for the
+// calling goroutine outside the pool machinery: it takes a TCS slot,
+// charges one regular entry transition, and marks the goroutine as
+// executing inside the enclave (so nested ocalls — including the
+// switchless host path — are legal). The returned leave releases the
+// slot; it is idempotent. The ring data plane uses this for its
+// trusted-side resident consumers, which poll shared memory instead of
+// a mailbox.
+func (e *Enclave) EnterResident() (func(), error) {
+	if err := e.checkRunnable(); err != nil {
+		return nil, err
+	}
+	<-e.tcs
+	e.clock.Charge(e.cfg.TransitionCycles(true))
+	e.ecalls.Add(1)
+	e.depth.Add(1)
+	var once sync.Once
+	leave := func() {
+		once.Do(func() {
+			e.depth.Add(-1)
+			e.tcs <- struct{}{}
+		})
+	}
+	return leave, nil
+}
+
 func (p *SwitchlessPool) worker() {
 	defer func() {
 		p.e.depth.Add(-1)

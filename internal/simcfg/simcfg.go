@@ -112,6 +112,51 @@ const (
 	DefaultBatchWatermark = 32
 )
 
+// Zero-copy ring data plane constants (internal/ring): per-worker
+// shared-memory SPSC submission/completion rings replacing the
+// marshal-copy path. Arguments are encoded straight into an untrusted
+// ring slot and sealed in place with AES-GCM, so the per-byte cost is
+// one streaming crypto pass instead of an MEE-taxed buffer copy.
+const (
+	// RingSubmitCycles is the hand-off cost of publishing a submission
+	// (or completion) while the other side is actively polling: a
+	// cross-core cache-line transfer of the ring indices, well under the
+	// switchless mailbox hand-off (HotCalls [56] measures ~600 cycles
+	// for a polled shared-memory call; the index bump alone is cheaper).
+	RingSubmitCycles = 200
+
+	// RingDoorbellCycles is charged instead of RingSubmitCycles when the
+	// resident consumer has gone to sleep and the producer must ring the
+	// doorbell — a futex-style wake, the same scale as the switchless
+	// mailbox hand-off.
+	RingDoorbellCycles = 1200
+
+	// RingCryptoBytesPerCycle is the streaming AES-GCM rate of the
+	// in-place slot seal (AES-NI/CLMUL pipelines sustain ~0.5
+	// cycles/byte on bulk buffers). It is charged once per direction —
+	// encrypt-on-write into the untrusted slot; the trusted-side open
+	// is pipelined with the streaming read and not charged separately —
+	// versus MEEBytesPerCycle (1 cycle/byte) per marshal copy on the
+	// frame path. The simulator also performs real AES-256-GCM work in
+	// the slot; this constant is used only by the virtual ledger.
+	RingCryptoBytesPerCycle = 2.0
+
+	// DefaultRingWorkers is the number of SPSC rings (each with one
+	// resident consumer worker) per direction when Config.RingWorkers is
+	// unset — mirroring DefaultSwitchlessWorkers, since trusted-side
+	// consumers pin TCS slots just like switchless workers.
+	DefaultRingWorkers = 2
+
+	// DefaultRingSlots is the submission-queue depth per ring when
+	// Config.RingSlots is unset (io_uring's default SQ depth region).
+	DefaultRingSlots = 64
+
+	// DefaultRingSlotBytes is the plaintext payload capacity of one ring
+	// slot when Config.RingSlotBytes is unset. Calls whose encoded
+	// request exceeds it fall back to the frame path.
+	DefaultRingSlotBytes = 64 << 10
+)
+
 // JVM / SCONE runtime-model constants. §6.6 attributes the SCONE+JVM
 // slowdown to (1) class loading, bytecode interpretation and dynamic
 // compilation and (2) the in-enclave JVM inflating the enclave heap,
@@ -184,6 +229,25 @@ type Config struct {
 	// BatchWatermark is the pending-call count that triggers a batch
 	// flush (<=0 means DefaultBatchWatermark).
 	BatchWatermark int
+
+	// Rings enables the zero-copy ring data plane: partitioned worlds
+	// start per-worker SPSC submission/completion rings in both
+	// directions and the boundary dispatcher routes fitting proxy calls
+	// through them, falling back to the frame path when a payload
+	// exceeds the slot capacity or every ring producer is busy.
+	Rings bool
+
+	// RingWorkers is the ring (and resident consumer) count per
+	// direction when Rings is set (<=0 means DefaultRingWorkers).
+	RingWorkers int
+
+	// RingSlots is the submission-queue depth per ring (<=0 means
+	// DefaultRingSlots).
+	RingSlots int
+
+	// RingSlotBytes is the plaintext payload capacity of one slot (<=0
+	// means DefaultRingSlotBytes).
+	RingSlotBytes int
 
 	// EPCBytes is the usable EPC size; enclave heaps larger than this
 	// trigger paging.

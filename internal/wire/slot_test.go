@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allKindValues returns one representative value of every kind,
+// including nested composites — the corpus for the exact-size invariant
+// the in-place slot writer relies on.
+func allKindValues() []Value {
+	return []Value{
+		Null(),
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(-1),
+		Int(math.MaxInt64),
+		Int(math.MinInt64),
+		Float(3.14159),
+		Float(math.Inf(-1)),
+		Float(math.NaN()),
+		Str(""),
+		Str("héllo wörld"),
+		Bytes(nil),
+		Bytes(bytes.Repeat([]byte{0xAB}, 300)),
+		Ref("app.Account", 42),
+		Ref("", math.MinInt64),
+		List(),
+		List(Int(1), Str("x"), Ref("C", 9)),
+		List(List(List(Bool(true)))),
+		Map(),
+		Map(Pair{Key: "k", Val: Float(1.5)}, Pair{Key: "a", Val: List(Int(7))}),
+	}
+}
+
+// TestExactSizeInvariant is the contract the zero-copy slot writers
+// trust: len(AppendValues(nil, vs)) == SizeValues(vs) for every value
+// kind, so a capacity check against the precomputed size guarantees the
+// append never reallocates.
+func TestExactSizeInvariant(t *testing.T) {
+	all := allKindValues()
+	// Every kind individually...
+	for _, v := range all {
+		vs := []Value{v}
+		if got, want := len(AppendValues(nil, vs)), SizeValues(vs); got != want {
+			t.Errorf("kind %s: encoded %d bytes, SizeValues says %d", v.Kind(), got, want)
+		}
+	}
+	// ...the full mixed vector, and the empty vector.
+	for _, vs := range [][]Value{all, nil} {
+		if got, want := len(AppendValues(nil, vs)), SizeValues(vs); got != want {
+			t.Errorf("vector of %d: encoded %d bytes, SizeValues says %d", len(vs), got, want)
+		}
+	}
+}
+
+// TestExactSizeInvariantQuick extends the invariant over the randomized
+// value generator shared with the fuzz corpus seeds.
+func TestExactSizeInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]Value, r.Intn(5))
+		for i := range vs {
+			vs[i] = randomValue(r, 3)
+		}
+		return len(AppendValues(nil, vs)) == SizeValues(vs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactSizeInvariantFuzzCorpus replays the fuzz seed corpus through
+// the invariant: any value the decoder accepts must re-encode at
+// exactly its computed size.
+func TestExactSizeInvariantFuzzCorpus(t *testing.T) {
+	seeds := [][]byte{
+		Marshal(Null()),
+		Marshal(Int(-12345)),
+		Marshal(Str("hello")),
+		Marshal(Bytes([]byte{1, 2, 3})),
+		Marshal(List(Int(1), Str("x"), Ref("C", 9))),
+		Marshal(Map(Pair{Key: "k", Val: Float(1.5)})),
+		MarshalList([]Value{Int(1), List(Bool(true))}),
+	}
+	for _, s := range seeds {
+		v, _, err := Unmarshal(s)
+		if err != nil {
+			t.Fatalf("corpus seed failed to decode: %v", err)
+		}
+		vs := []Value{v}
+		if got, want := len(AppendValues(nil, vs)), SizeValues(vs); got != want {
+			t.Errorf("corpus value %v: encoded %d, sized %d", v, got, want)
+		}
+	}
+}
+
+func TestAppendValuesSlotFits(t *testing.T) {
+	vs := []Value{Int(7), Str("slot")}
+	slot := make([]byte, 0, SizeValues(vs))
+	out, err := AppendValuesSlot(slot, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &slot[0:1][0] {
+		t.Fatal("slot append reallocated despite exact fit")
+	}
+	if !bytes.Equal(out, AppendValues(nil, vs)) {
+		t.Fatal("slot encoding differs from plain encoding")
+	}
+}
+
+func TestAppendValuesSlotFull(t *testing.T) {
+	vs := []Value{Bytes(make([]byte, 100))}
+	slot := make([]byte, 0, 50)
+	out, err := AppendValuesSlot(slot, vs)
+	if !errors.Is(err, ErrSlotFull) {
+		t.Fatalf("got %v, want ErrSlotFull", err)
+	}
+	if len(out) != 0 {
+		t.Fatal("failed slot append must not write")
+	}
+}
+
+func TestAppendFrameSlot(t *testing.T) {
+	calls := []FrameCall{{Class: "C", Method: "m", Hash: 5, Args: []byte{1, 2}}}
+	slot := make([]byte, 0, FrameSize(calls))
+	out, err := AppendFrameSlot(slot, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, AppendFrame(nil, calls)) {
+		t.Fatal("slot frame differs from plain frame")
+	}
+	if _, err := AppendFrameSlot(make([]byte, 0, 3), calls); !errors.Is(err, ErrSlotFull) {
+		t.Fatalf("got %v, want ErrSlotFull", err)
+	}
+}
+
+func TestCallSlotRoundTrip(t *testing.T) {
+	args := []Value{Int(9), Str("arg"), Ref("app.Obj", -3)}
+	argsLen := SizeValues(args)
+	need := CallSize("app.Obj", "relay$get", -3, argsLen)
+	slot := make([]byte, 0, need)
+	buf, err := AppendCallSlot(slot, "app.Obj", "relay$get", -3, CallWantResult, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != need {
+		t.Fatalf("encoded %d bytes, CallSize says %d", len(buf), need)
+	}
+	class, method, hash, flags, argBytes, err := DecodeCall(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "app.Obj" || method != "relay$get" || hash != -3 || flags != CallWantResult {
+		t.Fatalf("decoded %s.%s#%d flags=%d", class, method, hash, flags)
+	}
+	got, err := UnmarshalList(argBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(args) {
+		t.Fatalf("decoded %d args, want %d", len(got), len(args))
+	}
+	for i := range args {
+		if !got[i].Equal(args[i]) {
+			t.Errorf("arg %d: %v != %v", i, got[i], args[i])
+		}
+	}
+	// The decoded args view aliases the input buffer (zero-copy read).
+	if len(argBytes) > 0 && &argBytes[0] != &buf[need-argsLen] {
+		t.Fatal("DecodeCall args do not alias the slot buffer")
+	}
+}
+
+func TestAppendCallSlotFull(t *testing.T) {
+	args := []Value{Bytes(make([]byte, 200))}
+	if _, err := AppendCallSlot(make([]byte, 0, 64), "C", "m", 1, 0, args); !errors.Is(err, ErrSlotFull) {
+		t.Fatalf("got %v, want ErrSlotFull", err)
+	}
+}
+
+func TestDecodeCallCorrupt(t *testing.T) {
+	good, err := AppendCallSlot(make([]byte, 0, 64), "C", "m", 7, CallWantResult, []Value{Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][]byte{
+		nil,
+		good[:1],
+		good[:len(good)-1],                      // truncated args
+		append(append([]byte{}, good...), 0xFF), // trailing byte
+	} {
+		if _, _, _, _, _, derr := DecodeCall(tc); derr == nil {
+			t.Errorf("corrupt input %v decoded cleanly", tc)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"montsalvat/internal/ring"
 	"montsalvat/internal/shim"
 )
 
@@ -82,6 +83,25 @@ type DispatchStats struct {
 	PendingCalls int
 	// AvgBatchSize is BatchedCalls / BatchFlushes (0 when no flushes).
 	AvgBatchSize float64
+	// RingCalls crossed through the zero-copy ring data plane;
+	// RingFallbacks wanted a ring but found it busy; RingOversize
+	// exceeded the slot capacity and took the frame path.
+	RingCalls     uint64
+	RingFallbacks uint64
+	RingOversize  uint64
+	// RingSubmits/RingDoorbells/RingStalls/RingSealedBytes aggregate the
+	// ring groups' activity counters (both directions); RingOverflowBytes
+	// is response bytes that crossed as plain bounce buffers.
+	RingSubmits       uint64
+	RingDoorbells     uint64
+	RingStalls        uint64
+	RingSealedBytes   uint64
+	RingOverflowBytes uint64
+	// MEECopiedBytes is the total bytes charged at the MEE per-byte copy
+	// rate on the frame path (argument/result buffers and batch frames)
+	// — the "copies" component of the dispatch cycle breakdown, which
+	// the ring path converts into RingSealedBytes crypto work.
+	MEECopiedBytes uint64
 }
 
 // DispatchStats snapshots the boundary dispatch counters.
@@ -92,7 +112,20 @@ func (w *World) DispatchStats() DispatchStats {
 		ds.FullCalls = bs.FullCalls
 		ds.SwitchlessCalls = bs.SwitchlessCalls
 		ds.FallbackCalls = bs.FallbackCalls
+		rs := w.disp.RingStats()
+		ds.RingCalls = rs.RingCalls
+		ds.RingFallbacks = rs.RingFallbacks
+		ds.RingOversize = rs.RingOversize
 	}
+	for _, g := range []*ring.Group{w.erings, w.orings} {
+		gs := g.Stats() // nil-safe: zero for a missing group
+		ds.RingSubmits += gs.Submits
+		ds.RingDoorbells += gs.Doorbells
+		ds.RingStalls += gs.Stalls
+		ds.RingSealedBytes += gs.SealedBytes
+		ds.RingOverflowBytes += gs.OverflowBytes
+	}
+	ds.MEECopiedBytes = w.meeBytes.Load()
 	if w.enclave != nil {
 		es := w.enclave.Stats()
 		ds.SwitchlessEcalls = es.SwitchlessEcalls

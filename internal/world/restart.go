@@ -37,7 +37,7 @@ func (w *World) Kill() {
 	}
 	w.helpersOn = helpersOn
 	if w.disp != nil {
-		w.disp.Close() // stops both switchless pools
+		w.disp.Close() // stops both switchless pools and ring groups
 	}
 	if w.enclave != nil {
 		w.enclave.Destroy()
@@ -48,6 +48,8 @@ func (w *World) Kill() {
 	w.disp = nil
 	w.epool = nil
 	w.opool = nil
+	w.erings = nil
+	w.orings = nil
 	w.killed = true
 }
 
@@ -95,6 +97,7 @@ func (w *World) Restart() error {
 		}
 		w.enclave, w.trusted, w.untrusted = nil, nil, nil
 		w.disp, w.epool, w.opool = nil, nil, nil
+		w.erings, w.orings = nil, nil
 		w.stateMu.Unlock()
 		return fmt.Errorf("world: restart: %w", err)
 	}

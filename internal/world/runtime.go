@@ -364,6 +364,18 @@ func (rt *Runtime) classDecl(class string) (*classmodel.Class, error) {
 // runtime may hold proxies to them; references to local proxies cross as
 // their bare hash (the opposite runtime resolves its mirror).
 func (rt *Runtime) marshalOut(fr *frame, vals []wire.Value) ([]byte, error) {
+	out, err := rt.marshalVals(fr, vals)
+	if err != nil {
+		return nil, err
+	}
+	return rt.encodeVals(out), nil
+}
+
+// marshalVals is marshalOut's value pass — registry exports, proxy-hash
+// substitution and the serialization charge — without committing to an
+// output buffer, so the ring path can encode the prepared vector
+// straight into a slot while the frame path uses a pooled buffer.
+func (rt *Runtime) marshalVals(fr *frame, vals []wire.Value) ([]wire.Value, error) {
 	out := make([]wire.Value, len(vals))
 	for i, v := range vals {
 		cv, err := rt.marshalValue(fr, v, 0)
@@ -372,13 +384,18 @@ func (rt *Runtime) marshalOut(fr *frame, vals []wire.Value) ([]byte, error) {
 		}
 		out[i] = cv
 	}
-	// Size-precompute plus a pooled buffer: the hot path neither grows
-	// nor allocates. Callers recycle the buffer with w.bufs.Put once the
-	// receiver has decoded it (decoding copies).
-	buf := wire.AppendValues(rt.w.bufs.Get(wire.SizeValues(out)), out)
 	rt.chargeSerialization(out, simcfg.SerializeCyclesPerValue)
+	return out, nil
+}
+
+// encodeVals encodes a prepared value vector into a pooled buffer.
+// Size-precompute plus a pooled buffer: the hot path neither grows nor
+// allocates. Callers recycle the buffer with w.bufs.Put once the
+// receiver has decoded it (decoding copies).
+func (rt *Runtime) encodeVals(vals []wire.Value) []byte {
+	buf := wire.AppendValues(rt.w.bufs.Get(wire.SizeValues(vals)), vals)
 	rt.marshalled.Add(uint64(len(buf)))
-	return buf, nil
+	return buf
 }
 
 // chargeSerialization charges the Java-serialization cost of a value
@@ -726,7 +743,7 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		return wire.Value{}, fmt.Errorf("%w: no edge routine for %s.%s", image.ErrClosedWorld, class, relayName)
 	}
 
-	argBuf, err := rt.marshalOut(fr, args)
+	vals, err := rt.marshalVals(fr, args)
 	if err != nil {
 		return wire.Value{}, err
 	}
@@ -737,12 +754,11 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		// null immediately and any call error at the flush.
 		if w.batching && !routine.ReturnsValue {
 			rt.remoteOut.Add(1)
-			return wire.Null(), rt.queue.Enqueue(boundary.Entry{ID: routine.ID, Class: class, Method: relayName, Hash: hash, Args: argBuf})
+			return wire.Null(), rt.queue.Enqueue(boundary.Entry{ID: routine.ID, Class: class, Method: relayName, Hash: hash, Args: rt.encodeVals(vals)})
 		}
 		// A result-dependent call must observe the effects of every
 		// queued call: flush first.
 		if err := rt.queue.Flush(); err != nil {
-			w.bufs.Put(argBuf)
 			return wire.Value{}, fmt.Errorf("world: flushing batched calls before %s.%s: %w", class, relayName, err)
 		}
 	}
@@ -758,8 +774,48 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		} else {
 			sp = tracer.StartRoot(name)
 		}
-		sp.AddMarshalBytes(len(argBuf))
 	}
+
+	// Ring route first: encode the call straight into a shared slot
+	// (zero intermediate copies, in-place crypto) with the opened
+	// response decoded in place. Oversized, busy or ring-less calls fall
+	// through to the frame path below.
+	if w.enclave != nil && w.disp.HasRings(dir == edl.Ecall) {
+		argsLen := wire.SizeValues(vals)
+		need := wire.CallSize(class, relayName, hash, argsLen)
+		var (
+			results []wire.Value
+			respLen int
+		)
+		fill := func(slot []byte) ([]byte, error) {
+			slot = wire.AppendCallHeader(slot, class, relayName, hash, wire.CallWantResult, argsLen)
+			return wire.AppendValues(slot, vals), nil
+		}
+		done := func(resp []byte) error {
+			respLen = len(resp)
+			var derr error
+			results, derr = rt.unmarshalIn(fr, resp)
+			return derr
+		}
+		ran, rerr := w.disp.InvokeRing(dir == edl.Ecall, routine.ID, need, sp, fill, done)
+		if ran {
+			rt.marshalled.Add(uint64(need))
+			sp.AddMarshalBytes(need + respLen)
+			sp.Finish(rerr)
+			w.hMarshal.Observe(int64(need + respLen))
+			if rerr != nil {
+				return wire.Value{}, rerr
+			}
+			rt.remoteOut.Add(1)
+			if len(results) != 1 {
+				return wire.Value{}, fmt.Errorf("world: relay %s.%s returned %d values", class, relayName, len(results))
+			}
+			return results[0], nil
+		}
+	}
+
+	argBuf := rt.encodeVals(vals)
+	sp.AddMarshalBytes(len(argBuf))
 
 	var resultBuf []byte
 	invoke := func() error {
@@ -771,9 +827,11 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 		// Copying the argument and result buffers across the boundary
 		// streams them through the MEE.
 		w.clock.ChargeBytes(len(argBuf), simcfg.MEEBytesPerCycle)
+		w.meeBytes.Add(uint64(len(argBuf)))
 		err = w.disp.InvokeSpan(dir == edl.Ecall, routine.ID, false, sp, invoke)
 		if err == nil {
 			w.clock.ChargeBytes(len(resultBuf), simcfg.MEEBytesPerCycle)
+			w.meeBytes.Add(uint64(len(resultBuf)))
 		}
 	} else {
 		err = invoke()
@@ -807,12 +865,61 @@ func (rt *Runtime) remoteCall(fr *frame, class, method string, hash int64, args 
 // into the relay's frame so calls the body makes back across the
 // boundary become children of the same trace.
 func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []byte, wantResult bool, parent *telemetry.Span) ([]byte, error) {
+	if !wantResult {
+		return nil, rt.relayCore(class, relayName, hash, argBuf, parent, nil)
+	}
+	var out []byte
+	err := rt.relayCore(class, relayName, hash, argBuf, parent, func(fr *frame, result wire.Value) error {
+		var merr error
+		out, merr = rt.marshalOut(fr, []wire.Value{result})
+		return merr
+	})
+	return out, err
+}
+
+// dispatchRelaySlot is dispatchRelay for the ring data plane: the relay
+// result is marshalled directly into the response slot (the returned
+// buffer aliases slot), or — when it does not fit — into a fresh
+// overflow buffer reported with overflow=true, which the ring producer
+// side charges at MEE rate as a plain copy.
+func (rt *Runtime) dispatchRelaySlot(class, relayName string, hash int64, argBuf, slot []byte, wantResult bool, parent *telemetry.Span) (out []byte, overflow bool, err error) {
+	if !wantResult {
+		return nil, false, rt.relayCore(class, relayName, hash, argBuf, parent, nil)
+	}
+	err = rt.relayCore(class, relayName, hash, argBuf, parent, func(fr *frame, result wire.Value) error {
+		vals, merr := rt.marshalVals(fr, []wire.Value{result})
+		if merr != nil {
+			return merr
+		}
+		enc, serr := wire.AppendValuesSlot(slot, vals)
+		if serr == nil {
+			rt.marshalled.Add(uint64(len(enc)))
+			out = enc
+			return nil
+		}
+		overflow = true
+		out = wire.AppendValues(make([]byte, 0, wire.SizeValues(vals)), vals)
+		rt.marshalled.Add(uint64(len(out)))
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return out, overflow, nil
+}
+
+// relayCore is the shared body of the relay entry points: look up the
+// relay, decode the arguments, run the constructor or instance
+// dispatch, and hand the raw result to finish (nil for void calls)
+// before the relay frame is released — result marshalling must happen
+// while the frame still retains the exports.
+func (rt *Runtime) relayCore(class, relayName string, hash int64, argBuf []byte, parent *telemetry.Span, finish func(fr *frame, result wire.Value) error) error {
 	_, relay, err := rt.img.Lookup(classmodel.MethodRef{Class: class, Method: relayName})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !relay.Relay {
-		return nil, fmt.Errorf("world: %s.%s is not a relay method", class, relayName)
+		return fmt.Errorf("world: %s.%s is not a relay method", class, relayName)
 	}
 	target := relay.RelayFor
 
@@ -822,7 +929,7 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 
 	args, err := rt.unmarshalIn(fr, argBuf)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	var result wire.Value
@@ -846,19 +953,19 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 		}
 		rt.heapMu.Unlock()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := rt.adoptHandle(fr, hash, h); err != nil {
-			return nil, err
+			return err
 		}
 		if err := rt.reg.Export(hash, regHandle); err != nil {
-			return nil, err
+			return err
 		}
 		self := wire.Ref(class, hash)
 		// The relay frame is passed through so the ctor body inherits
 		// the trace span (its null result adopts nothing).
 		if _, err := rt.dispatch(classmodel.MethodRef{Class: class, Method: target}, self, args, fr); err != nil {
-			return nil, err
+			return err
 		}
 		result = wire.Null()
 
@@ -867,23 +974,23 @@ func (rt *Runtime) dispatchRelay(class, relayName string, hash int64, argBuf []b
 		targetRef := classmodel.MethodRef{Class: class, Method: target}
 		_, tm, err := rt.img.Lookup(targetRef)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !tm.Static {
 			// Resolve the mirror: it must still be registered.
 			if _, rerr := rt.resolve(fr, hash); rerr != nil {
-				return nil, fmt.Errorf("%w: %s#%d", ErrStaleMirror, class, hash)
+				return fmt.Errorf("%w: %s#%d", ErrStaleMirror, class, hash)
 			}
 			self = wire.Ref(class, hash)
 		}
 		result, err = rt.dispatch(targetRef, self, args, fr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 
-	if !wantResult {
-		return nil, nil
+	if finish == nil {
+		return nil
 	}
-	return rt.marshalOut(fr, []wire.Value{result})
+	return finish(fr, result)
 }

@@ -30,6 +30,7 @@ import (
 	"montsalvat/internal/edl"
 	"montsalvat/internal/heap"
 	"montsalvat/internal/image"
+	"montsalvat/internal/ring"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/shim"
 	"montsalvat/internal/simcfg"
@@ -158,6 +159,15 @@ type World struct {
 	bufs     *boundary.BufPool
 	batching bool
 
+	// erings/orings are the zero-copy ring groups (nil unless
+	// cfg.Rings); the dispatcher owns their shutdown, these references
+	// feed the stats collectors. meeBytes counts bytes charged at MEE
+	// copy rate on the frame path — the "copies" component of the
+	// dispatch cycle breakdown.
+	erings   *ring.Group
+	orings   *ring.Group
+	meeBytes atomic.Uint64
+
 	// tel is the optional observability layer (nil when disabled); epool
 	// and opool are retained for the occupancy collector. hMarshal is the
 	// cached marshal-bytes histogram (nil when telemetry is off).
@@ -241,6 +251,30 @@ func (w *World) initBoundary() error {
 		}
 		w.disp.UsePools(epool, opool)
 		w.epool, w.opool = epool, opool
+	}
+	if w.cfg.Rings {
+		rcfg := ring.Config{
+			Workers:   w.cfg.RingWorkers,
+			Slots:     w.cfg.RingSlots,
+			SlotBytes: w.cfg.RingSlotBytes,
+		}
+		// The ecall group's consumers are resident INSIDE the enclave
+		// (each holds a TCS slot for the group's lifetime, like a
+		// switchless worker); the ocall group's consumers are plain host
+		// goroutines.
+		erings, err := ring.NewGroup(rcfg, w.clock, w.ringHandler(w.trusted), w.enclave.EnterResident)
+		if err != nil {
+			return fmt.Errorf("world: ecall ring group: %w", err)
+		}
+		orings, err := ring.NewGroup(rcfg, w.clock, w.ringHandler(w.untrusted), nil)
+		if err != nil {
+			erings.Close()
+			return fmt.Errorf("world: ocall ring group: %w", err)
+		}
+		erings.SetTelemetry(w.tel.Registry(), "ecall")
+		orings.SetTelemetry(w.tel.Registry(), "ocall")
+		w.disp.UseRings(erings, orings)
+		w.erings, w.orings = erings, orings
 	}
 	w.batching = w.cfg.Batching
 	watermark := w.cfg.BatchWatermark
@@ -673,19 +707,48 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 		if to == nil {
 			return ErrWrongRuntime
 		}
+		// A flush is a trace root: one span for the whole coalesced
+		// transition, parenting any calls its batched relays make.
+		sp := w.tel.Tracer().StartRoot("batch-flush " + rt.name)
+		sp.SetBatchSize(len(entries))
+		if sp != nil && entries[0].EnqueuedNS != 0 {
+			sp.SetQueueWait(time.Duration(time.Now().UnixNano() - entries[0].EnqueuedNS))
+		}
+
+		// Ring route first: each batched call becomes its own submission
+		// entry, published back to back so the consumer drains them in
+		// shared wakeups — adaptive batching without building (and MEE-
+		// copying) a coalesced frame. All-or-nothing: oversized or busy
+		// rings fall through to the frame path.
+		if w.enclave != nil && w.disp.HasRings(to.trusted) {
+			rents := make([]ring.BatchEntry, len(entries))
+			for i := range entries {
+				e := entries[i]
+				rents[i] = ring.BatchEntry{
+					ID:   e.ID,
+					Need: wire.CallSize(e.Class, e.Method, e.Hash, len(e.Args)),
+					Sp:   sp,
+					Fill: func(slot []byte) ([]byte, error) {
+						slot = wire.AppendCallHeader(slot, e.Class, e.Method, e.Hash, 0, len(e.Args))
+						return append(slot, e.Args...), nil
+					},
+				}
+			}
+			if ran, rerr := w.disp.InvokeRingBatch(to.trusted, rents); ran {
+				sp.Finish(rerr)
+				for _, e := range entries {
+					w.bufs.Put(e.Args)
+				}
+				return rerr
+			}
+		}
+
 		calls := make([]wire.FrameCall, len(entries))
 		for i, e := range entries {
 			calls[i] = wire.FrameCall{Class: e.Class, Method: e.Method, Hash: e.Hash, Args: e.Args}
 		}
 		frame := wire.AppendFrame(w.bufs.Get(wire.FrameSize(calls)), calls)
-		// A flush is a trace root: one span for the whole coalesced
-		// transition, parenting any calls its batched relays make.
-		sp := w.tel.Tracer().StartRoot("batch-flush " + rt.name)
-		sp.SetBatchSize(len(entries))
 		sp.AddMarshalBytes(len(frame))
-		if sp != nil && entries[0].EnqueuedNS != 0 {
-			sp.SetQueueWait(time.Duration(time.Now().UnixNano() - entries[0].EnqueuedNS))
-		}
 		invoke := func() error {
 			decoded, err := wire.UnmarshalFrame(frame)
 			if err != nil {
@@ -702,6 +765,7 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 			// The frame crosses the boundary once, streaming through
 			// the MEE like any marshalled argument buffer.
 			w.clock.ChargeBytes(len(frame), simcfg.MEEBytesPerCycle)
+			w.meeBytes.Add(uint64(len(frame)))
 			err = w.disp.InvokeSpan(to.trusted, idBatch, false, sp, invoke)
 		} else {
 			err = invoke()
@@ -712,6 +776,25 @@ func (w *World) batchRun(rt *Runtime) func([]boundary.Entry) error {
 		}
 		w.bufs.Put(frame)
 		return err
+	}
+}
+
+// ringHandler builds the ring consumer callback executing submissions
+// on the receiving runtime rt. req and resp alias the same slot, which
+// is safe because decoding copies every argument into Values before the
+// dispatch runs and the response is encoded only afterwards.
+func (w *World) ringHandler(rt *Runtime) ring.Handler {
+	return func(id int, req, resp []byte, sp *telemetry.Span) ([]byte, bool, error) {
+		class, method, hash, flags, args, err := wire.DecodeCall(req)
+		if err != nil {
+			return nil, false, err
+		}
+		if method == gcReleaseMethod {
+			_, rerr := rt.reg.Release(hash)
+			return nil, false, rerr
+		}
+		want := flags&wire.CallWantResult != 0
+		return rt.dispatchRelaySlot(class, method, hash, args, resp, want, sp)
 	}
 }
 
@@ -813,6 +896,30 @@ func (w *World) collectMetrics(reg *telemetry.Registry) {
 		reg.Counter("montsalvat_boundary_calls_total", "route", "full").Set(ds.FullCalls)
 		reg.Counter("montsalvat_boundary_calls_total", "route", "switchless").Set(ds.SwitchlessCalls)
 		reg.Counter("montsalvat_boundary_calls_total", "route", "fallback").Set(ds.FallbackCalls)
+		rs := w.disp.RingStats()
+		reg.Counter("montsalvat_boundary_calls_total", "route", "ring").Set(rs.RingCalls)
+		reg.Counter("montsalvat_boundary_calls_total", "route", "ring-fallback").Set(rs.RingFallbacks)
+		reg.Counter("montsalvat_boundary_calls_total", "route", "ring-oversize").Set(rs.RingOversize)
+	}
+	for dir, g := range map[string]*ring.Group{"ecall": w.erings, "ocall": w.orings} {
+		if g == nil {
+			continue
+		}
+		gs := g.Stats()
+		reg.Counter("montsalvat_ring_submits_total", "dir", dir).Set(gs.Submits)
+		reg.Counter("montsalvat_ring_doorbells_total", "dir", dir).Set(gs.Doorbells)
+		reg.Counter("montsalvat_ring_stalls_total", "dir", dir).Set(gs.Stalls)
+		reg.Counter("montsalvat_ring_overflows_total", "dir", dir).Set(gs.Overflows)
+		reg.Counter("montsalvat_ring_sealed_bytes_total", "dir", dir).Set(gs.SealedBytes)
+		reg.Gauge("montsalvat_ring_occupancy", "dir", dir).Set(int64(g.Occupancy()))
+	}
+	if w.bufs != nil {
+		ps := w.bufs.Stats()
+		reg.Counter("montsalvat_bufpool_gets_total", "result", "hit").Set(ps.Hits)
+		reg.Counter("montsalvat_bufpool_gets_total", "result", "miss").Set(ps.Misses)
+		// Miss rate in basis points (1/100 of a percent): gauges are
+		// integral.
+		reg.Gauge("montsalvat_bufpool_miss_rate_bps").Set(int64(ps.MissRate() * 10000))
 	}
 
 	var flushes, batched uint64
