@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fabric-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -15,7 +15,7 @@ build:
 test:
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sgx/... ./internal/ring/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/...
+	$(GO) test -race ./internal/sgx/... ./internal/ring/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/... ./internal/fabric/...
 
 race:
 	$(GO) test -race ./...
@@ -68,6 +68,12 @@ obs-smoke:
 # unless every acked write survives both.
 crash-smoke:
 	$(GO) run ./cmd/montsalvat-serve -crash-smoke -sessions 8 -requests 16
+
+# Fabric check: boot a 4-shard x 1-replica fabric in one process, drive
+# a concurrent routed load burst, kill one primary mid-run, promote its
+# replica, and fail unless every acked write reads back afterwards.
+fabric-smoke:
+	$(GO) run ./cmd/montsalvat-fabric -shards 4 -replicas 1 -load -failover -clients 4 -requests 32
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/

@@ -253,6 +253,8 @@ func All() []Experiment {
 		{ID: "concurrent-rmi", Title: "Concurrent RMI throughput scaling", Run: ConcurrentRMI},
 		{ID: "ring-sweep", Title: "Zero-copy ring data plane vs frame path (payload sweep)", Run: RingSweep},
 		{ID: "recovery", Title: "Crash-recovery latency: WAL length × checkpoint cadence", Run: RecoveryTime},
+		{ID: "fabric-scale", Title: "Sharded fabric throughput vs shard count", Run: FabricScale},
+		{ID: "failover", Title: "Failover time: replica promotion vs write volume", Run: FailoverTime},
 	}
 }
 

@@ -50,7 +50,9 @@ type BufPoolStats struct {
 	Misses uint64
 }
 
-// MissRate returns Misses/(Hits+Misses) in [0,1]; 0 when idle.
+// MissRate returns Misses/(Hits+Misses) in [0,1]. Before any Get the
+// rate is defined as 0, never NaN — the gauge exported from an idle
+// pool must read as "no misses", not poison downstream aggregation.
 func (s BufPoolStats) MissRate() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
@@ -118,4 +120,14 @@ func (p *BufPool) Put(buf []byte) {
 // Stats snapshots the pool's hit/miss counters.
 func (p *BufPool) Stats() BufPoolStats {
 	return BufPoolStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+}
+
+// ResetStats zeroes the hit/miss counters without touching the pooled
+// buffers, so a benchmark run can measure its own pool behaviour instead
+// of inheriting warm-up traffic. Concurrent Gets racing the reset land
+// on one side or the other of the zeroing; the counters never go
+// negative and MissRate stays in [0,1].
+func (p *BufPool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
 }

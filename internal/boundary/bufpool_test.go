@@ -1,6 +1,9 @@
 package boundary
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // TestBufPoolClassification pins the class mapping on both sides of
 // the pool: Get draws from the smallest covering class, Put re-files by
@@ -66,5 +69,47 @@ func TestBufPoolStats(t *testing.T) {
 	}
 	if got := s.MissRate(); got < 0.66 || got > 0.67 {
 		t.Fatalf("miss rate %f, want 2/3", got)
+	}
+}
+
+// TestBufPoolIdleMissRateZero pins the idle-gauge contract: before any
+// Get — and again right after a stats reset — MissRate is exactly 0,
+// never NaN. The world telemetry collector exports this value scaled to
+// basis points; a NaN here would convert to a garbage gauge sample.
+func TestBufPoolIdleMissRateZero(t *testing.T) {
+	p := NewBufPool()
+	if r := p.Stats().MissRate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("idle miss rate = %v, want exactly 0", r)
+	}
+	if bps := int64(p.Stats().MissRate() * 10000); bps != 0 {
+		t.Fatalf("idle miss-rate gauge = %d bps, want 0", bps)
+	}
+}
+
+// TestBufPoolResetStats: the reset hook gives benchmarks clean per-run
+// numbers — counters return to zero (and MissRate to 0, not NaN) while
+// pooled buffers stay warm.
+func TestBufPoolResetStats(t *testing.T) {
+	p := NewBufPool()
+	b := p.Get(100) // miss
+	p.Put(b)
+	b = p.Get(100) // hit
+	p.Put(b)
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("pre-reset stats %+v", s)
+	}
+	p.ResetStats()
+	s := p.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("post-reset stats %+v, want zeros", s)
+	}
+	if r := s.MissRate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("post-reset miss rate = %v, want exactly 0", r)
+	}
+	// The pool itself was not drained: the buffer recycled before the
+	// reset still serves the next Get as a hit.
+	p.Get(100)
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("post-reset traffic stats %+v, want 1 hit", s)
 	}
 }

@@ -2,6 +2,7 @@ package demo
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/wire"
@@ -20,6 +21,12 @@ const (
 
 // KVRequests is the per-run request count of FrontEnd.main.
 const KVRequests = 300
+
+// kvBuckets is the fan-out of the store's enclave-resident hash index.
+// Lookups scan one bucket instead of the whole store, so put/get stay
+// near-constant as gateway workloads (which, unlike FrontEnd.main's
+// 64-key loop, write unbounded keyspaces) grow the store.
+const kvBuckets = 128
 
 // KVProgram constructs the secure key-value store program. main returns
 // [hits, misses, size]. The KVStore surface (put/get/size) is what the
@@ -81,6 +88,13 @@ func kvEntryClass() *classmodel.Class {
 			},
 		})
 	}
+	mustMethod(c, &classmodel.Method{
+		Name: "setvalue", Public: true,
+		Params: []classmodel.Param{{Name: "v", Kind: wire.KindString}},
+		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
+			return wire.Null(), env.SetField(self, "value", args[0])
+		},
+	})
 	return c
 }
 
@@ -118,21 +132,44 @@ func kvAuditLogClass() *classmodel.Class {
 	return c
 }
 
-// kvStoreClass holds Entry objects in an enclave-resident list.
+// kvStoreClass holds Entry objects on the enclave heap, reachable two
+// ways: a flat insertion-ordered list (the O(1) enumeration surface the
+// durability layer's snapshot walker drives through keyat) and a
+// fixed-fan-out hash index of bucket lists (the near-constant lookup
+// path put/get take). Both reference the same Entry objects, so an
+// in-place setvalue is visible through either route.
 func kvStoreClass() *classmodel.Class {
 	c := classmodel.NewClass(KVStoreCls, classmodel.Trusted)
 	mustField(c, classmodel.Field{Name: "entries", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
+	mustField(c, classmodel.Field{Name: "buckets", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
 	mustField(c, classmodel.Field{Name: "audit", Kind: classmodel.FieldRef, ClassName: KVAuditLog})
 
 	mustMethod(c, &classmodel.Method{
 		Name: classmodel.CtorName, Public: true,
 		Allocates: []string{classmodel.BuiltinList, KVAuditLog},
+		Calls:     []classmodel.MethodRef{{Class: classmodel.BuiltinList, Method: "add"}},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
 			list, err := env.New(classmodel.BuiltinList)
 			if err != nil {
 				return wire.Null(), err
 			}
 			if err := env.SetField(self, "entries", list); err != nil {
+				return wire.Null(), err
+			}
+			buckets, err := env.New(classmodel.BuiltinList)
+			if err != nil {
+				return wire.Null(), err
+			}
+			for i := 0; i < kvBuckets; i++ {
+				b, err := env.New(classmodel.BuiltinList)
+				if err != nil {
+					return wire.Null(), err
+				}
+				if _, err := env.Call(buckets, "add", b); err != nil {
+					return wire.Null(), err
+				}
+			}
+			if err := env.SetField(self, "buckets", buckets); err != nil {
 				return wire.Null(), err
 			}
 			audit, err := env.New(KVAuditLog)
@@ -153,29 +190,42 @@ func kvStoreClass() *classmodel.Class {
 			{Class: classmodel.BuiltinList, Method: "add"},
 			{Class: classmodel.BuiltinList, Method: "size"},
 			{Class: classmodel.BuiltinList, Method: "get"},
-			{Class: classmodel.BuiltinList, Method: "set"},
 			{Class: KVEntry, Method: "getkey"},
+			{Class: KVEntry, Method: "setvalue"},
 			{Class: KVAuditLog, Method: "record"},
 		},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
-			list, err := env.GetField(self, "entries")
+			bucket, err := kvBucket(env, self, args[0])
 			if err != nil {
 				return wire.Null(), err
 			}
-			idx, err := kvFind(env, list, args[0])
-			if err != nil {
-				return wire.Null(), err
-			}
-			e, err := env.New(KVEntry, args[0], args[1])
+			idx, err := kvFindIn(env, bucket, args[0])
 			if err != nil {
 				return wire.Null(), err
 			}
 			if idx >= 0 {
-				if _, err := env.Call(list, "set", wire.Int(idx), e); err != nil {
+				e, err := env.Call(bucket, "get", wire.Int(idx))
+				if err != nil {
 					return wire.Null(), err
 				}
-			} else if _, err := env.Call(list, "add", e); err != nil {
-				return wire.Null(), err
+				if _, err := env.Call(e, "setvalue", args[1]); err != nil {
+					return wire.Null(), err
+				}
+			} else {
+				e, err := env.New(KVEntry, args[0], args[1])
+				if err != nil {
+					return wire.Null(), err
+				}
+				if _, err := env.Call(bucket, "add", e); err != nil {
+					return wire.Null(), err
+				}
+				entries, err := env.GetField(self, "entries")
+				if err != nil {
+					return wire.Null(), err
+				}
+				if _, err := env.Call(entries, "add", e); err != nil {
+					return wire.Null(), err
+				}
 			}
 			// Report the write out to the untrusted audit log. The result
 			// dependency forces an immediate nested ocall under this
@@ -201,18 +251,18 @@ func kvStoreClass() *classmodel.Class {
 			{Class: KVEntry, Method: "getvalue"},
 		},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
-			list, err := env.GetField(self, "entries")
+			bucket, err := kvBucket(env, self, args[0])
 			if err != nil {
 				return wire.Null(), err
 			}
-			idx, err := kvFind(env, list, args[0])
+			idx, err := kvFindIn(env, bucket, args[0])
 			if err != nil {
 				return wire.Null(), err
 			}
 			if idx < 0 {
 				return wire.Null(), nil
 			}
-			e, err := env.Call(list, "get", wire.Int(idx))
+			e, err := env.Call(bucket, "get", wire.Int(idx))
 			if err != nil {
 				return wire.Null(), err
 			}
@@ -319,9 +369,22 @@ func kvFrontEndClass() *classmodel.Class {
 	return c
 }
 
-// kvFind scans the entry list for a key (inside the enclave, as part of
-// KVStore's methods) and returns its index or -1.
-func kvFind(env classmodel.Env, list, key wire.Value) (int64, error) {
+// kvBucket resolves the index bucket owning a key: hash the key (plain
+// Go, no boundary traffic), then one list lookup.
+func kvBucket(env classmodel.Env, self, key wire.Value) (wire.Value, error) {
+	buckets, err := env.GetField(self, "buckets")
+	if err != nil {
+		return wire.Null(), err
+	}
+	k, _ := key.AsStr()
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k))
+	return env.Call(buckets, "get", wire.Int(int64(h.Sum32()%kvBuckets)))
+}
+
+// kvFindIn scans one bucket list for a key (inside the enclave, as part
+// of KVStore's methods) and returns its index or -1.
+func kvFindIn(env classmodel.Env, list, key wire.Value) (int64, error) {
 	sz, err := env.Call(list, "size")
 	if err != nil {
 		return 0, err

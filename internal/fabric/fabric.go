@@ -1,0 +1,395 @@
+package fabric
+
+// fabric.go is the controller: it boots N primary shards and R warm
+// standbys per shard inside one process, wires the replication channels
+// (mutually attested, synchronous in the ack path), publishes the
+// routing table, and drives the failure-handling verbs — KillShard
+// captures the acked position of a dying primary, Promote recovers a
+// standby against it. One signer and one platform secret span the
+// fabric: every enclave carries the same MRSIGNER, so sealed state
+// ships between them, while each World keeps its own measurement-bound
+// attested endpoints.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/telemetry"
+)
+
+// Options configures a Fabric.
+type Options struct {
+	// Shards is the number of primaries the keyspace is partitioned
+	// over (>= 1).
+	Shards int
+	// Replicas is the number of warm standbys per shard (>= 0).
+	Replicas int
+	// Platform issues and verifies quotes for every enclave of the
+	// fabric and for its clients. Defaults to a seeded platform.
+	Platform *sgx.Platform
+	// Telemetry, when set, receives montsalvat_fabric_* metrics.
+	Telemetry *telemetry.Telemetry
+	// MaxSessions / MaxInFlight are passed through to each gateway
+	// (zero means the serve defaults).
+	MaxSessions int
+	MaxInFlight int
+	// PeerTimeout bounds peer handshakes (default 10s).
+	PeerTimeout time.Duration
+	// Logf receives diagnostics from every layer of the fabric.
+	Logf func(format string, args ...any)
+}
+
+// Stats are fabric-lifetime counters.
+type Stats struct {
+	Shards                  int
+	Epoch                   uint64
+	ShipRounds              uint64
+	ShipBytes               uint64
+	Promotions              uint64
+	StalePromotionsRejected uint64
+	PeerHandshakes          uint64
+}
+
+// Fabric is a running sharded deployment.
+type Fabric struct {
+	opts     Options
+	platform *sgx.Platform
+	signer   *sgx.Signer
+	secret   sgx.PlatformSecret
+
+	mu    sync.Mutex
+	nodes map[int]*shardNode
+	reps  map[int][]*replicaNode
+	dead  []*shardNode // killed primaries, closed with the fabric
+
+	table atomic.Value // Table
+
+	shipRounds     atomic.Uint64
+	shipBytes      atomic.Uint64
+	promotions     atomic.Uint64
+	staleRejected  atomic.Uint64
+	peerHandshakes atomic.Uint64
+}
+
+// New boots the fabric: worlds, gateways, peer mesh, replication
+// channels, routing table (epoch 1). On return every shard is serving
+// and every replica holds a full copy of its primary's (empty) durable
+// root.
+func New(opts Options) (*Fabric, error) {
+	if opts.Shards < 1 {
+		return nil, errors.New("fabric: need at least one shard")
+	}
+	if opts.Replicas < 0 {
+		return nil, errors.New("fabric: negative replica count")
+	}
+	platform := opts.Platform
+	if platform == nil {
+		platform = sgx.NewPlatformFromSeed([]byte("montsalvat-fabric"))
+	}
+	signer, err := sgx.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	secret, err := sgx.NewPlatformSecret()
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		opts:     opts,
+		platform: platform,
+		signer:   signer,
+		secret:   secret,
+		nodes:    make(map[int]*shardNode),
+		reps:     make(map[int][]*replicaNode),
+	}
+	f.table.Store(NewTable(0, nil))
+
+	fail := func(err error) (*Fabric, error) {
+		f.Close()
+		return nil, err
+	}
+
+	for id := 0; id < opts.Shards; id++ {
+		n, err := newShardNode(f, id)
+		if err != nil {
+			return fail(fmt.Errorf("fabric: shard %d: %w", id, err))
+		}
+		f.nodes[id] = n
+	}
+	f.publishTable()
+	f.refreshPeerMesh()
+
+	for id := 0; id < opts.Shards; id++ {
+		n := f.nodes[id]
+		for j := 0; j < opts.Replicas; j++ {
+			r, err := newReplicaNode(f, id, j, n.w.Enclave().Measurement())
+			if err != nil {
+				return fail(fmt.Errorf("fabric: shard %d replica %d: %w", id, j, err))
+			}
+			f.reps[id] = append(f.reps[id], r)
+			conn, err := DialPeer(
+				r.ln.Addr().String(),
+				PeerIdentity{Platform: platform, Enclave: n.w.Enclave(), Origin: ShardOrigin(id)},
+				replicaOrigin(id, j),
+				r.measurement(),
+				opts.PeerTimeout,
+			)
+			if err != nil {
+				return fail(fmt.Errorf("fabric: shard %d replica %d channel: %w", id, j, err))
+			}
+			sh, err := newShipper(n, conn)
+			if err != nil {
+				conn.Close()
+				return fail(fmt.Errorf("fabric: shard %d replica %d inventory: %w", id, j, err))
+			}
+			if err := n.attachShipper(sh); err != nil {
+				return fail(fmt.Errorf("fabric: shard %d replica %d initial ship: %w", id, j, err))
+			}
+		}
+	}
+
+	if opts.Telemetry != nil {
+		opts.Telemetry.Registry().RegisterCollector(f.collectMetrics)
+	}
+	return f, nil
+}
+
+// publishTable rebuilds the routing table from the live node set at the
+// next epoch. Caller must not hold f.mu... it takes it.
+func (f *Fabric) publishTable() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.publishTableLocked()
+}
+
+func (f *Fabric) publishTableLocked() {
+	cur := f.Table()
+	infos := make([]ShardInfo, 0, len(f.nodes))
+	for id, n := range f.nodes {
+		infos = append(infos, ShardInfo{ID: id, Addr: n.ln.Addr().String(), Measurement: n.srv.Measurement()})
+	}
+	f.table.Store(NewTable(cur.Epoch+1, infos))
+}
+
+// refreshPeerMesh re-installs, on every live shard's peer host, the set
+// of sibling origins allowed to open cross-shard channels.
+func (f *Fabric) refreshPeerMesh() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.refreshPeerMeshLocked()
+}
+
+func (f *Fabric) refreshPeerMeshLocked() {
+	peers := make(map[string][32]byte, len(f.nodes))
+	for id, n := range f.nodes {
+		peers[ShardOrigin(id)] = n.w.Enclave().Measurement()
+	}
+	for _, n := range f.nodes {
+		n.peerHost.SetPeers(peers)
+	}
+}
+
+// Table returns the current routing table. Fabric implements the
+// Router's TableSource.
+func (f *Fabric) Table() Table {
+	return f.table.Load().(Table)
+}
+
+// Client builds a routing client over this fabric's topology.
+func (f *Fabric) Client(cfg RouterConfig) *Router {
+	return NewRouter(f, f.platform, cfg)
+}
+
+// Platform returns the attestation platform shared by the fabric.
+func (f *Fabric) Platform() *sgx.Platform { return f.platform }
+
+// node returns the live primary for a shard.
+func (f *Fabric) node(id int) (*shardNode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("fabric: no live primary for shard %d", id)
+	}
+	return n, nil
+}
+
+// Checkpoint forces a checkpoint on one shard (rotating its WAL
+// lineage and bumping its counter) and ships the result.
+func (f *Fabric) Checkpoint(id int) error {
+	n, err := f.node(id)
+	if err != nil {
+		return err
+	}
+	if err := n.manager().Checkpoint(); err != nil {
+		return err
+	}
+	return n.shipAll()
+}
+
+// PauseReplication stops (or resumes) shipping from a shard to its
+// replicas — the operational failure mode that produces a stale
+// replica, exposed so tests and drills can exercise the rollback
+// rejection.
+func (f *Fabric) PauseReplication(id int, paused bool) error {
+	n, err := f.node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	shippers := append([]*shipper(nil), n.shippers...)
+	n.mu.Unlock()
+	for _, sh := range shippers {
+		sh.pause(paused)
+	}
+	return nil
+}
+
+// KillShard fails a primary: its enclave dies mid-service and its
+// endpoints close. Returns the Expectation a promoted successor must
+// meet. The shard stays dark (clients get connection errors, siblings
+// keep redirecting to it) until Promote installs a successor.
+func (f *Fabric) KillShard(id int) (Expectation, error) {
+	f.mu.Lock()
+	n, ok := f.nodes[id]
+	if !ok {
+		f.mu.Unlock()
+		return Expectation{}, fmt.Errorf("fabric: no live primary for shard %d", id)
+	}
+	delete(f.nodes, id)
+	f.dead = append(f.dead, n)
+	f.mu.Unlock()
+	return n.kill(), nil
+}
+
+// Promote installs the next standby of a shard as its primary, provided
+// it recovers to at least the expectation captured at KillShard. On a
+// stale standby the promotion is refused (ErrStaleReplica), the standby
+// is discarded, and the shard stays dark — the next standby (if any)
+// can be tried.
+func (f *Fabric) Promote(id int, expect Expectation) error {
+	f.mu.Lock()
+	if _, live := f.nodes[id]; live {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: shard %d still has a live primary", id)
+	}
+	list := f.reps[id]
+	if len(list) == 0 {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: shard %d has no standby to promote", id)
+	}
+	r := list[0]
+	f.reps[id] = list[1:]
+	f.mu.Unlock()
+
+	n, err := r.promote(expect)
+	if err != nil {
+		if errors.Is(err, ErrStaleReplica) {
+			f.staleRejected.Add(1)
+		}
+		r.w.Close()
+		return err
+	}
+	f.mu.Lock()
+	f.nodes[id] = n
+	f.publishTableLocked()
+	f.refreshPeerMeshLocked()
+	f.mu.Unlock()
+	f.promotions.Add(1)
+	return nil
+}
+
+// PeerDial opens an attested cross-shard channel from one live shard to
+// another — the enclave-to-enclave path cross-shard handles travel.
+func (f *Fabric) PeerDial(from, to int) (*PeerConn, error) {
+	src, err := f.node(from)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := f.node(to)
+	if err != nil {
+		return nil, err
+	}
+	return DialPeer(
+		dst.peerLn.Addr().String(),
+		PeerIdentity{Platform: f.platform, Enclave: src.w.Enclave(), Origin: ShardOrigin(from)},
+		ShardOrigin(to),
+		dst.w.Enclave().Measurement(),
+		f.opts.PeerTimeout,
+	)
+}
+
+// ShardBusyCycles snapshots each live primary's charged virtual-cycle
+// total — the simulation's cost currency. The scaling benchmark models
+// fabric capacity from the busiest shard's cycle delta, so the numbers
+// reflect the partitioning itself rather than how many host cores the
+// single-process harness happens to get.
+func (f *Fabric) ShardBusyCycles() map[int]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[int]int64, len(f.nodes))
+	for id, n := range f.nodes {
+		out[id] = n.w.Clock().Total()
+	}
+	return out
+}
+
+// Stats snapshots the fabric counters.
+func (f *Fabric) Stats() Stats {
+	t := f.Table()
+	return Stats{
+		Shards:                  len(t.Shards),
+		Epoch:                   t.Epoch,
+		ShipRounds:              f.shipRounds.Load(),
+		ShipBytes:               f.shipBytes.Load(),
+		Promotions:              f.promotions.Load(),
+		StalePromotionsRejected: f.staleRejected.Load(),
+		PeerHandshakes:          f.peerHandshakes.Load(),
+	}
+}
+
+func (f *Fabric) collectMetrics(reg *telemetry.Registry) {
+	t := f.Table()
+	reg.Gauge("montsalvat_fabric_shards").Set(int64(len(t.Shards)))
+	reg.Gauge("montsalvat_fabric_epoch").Set(int64(t.Epoch))
+	reg.Counter("montsalvat_fabric_ship_rounds_total").Set(f.shipRounds.Load())
+	reg.Counter("montsalvat_fabric_ship_bytes_total").Set(f.shipBytes.Load())
+	reg.Counter("montsalvat_fabric_promotions_total").Set(f.promotions.Load())
+	reg.Counter("montsalvat_fabric_stale_promotions_rejected_total").Set(f.staleRejected.Load())
+	reg.Counter("montsalvat_fabric_peer_handshakes_total").Set(f.peerHandshakes.Load())
+}
+
+// Close drains every gateway and tears the whole fabric down.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	nodes := f.nodes
+	reps := f.reps
+	dead := f.dead
+	f.nodes = make(map[int]*shardNode)
+	f.reps = make(map[int][]*replicaNode)
+	f.dead = nil
+	f.mu.Unlock()
+
+	var first error
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, n := range nodes {
+		if err := n.shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, list := range reps {
+		for _, r := range list {
+			r.close()
+		}
+	}
+	for _, n := range dead {
+		n.w.Close()
+	}
+	return first
+}

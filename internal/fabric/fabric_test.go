@@ -1,0 +1,314 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"montsalvat/internal/serve"
+	"montsalvat/internal/wire"
+)
+
+// TestTableDeterministicAndBalanced: the ring is a pure function of the
+// shard IDs, and vnodes keep the key distribution from collapsing onto
+// one shard.
+func TestTableDeterministicAndBalanced(t *testing.T) {
+	shards := []ShardInfo{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	a := NewTable(1, shards)
+	b := NewTable(9, []ShardInfo{{ID: 3, Addr: "elsewhere"}, {ID: 1}, {ID: 0}, {ID: 2}})
+	counts := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("user:%05d", i)
+		oa, ob := a.Owner(key), b.Owner(key)
+		if oa != ob {
+			t.Fatalf("ring not deterministic: key %q -> %d vs %d", key, oa, ob)
+		}
+		counts[oa]++
+	}
+	for id := 0; id < 4; id++ {
+		if counts[id] < 4096/4/4 {
+			t.Fatalf("shard %d owns only %d of 4096 keys: %v", id, counts[id], counts)
+		}
+	}
+	if (Table{}).Owner("k") != -1 {
+		t.Fatal("empty table should own nothing")
+	}
+}
+
+// TestFabricRoutingAndRedirect boots a 4-shard fabric, round-trips a
+// keyspace through the Router, and verifies that a deliberately
+// misrouted direct session gets the typed WrongShardError redirect
+// carrying the true owner.
+func TestFabricRoutingAndRedirect(t *testing.T) {
+	f, err := New(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	client := f.Client(RouterConfig{})
+	defer client.Close()
+	const n = 96
+	for i := 0; i < n; i++ {
+		if err := client.Put(fmt.Sprintf("user:%04d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := client.Get(fmt.Sprintf("user:%04d", i))
+		if err != nil || !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d = (%q, %v, %v)", i, v, ok, err)
+		}
+	}
+	if _, ok, err := client.Get("user:missing"); err != nil || ok {
+		t.Fatalf("missing key = (%v, %v), want absent", ok, err)
+	}
+	if st := client.Stats(); st.Redirects != 0 {
+		t.Fatalf("well-routed client took %d redirects", st.Redirects)
+	}
+
+	// A client that ignores the ring and sends everything to shard 0
+	// must be redirected to the true owner of a foreign key.
+	tbl := f.Table()
+	var foreign string
+	for i := 0; ; i++ {
+		foreign = fmt.Sprintf("foreign:%04d", i)
+		if tbl.Owner(foreign) != 0 {
+			break
+		}
+	}
+	info, _ := tbl.Shard(0)
+	c, err := serve.Dial(info.Addr, serve.ClientConfig{Platform: f.Platform(), Measurement: info.Measurement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.Bind("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Call(h, "put", wire.Str(foreign), wire.Str("x"))
+	var ws *serve.WrongShardError
+	if !errors.As(err, &ws) {
+		t.Fatalf("misrouted put: %v, want WrongShardError", err)
+	}
+	if ws.Owner != tbl.Owner(foreign) || ws.Epoch != tbl.Epoch {
+		t.Fatalf("redirect = owner %d epoch %d, want owner %d epoch %d", ws.Owner, ws.Epoch, tbl.Owner(foreign), tbl.Epoch)
+	}
+	// The rejected write must not have landed anywhere.
+	if _, ok, err := client.Get(foreign); err != nil || ok {
+		t.Fatalf("rejected write visible: (%v, %v)", ok, err)
+	}
+}
+
+// TestPeerChannelNamespaces exercises the attested enclave-to-enclave
+// channel: cross-shard calls work through origin-tagged handles, and a
+// handle presented under the wrong shard origin is refused instead of
+// resolving.
+func TestPeerChannelNamespaces(t *testing.T) {
+	f, err := New(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	conn, err := f.PeerDial(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	h, err := conn.BindPeer("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Origin != ShardOrigin(1) {
+		t.Fatalf("peer handle origin %q, want %q", h.Origin, ShardOrigin(1))
+	}
+	if _, err := conn.CallPeer(h, "put", wire.Str("peer-key"), wire.Str("peer-val")); err != nil {
+		t.Fatalf("cross-shard put: %v", err)
+	}
+	v, err := conn.CallPeer(h, "get", wire.Str("peer-key"))
+	if err != nil {
+		t.Fatalf("cross-shard get: %v", err)
+	}
+	if s, _ := v.AsStr(); s != "peer-val" {
+		t.Fatalf("cross-shard get = %q", s)
+	}
+
+	// The same numeric handle under a different shard origin must not
+	// resolve: handles are pinned to the namespace that issued them.
+	smuggled := PeerHandle{Origin: ShardOrigin(0), Class: h.Class, ID: h.ID}
+	if _, err := conn.CallPeer(smuggled, "get", wire.Str("peer-key")); !errors.Is(err, ErrPeerForeignHandle) {
+		t.Fatalf("smuggled handle: %v, want ErrPeerForeignHandle", err)
+	}
+
+	// A dialer claiming an origin the host does not know is refused
+	// during the handshake, before any operation.
+	dst, err := f.node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := f.node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DialPeer(
+		dst.peerLn.Addr().String(),
+		PeerIdentity{Platform: f.Platform(), Enclave: src.w.Enclave(), Origin: "shard-99"},
+		ShardOrigin(1),
+		dst.w.Enclave().Measurement(),
+		0,
+	)
+	if err == nil {
+		t.Fatal("bogus origin accepted")
+	}
+
+	// A dialer expecting the wrong measurement must refuse the channel.
+	var wrong [32]byte
+	wrong[0] = 0xff
+	_, err = DialPeer(
+		dst.peerLn.Addr().String(),
+		PeerIdentity{Platform: f.Platform(), Enclave: src.w.Enclave(), Origin: ShardOrigin(0)},
+		ShardOrigin(1),
+		wrong,
+		0,
+	)
+	if !errors.Is(err, ErrPeerHandshake) {
+		t.Fatalf("wrong measurement: %v, want ErrPeerHandshake", err)
+	}
+}
+
+// TestFabricFailover is the failover drill: concurrent load, primary
+// killed mid-stream, standby promoted — every acknowledged write must
+// be readable afterwards, and the routing table must have moved on.
+func TestFabricFailover(t *testing.T) {
+	f, err := New(Options{Shards: 2, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const (
+		writers  = 4
+		perPhase = 24
+	)
+	var ackedMu sync.Mutex
+	acked := map[string]string{}
+	load := func(phase int) {
+		var wg sync.WaitGroup
+		for wr := 0; wr < writers; wr++ {
+			wg.Add(1)
+			go func(wr int) {
+				defer wg.Done()
+				client := f.Client(RouterConfig{})
+				defer client.Close()
+				for i := 0; i < perPhase; i++ {
+					k := fmt.Sprintf("p%d:w%d:k%04d", phase, wr, i)
+					v := fmt.Sprintf("v%d-%d-%d", phase, wr, i)
+					if err := client.Put(k, v); err != nil {
+						continue // unacked writes may fail around the kill; they carry no promise
+					}
+					ackedMu.Lock()
+					acked[k] = v
+					ackedMu.Unlock()
+				}
+			}(wr)
+		}
+		wg.Wait()
+	}
+
+	load(1)
+	if err := f.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	load(2) // these writes live in the WAL tail past the checkpoint
+
+	epochBefore := f.Table().Epoch
+	exp, err := f.KillShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(3) // shard 1's keys fail while it is dark; shard 0 keeps serving
+	if err := f.Promote(1, exp); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if got := f.Table().Epoch; got <= epochBefore {
+		t.Fatalf("epoch did not advance on promotion: %d -> %d", epochBefore, got)
+	}
+	load(4) // the promoted replica takes writes
+
+	verify := f.Client(RouterConfig{})
+	defer verify.Close()
+	ackedMu.Lock()
+	defer ackedMu.Unlock()
+	if len(acked) == 0 {
+		t.Fatal("no writes were acked")
+	}
+	for k, want := range acked {
+		v, ok, err := verify.Get(k)
+		if err != nil || !ok || v != want {
+			t.Fatalf("acked write lost: %q = (%q, %v, %v), want %q", k, v, ok, err, want)
+		}
+	}
+	st := f.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", st.Promotions)
+	}
+	if st.ShipRounds == 0 || st.ShipBytes == 0 {
+		t.Fatalf("no shipping recorded: %+v", st)
+	}
+}
+
+// TestStalePromotionRejected manufactures the rollback scenario: the
+// replica stops receiving shipments, the primary acknowledges more
+// writes and checkpoints (bumping its counter), then dies. Promoting
+// the stale replica must be refused.
+func TestStalePromotionRejected(t *testing.T) {
+	f, err := New(Options{Shards: 1, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	client := f.Client(RouterConfig{})
+	defer client.Close()
+	for i := 0; i < 8; i++ {
+		if err := client.Put(fmt.Sprintf("pre:%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replication silently stops; the primary keeps acking and seals a
+	// fresh checkpoint lineage the replica never sees.
+	if err := f.PauseReplication(0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := client.Put(fmt.Sprintf("post:%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Checkpoint(0); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := f.KillShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.Promote(0, exp)
+	if !errors.Is(err, ErrStaleReplica) {
+		t.Fatalf("stale promotion: %v, want ErrStaleReplica", err)
+	}
+	var stale *StaleReplicaError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale promotion error is not typed: %v", err)
+	}
+	if stale.HaveLSN >= stale.WantLSN && stale.HaveStamp >= stale.WantStamp {
+		t.Fatalf("rejection carries non-stale positions: %+v", stale)
+	}
+	if st := f.Stats(); st.StalePromotionsRejected != 1 || st.Promotions != 0 {
+		t.Fatalf("stats = %+v, want 1 stale rejection, 0 promotions", st)
+	}
+}

@@ -1,0 +1,393 @@
+package fabric
+
+// host.go is the responder side of a peer channel: an accept loop that
+// mutually attests each inbound connection (AcceptPeer) and then serves
+// peer operations — durable-root inventory and delta application for
+// replication, bind/call for cross-shard object access. Each accepted
+// channel owns an origin-tagged registry.Namespace: every handle the
+// host issues over the channel is pinned to the host shard's identity,
+// and calls resolve handles with LookupFrom, so a handle minted by a
+// different shard (or an unauthenticated guess) is refused as foreign
+// instead of resolving to whatever object happens to wear the same
+// number here.
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/persist"
+	"montsalvat/internal/registry"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+// PeerHost serves peer-channel operations for one fabric node.
+type PeerHost struct {
+	// Identity is this end of every accepted channel (the host's
+	// platform, enclave, and shard origin).
+	Identity PeerIdentity
+	// Timeout bounds the handshake.
+	Timeout time.Duration
+
+	// Have reports the host's durable-root inventory; nil rejects
+	// replication inventory requests.
+	Have func() (map[string]int64, error)
+	// Apply applies one replication delta and returns the (stamp, LSN)
+	// position the host now holds; nil rejects shipments.
+	Apply func(persist.Delta) (stamp, lastLSN uint64, err error)
+
+	// World executes bind/call requests; nil rejects them.
+	World *world.World
+	// Exports maps bindable names to live object refs, mirroring
+	// serve.Server.Export.
+	Exports map[string]func() (wire.Value, error)
+
+	// Logf receives diagnostics; OnHandshake fires per attested channel
+	// (telemetry hook).
+	Logf        func(format string, args ...any)
+	OnHandshake func()
+
+	mu     sync.Mutex
+	peers  map[string][32]byte
+	ln     net.Listener
+	conns  map[*PeerConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// SetPeers installs the set of shard origins allowed to open channels
+// here, each mapped to the measurement that origin's enclave must
+// prove. Safe to call while serving (topology changes on promotion).
+func (h *PeerHost) SetPeers(peers map[string][32]byte) {
+	cp := make(map[string][32]byte, len(peers))
+	for origin, meas := range peers {
+		cp[origin] = meas
+	}
+	h.mu.Lock()
+	h.peers = cp
+	h.mu.Unlock()
+}
+
+func (h *PeerHost) peerSet() map[string][32]byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peers
+}
+
+func (h *PeerHost) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+	}
+}
+
+// Serve accepts and serves peer channels on ln until Close.
+func (h *PeerHost) Serve(ln net.Listener) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		ln.Close()
+		return ErrPeerClosed
+	}
+	h.ln = ln
+	if h.conns == nil {
+		h.conns = make(map[*PeerConn]struct{})
+	}
+	h.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+// Close stops the accept loop, tears down live channels, and waits for
+// their serve goroutines.
+func (h *PeerHost) Close() {
+	h.mu.Lock()
+	h.closed = true
+	ln := h.ln
+	conns := make([]*PeerConn, 0, len(h.conns))
+	for pc := range h.conns {
+		conns = append(conns, pc)
+	}
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, pc := range conns {
+		pc.Close()
+	}
+	h.wg.Wait()
+}
+
+func (h *PeerHost) serveConn(conn net.Conn) {
+	defer h.wg.Done()
+	pc, err := AcceptPeer(conn, h.Identity, h.peerSet(), h.Timeout)
+	if err != nil {
+		h.logf("fabric: peer accept (%s): %v", h.Identity.Origin, err)
+		conn.Close()
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		pc.Close()
+		return
+	}
+	h.conns[pc] = struct{}{}
+	h.mu.Unlock()
+	if h.OnHandshake != nil {
+		h.OnHandshake()
+	}
+
+	ns := registry.NewNamespaceFor(h.Identity.Origin)
+	defer func() {
+		pc.Close()
+		h.mu.Lock()
+		delete(h.conns, pc)
+		h.mu.Unlock()
+		h.releaseAll(ns)
+	}()
+
+	for {
+		req, err := pc.recv()
+		if err != nil {
+			return // teardown or peer hangup
+		}
+		if err := pc.send(h.dispatch(ns, req)); err != nil {
+			return
+		}
+	}
+}
+
+// releaseAll drops the retention behind every handle the channel issued.
+func (h *PeerHost) releaseAll(ns *registry.Namespace) {
+	entries := ns.Drain()
+	if len(entries) == 0 || h.World == nil {
+		return
+	}
+	rt := h.World.Untrusted()
+	for _, e := range entries {
+		if err := rt.Unpin(wire.Ref(e.Class, e.Hash)); err != nil {
+			h.logf("fabric: peer unpin %s#%d: %v", e.Class, e.Handle, err)
+		}
+	}
+}
+
+func peerOK(vals ...wire.Value) []byte {
+	return wire.MarshalList(append([]wire.Value{wire.Str(peerStatusOK)}, vals...))
+}
+
+func peerError(format string, args ...any) []byte {
+	return wire.MarshalList([]wire.Value{wire.Str(peerStatusError), wire.Str(fmt.Sprintf(format, args...))})
+}
+
+func peerForeign(format string, args ...any) []byte {
+	return wire.MarshalList([]wire.Value{wire.Str(peerStatusForeign), wire.Str(fmt.Sprintf(format, args...))})
+}
+
+func (h *PeerHost) dispatch(ns *registry.Namespace, req []byte) []byte {
+	vs, err := wire.UnmarshalList(req)
+	if err != nil || len(vs) < 1 {
+		return peerError("malformed peer request")
+	}
+	op, _ := vs[0].AsStr()
+	switch op {
+	case peerOpHave:
+		return h.serveHave()
+	case peerOpShip:
+		return h.serveShip(vs[1:])
+	case peerOpBind:
+		return h.serveBind(ns, vs[1:])
+	case peerOpCall:
+		return h.serveCall(ns, vs[1:])
+	default:
+		return peerError("unknown peer op %q", op)
+	}
+}
+
+func (h *PeerHost) serveHave() []byte {
+	if h.Have == nil {
+		return peerError("replication not served here")
+	}
+	have, err := h.Have()
+	if err != nil {
+		return peerError("inventory: %v", err)
+	}
+	names := make([]string, 0, len(have))
+	for name := range have {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]wire.Value, 0, len(names))
+	for _, name := range names {
+		entries = append(entries, wire.List(wire.Str(name), wire.Int(have[name])))
+	}
+	return peerOK(wire.List(entries...))
+}
+
+func (h *PeerHost) serveShip(args []wire.Value) []byte {
+	if h.Apply == nil {
+		return peerError("replication not served here")
+	}
+	if len(args) != 1 {
+		return peerError("ship arity")
+	}
+	blob, ok := args[0].AsBytes()
+	if !ok {
+		return peerError("ship payload")
+	}
+	d, err := persist.DecodeDelta(blob)
+	if err != nil {
+		return peerError("decode delta: %v", err)
+	}
+	stamp, lsn, err := h.Apply(d)
+	if err != nil {
+		return peerError("apply delta: %v", err)
+	}
+	return peerOK(wire.Int(int64(stamp)), wire.Int(int64(lsn)))
+}
+
+func (h *PeerHost) serveBind(ns *registry.Namespace, args []wire.Value) []byte {
+	if h.World == nil {
+		return peerError("objects not served here")
+	}
+	if len(args) != 1 {
+		return peerError("bind arity")
+	}
+	name, _ := args[0].AsStr()
+	export, ok := h.Exports[name]
+	if !ok {
+		return peerError("no export %q", name)
+	}
+	ref, err := export()
+	if err != nil {
+		return peerError("export %q: %v", name, err)
+	}
+	out, err := h.exportValue(ns, ref)
+	if err != nil {
+		return peerError("export %q: %v", name, err)
+	}
+	return peerOK(out)
+}
+
+func (h *PeerHost) serveCall(ns *registry.Namespace, args []wire.Value) []byte {
+	if h.World == nil {
+		return peerError("objects not served here")
+	}
+	if len(args) != 4 {
+		return peerError("call arity")
+	}
+	origin, _ := args[0].AsStr()
+	handle, _ := args[1].AsInt()
+	method, _ := args[2].AsStr()
+	callArgs, ok := args[3].AsList()
+	if !ok {
+		return peerError("call argument vector")
+	}
+	// The cross-shard namespace check: the handle resolves only when the
+	// caller presents the origin shard that issued it.
+	e, ok := ns.LookupFrom(origin, handle)
+	if !ok {
+		return peerForeign("handle %d is not origin %q (host namespace %q)", handle, origin, ns.Origin())
+	}
+	imported := make([]wire.Value, len(callArgs))
+	for i, a := range callArgs {
+		v, err := h.importValue(ns, origin, a)
+		if err != nil {
+			return peerForeign("argument %d: %v", i, err)
+		}
+		imported[i] = v
+	}
+	var out wire.Value
+	err := h.World.Exec(false, func(env classmodel.Env) error {
+		v, err := env.Call(wire.Ref(e.Class, e.Hash), method, imported...)
+		if err != nil {
+			return err
+		}
+		out, err = h.exportValue(ns, v)
+		return err
+	})
+	if err != nil {
+		return peerError("call %s.%s: %v", e.Class, method, err)
+	}
+	return peerOK(out)
+}
+
+// importValue translates peer handles in arguments back to world refs,
+// enforcing the origin check on every embedded ref.
+func (h *PeerHost) importValue(ns *registry.Namespace, origin string, v wire.Value) (wire.Value, error) {
+	switch v.Kind() {
+	case wire.KindRef:
+		_, handle, _ := v.AsRef()
+		e, ok := ns.LookupFrom(origin, handle)
+		if !ok {
+			return wire.Value{}, fmt.Errorf("handle %d is not origin %q", handle, origin)
+		}
+		return wire.Ref(e.Class, e.Hash), nil
+	case wire.KindList:
+		vs, _ := v.AsList()
+		out := make([]wire.Value, len(vs))
+		for i, el := range vs {
+			iv, err := h.importValue(ns, origin, el)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out[i] = iv
+		}
+		return wire.List(out...), nil
+	default:
+		return v, nil
+	}
+}
+
+// exportValue pins ref results and issues origin-tagged handles for
+// them, mirroring a serve session's export path.
+func (h *PeerHost) exportValue(ns *registry.Namespace, v wire.Value) (wire.Value, error) {
+	switch v.Kind() {
+	case wire.KindRef:
+		class, hash, _ := v.AsRef()
+		rt := h.World.Untrusted()
+		if err := rt.Pin(v); err != nil {
+			return wire.Value{}, err
+		}
+		handle, added := ns.Add(class, hash)
+		if !added {
+			// Already named by this channel (or the namespace drained):
+			// drop the duplicate pin.
+			if err := rt.Unpin(v); err != nil {
+				return wire.Value{}, err
+			}
+			if handle == 0 {
+				return wire.Value{}, ErrPeerClosed
+			}
+		}
+		return wire.Ref(class, handle), nil
+	case wire.KindList:
+		vs, _ := v.AsList()
+		out := make([]wire.Value, len(vs))
+		for i, el := range vs {
+			ev, err := h.exportValue(ns, el)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out[i] = ev
+		}
+		return wire.List(out...), nil
+	default:
+		return v, nil
+	}
+}

@@ -1,0 +1,325 @@
+package fabric
+
+// shard.go is one primary of the fabric: a World running the demo KV
+// program behind an attested serve gateway, its acked puts journaled
+// through a persist.Manager whose complete durable root (WAL,
+// checkpoints, monotonic counter) lives on a per-shard filesystem —
+// the unit that checkpoint shipping replicates and promotion rebuilds.
+// The gateway's ShardCheck predicate rejects keys the consistent-hash
+// ring assigns elsewhere, and its Journal hook appends and
+// synchronously ships every put before the ack leaves, so "acked"
+// always implies "durable on the replica set".
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"montsalvat/internal/classmodel"
+	"montsalvat/internal/core"
+	"montsalvat/internal/demo"
+	"montsalvat/internal/persist"
+	"montsalvat/internal/serve"
+	"montsalvat/internal/sgx"
+	"montsalvat/internal/shim"
+	"montsalvat/internal/wire"
+	"montsalvat/internal/world"
+)
+
+// Expectation is the durable position a dead primary had acknowledged:
+// the counter stamp of its last checkpoint lineage and its last
+// journaled LSN. A replica may only be promoted if it recovers to at
+// least this position — the cross-machine extension of the
+// monotonic-counter rollback defense.
+type Expectation struct {
+	Stamp uint64
+	LSN   uint64
+}
+
+// shardNode is one primary shard: world, gateway, durable manager,
+// peer host (for sibling shards' cross-shard calls), and the shippers
+// feeding its replicas.
+type shardNode struct {
+	id  int
+	fab *Fabric
+
+	w  *world.World
+	fs *shim.MemFS
+	kv *persist.WorldKV
+
+	srv       *serve.Server
+	ln        net.Listener
+	serveDone chan error
+
+	peerHost *PeerHost
+	peerLn   net.Listener
+	peerDone chan error
+
+	mu       sync.Mutex
+	mgr      *persist.Manager
+	shippers []*shipper
+}
+
+// buildWorld constructs one fabric World. Every world shares the fabric
+// signer, so all enclaves carry the same MRSIGNER and sealed state
+// written by one can be unsealed by another — the property replication
+// and promotion rest on.
+func (f *Fabric) buildWorld() (*world.World, error) {
+	opts := world.DefaultOptions()
+	opts.Signer = f.signer
+	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), opts)
+	return w, err
+}
+
+// newStoreRef creates and pins a fresh KVStore in w.
+func newStoreRef(w *world.World) (wire.Value, error) {
+	var ref wire.Value
+	err := w.Exec(false, func(env classmodel.Env) error {
+		v, err := env.New(demo.KVStoreCls)
+		if err != nil {
+			return err
+		}
+		ref = v
+		return nil
+	})
+	if err != nil {
+		return wire.Value{}, err
+	}
+	if err := w.Untrusted().Pin(ref); err != nil {
+		return wire.Value{}, err
+	}
+	return ref, nil
+}
+
+// openManager boots a persist.Manager for shard id over fs and w's
+// current enclave, registers kv, and recovers. The counter store lives
+// on the same fs (FSCounterStore), so the rollback-protection state is
+// part of the replicated root.
+func (f *Fabric) openManager(id int, w *world.World, fs shim.FS, kv *persist.WorldKV) (*persist.Manager, persist.Report, error) {
+	ctr, err := sgx.NewMonotonicCounter(f.secret, persist.NewFSCounterStore(fs, shardDir), ShardOrigin(id))
+	if err != nil {
+		return nil, persist.Report{}, err
+	}
+	m, err := persist.Open(persist.Options{
+		FS:           fs,
+		Enclave:      w.Enclave(),
+		Secret:       f.secret,
+		Counter:      ctr,
+		Dir:          shardDir,
+		BeforeCommit: w.Flush,
+		Logf:         f.opts.Logf,
+	})
+	if err != nil {
+		return nil, persist.Report{}, err
+	}
+	if err := m.Register(kv); err != nil {
+		return nil, persist.Report{}, err
+	}
+	rep, err := m.Recover()
+	if err != nil {
+		return nil, persist.Report{}, err
+	}
+	return m, rep, nil
+}
+
+// shardDir is the durable-root directory on each shard's filesystem.
+const shardDir = "p/"
+
+// newShardNode boots primary id: world, store, manager, gateway, peer
+// host. Shippers attach later (connectReplicas), once the replica
+// listeners exist.
+func newShardNode(f *Fabric, id int) (*shardNode, error) {
+	w, err := f.buildWorld()
+	if err != nil {
+		return nil, err
+	}
+	n := &shardNode{id: id, fab: f, w: w, fs: shim.NewMemFS()}
+	n.kv = persist.NewWorldKV("kv", w)
+	ref, err := newStoreRef(w)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	n.kv.SetRef(ref)
+	mgr, _, err := f.openManager(id, w, n.fs, n.kv)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	n.mgr = mgr
+	if err := n.startGateway(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// startGateway opens the serve endpoint and the peer host for this
+// shard's world.
+func (n *shardNode) startGateway() error {
+	f := n.fab
+	srv, err := serve.New(serve.Options{
+		World:       n.w,
+		Platform:    f.platform,
+		MaxSessions: f.opts.MaxSessions,
+		MaxInFlight: f.opts.MaxInFlight,
+		Logf:        f.opts.Logf,
+		ShardCheck:  f.shardCheckFor(n.id),
+		Journal:     n.journal,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Export("kv", func(env classmodel.Env) (wire.Value, error) {
+		ref := n.kv.Ref()
+		if ref.IsNull() {
+			return wire.Value{}, errors.New("store not initialised")
+		}
+		return ref, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	n.srv, n.ln = srv, ln
+	n.serveDone = make(chan error, 1)
+	go func() { n.serveDone <- srv.Serve(ln) }()
+
+	n.peerHost = &PeerHost{
+		Identity: PeerIdentity{Platform: f.platform, Enclave: n.w.Enclave(), Origin: ShardOrigin(n.id)},
+		Timeout:  f.opts.PeerTimeout,
+		World:    n.w,
+		Exports: map[string]func() (wire.Value, error){
+			"kv": func() (wire.Value, error) {
+				ref := n.kv.Ref()
+				if ref.IsNull() {
+					return wire.Value{}, errors.New("store not initialised")
+				}
+				return ref, nil
+			},
+		},
+		Logf:        f.opts.Logf,
+		OnHandshake: func() { f.peerHandshakes.Add(1) },
+	}
+	peerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	n.peerLn = peerLn
+	n.peerDone = make(chan error, 1)
+	go func() { n.peerDone <- n.peerHost.Serve(peerLn) }()
+	return nil
+}
+
+// shardCheckFor is the gateway partition predicate for shard id: KV
+// operations carrying a key the current ring assigns to another shard
+// are rejected with the typed redirect.
+func (f *Fabric) shardCheckFor(id int) func(op, class, method string, args []wire.Value) error {
+	return func(op, class, method string, args []wire.Value) error {
+		if class != demo.KVStoreCls || (method != "put" && method != "get") || len(args) == 0 {
+			return nil
+		}
+		key, ok := args[0].AsStr()
+		if !ok {
+			return nil
+		}
+		t := f.Table()
+		if owner := t.Owner(key); owner != id {
+			return &serve.WrongShardError{Owner: owner, Epoch: t.Epoch}
+		}
+		return nil
+	}
+}
+
+func (n *shardNode) manager() *persist.Manager {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mgr
+}
+
+// journal is the gateway's Journal hook: append the put, then ship the
+// delta to every replica before the ack leaves. A ship failure fails
+// the request — an un-replicated write is never acknowledged.
+func (n *shardNode) journal(m serve.Mutation) error {
+	if m.Op != serve.MutationCall || m.Class != demo.KVStoreCls || m.Method != "put" || len(m.Args) < 2 {
+		return nil
+	}
+	key, _ := m.Args[0].AsStr()
+	val, _ := m.Args[1].AsStr()
+	if _, err := n.manager().Append("kv", persist.OpPut, key, []byte(val)); err != nil {
+		return err
+	}
+	return n.shipAll()
+}
+
+// shipAll pushes the current durable root to every attached replica.
+func (n *shardNode) shipAll() error {
+	n.mu.Lock()
+	shippers := append([]*shipper(nil), n.shippers...)
+	n.mu.Unlock()
+	for _, sh := range shippers {
+		if err := sh.ship(); err != nil {
+			return fmt.Errorf("fabric: shard %d ship to %s: %w", n.id, sh.conn.RemoteOrigin(), err)
+		}
+	}
+	return nil
+}
+
+// attachShipper registers a connected replica channel and pushes the
+// initial full delta.
+func (n *shardNode) attachShipper(sh *shipper) error {
+	n.mu.Lock()
+	n.shippers = append(n.shippers, sh)
+	n.mu.Unlock()
+	return sh.ship()
+}
+
+// expectation captures the durable position this primary has
+// acknowledged — what any promoted successor must reach.
+func (n *shardNode) expectation() Expectation {
+	st := n.manager().Stats()
+	return Expectation{Stamp: st.Epoch, LSN: st.LastLSN}
+}
+
+// kill simulates primary failure: capture the acked position, kill the
+// enclave, tear the gateway and peer endpoints down. In-flight requests
+// fail; nothing acked is lost (it was shipped before the ack).
+func (n *shardNode) kill() Expectation {
+	exp := n.expectation()
+	n.w.Kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = n.srv.Shutdown(ctx)
+	cancel()
+	n.ln.Close()
+	n.teardownPeers()
+	<-n.serveDone
+	return exp
+}
+
+func (n *shardNode) teardownPeers() {
+	n.mu.Lock()
+	shippers := n.shippers
+	n.shippers = nil
+	n.mu.Unlock()
+	for _, sh := range shippers {
+		sh.close()
+	}
+	if n.peerHost != nil {
+		n.peerHost.Close()
+		<-n.peerDone
+	}
+}
+
+// shutdown is the graceful path (Fabric.Close).
+func (n *shardNode) shutdown(ctx context.Context) error {
+	err := n.srv.Shutdown(ctx)
+	n.ln.Close()
+	n.teardownPeers()
+	<-n.serveDone
+	n.w.Close()
+	return err
+}

@@ -1,0 +1,71 @@
+package fabric
+
+// shipper.go drives checkpoint shipping for one primary→replica pair:
+// it owns the attested peer channel and the locally tracked inventory
+// of what the replica holds, and pushes incremental ReplicaDeltas —
+// called synchronously from the gateway's Journal hook, so replication
+// sits inside the ack path. A paused shipper (test and operations hook)
+// silently skips rounds: that is exactly how a replica goes stale, and
+// what the promotion-time rollback check exists to catch.
+
+import (
+	"sync"
+
+	"montsalvat/internal/persist"
+)
+
+type shipper struct {
+	node *shardNode
+	conn *PeerConn
+
+	mu     sync.Mutex
+	have   map[string]int64
+	paused bool
+}
+
+// newShipper wraps a freshly attested channel, seeding the inventory
+// from the replica's own answer so re-attachment after a partial ship
+// stays incremental.
+func newShipper(node *shardNode, conn *PeerConn) (*shipper, error) {
+	have, err := conn.Have()
+	if err != nil {
+		return nil, err
+	}
+	return &shipper{node: node, conn: conn, have: have}, nil
+}
+
+// ship pushes one delta round. Lock order: the manager's mutex is taken
+// inside ReplicaDelta while sh.mu is held; journal holds neither when
+// calling (Append has already released it), so there is no inversion.
+func (sh *shipper) ship() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.paused {
+		return nil
+	}
+	d, err := sh.node.manager().ReplicaDelta(sh.have)
+	if err != nil {
+		return err
+	}
+	if d.Empty() {
+		return nil
+	}
+	if _, _, err := sh.conn.Ship(d); err != nil {
+		return err
+	}
+	persist.UpdateHave(sh.have, d)
+	sh.node.fab.shipRounds.Add(1)
+	sh.node.fab.shipBytes.Add(uint64(d.Bytes()))
+	return nil
+}
+
+// pause stops (or resumes) shipping without tearing the channel down.
+func (sh *shipper) pause(v bool) {
+	sh.mu.Lock()
+	sh.paused = v
+	sh.mu.Unlock()
+}
+
+func (sh *shipper) close() {
+	sh.conn.Close()
+}

@@ -70,6 +70,7 @@ const (
 	statusBadRequest = "bad-request"
 	statusAppError   = "app-error"
 	statusSession    = "session-limit"
+	statusWrongShard = "wrong-shard"
 )
 
 // maxFrameBytes bounds one length-prefixed frame; the decoder rejects
@@ -106,7 +107,59 @@ var (
 	ErrHandshake = errors.New("serve: attestation handshake failed")
 	// ErrClosed reports use of a closed client or server.
 	ErrClosed = errors.New("serve: connection closed")
+	// ErrWrongShard rejects a request whose key this gateway does not
+	// own: in a sharded fabric, the routing redirect. The concrete error
+	// is a *WrongShardError naming the owning shard and the routing-table
+	// epoch the rejecting gateway was configured with; clients refresh
+	// their routing table and retry toward the owner (with a redirect
+	// cap, so a stale or disagreeing topology cannot loop forever).
+	ErrWrongShard = errors.New("serve: wrong shard")
 )
+
+// WrongShardError is the typed redirect behind ErrWrongShard. It
+// travels as a wire status plus a structured message and is rebuilt
+// client-side, so errors.As works across the connection.
+type WrongShardError struct {
+	// Owner is the shard ID that owns the rejected key.
+	Owner int
+	// Epoch is the routing-table epoch of the rejecting gateway. A
+	// client holding a lower epoch knows its table is stale.
+	Epoch uint64
+}
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("serve: wrong shard: owner=%d epoch=%d", e.Owner, e.Epoch)
+}
+
+// Unwrap makes errors.Is(err, ErrWrongShard) hold for the typed form.
+func (e *WrongShardError) Unwrap() error { return ErrWrongShard }
+
+// wrongShardMessage is the wire message for a wrong-shard rejection;
+// parseWrongShard rebuilds the typed error client-side.
+func wrongShardMessage(e *WrongShardError) string {
+	return fmt.Sprintf("owner=%d epoch=%d", e.Owner, e.Epoch)
+}
+
+// errMessage renders the wire message for a server-side error:
+// structured for wrong-shard redirects (so the client rebuilds the
+// typed form and can extract the owner), plain text otherwise.
+func errMessage(err error) string {
+	var ws *WrongShardError
+	if errors.As(err, &ws) {
+		return wrongShardMessage(ws)
+	}
+	return err.Error()
+}
+
+func parseWrongShard(message string) error {
+	var e WrongShardError
+	if _, err := fmt.Sscanf(message, "owner=%d epoch=%d", &e.Owner, &e.Epoch); err != nil {
+		// Malformed detail: still a wrong-shard rejection, just without
+		// a usable redirect target.
+		return fmt.Errorf("%w: %s", ErrWrongShard, message)
+	}
+	return &e
+}
 
 // statusErr maps a rejection status to its sentinel.
 func statusErr(status string) error {
@@ -125,6 +178,8 @@ func statusErr(status string) error {
 		return ErrBadRequest
 	case statusSession:
 		return ErrSessionLimit
+	case statusWrongShard:
+		return ErrWrongShard
 	default:
 		return nil
 	}
@@ -147,6 +202,8 @@ func errStatus(err error) string {
 		return statusBadRequest
 	case errors.Is(err, ErrSessionLimit):
 		return statusSession
+	case errors.Is(err, ErrWrongShard):
+		return statusWrongShard
 	default:
 		return statusAppError
 	}
@@ -507,6 +564,9 @@ func decodeResponse(buf []byte) (response, error) {
 func (r response) err() error {
 	if r.status == statusOK {
 		return nil
+	}
+	if r.status == statusWrongShard {
+		return parseWrongShard(r.message)
 	}
 	if serr := statusErr(r.status); serr != nil {
 		if r.message != "" {

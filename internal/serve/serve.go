@@ -51,6 +51,13 @@ type Options struct {
 	// WriteTimeout bounds one response write so a stalled client cannot
 	// wedge a serving goroutine (default 10s).
 	WriteTimeout time.Duration
+	// ShardCheck, when set, runs before any state-touching request
+	// (new/call) executes. A fabric gateway installs the partition
+	// predicate here: return a *WrongShardError for keys this shard does
+	// not own and the client gets a typed redirect (statusWrongShard)
+	// instead of executing against the wrong World. Any other error
+	// rejects the request with its mapped status.
+	ShardCheck func(op, class, method string, args []wire.Value) error
 	// Journal, when set, receives every successfully executed
 	// state-changing request (new/call) after it ran and before the
 	// client sees the OK — the hook the durability layer uses to put
@@ -128,6 +135,10 @@ type Stats struct {
 	RejectedForeign     uint64
 	RejectedSession     uint64
 	RejectedSessionBusy uint64
+	// RejectedWrongShard counts requests redirected to their owning
+	// shard by the ShardCheck hook — routing-table staleness pressure,
+	// not an error condition.
+	RejectedWrongShard uint64
 	// Recoveries counts completed Server.Recover cycles; Recovering
 	// reports whether one is in progress right now.
 	Recoveries uint64
@@ -185,6 +196,7 @@ type Server struct {
 	rejForeign     atomic.Uint64
 	rejSession     atomic.Uint64
 	rejSessionBusy atomic.Uint64
+	rejWrongShard  atomic.Uint64
 	bytesIn        atomic.Uint64
 	bytesOut       atomic.Uint64
 
@@ -254,6 +266,7 @@ func (srv *Server) collectMetrics(reg *telemetry.Registry) {
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "foreign_ref").Set(s.RejectedForeign)
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "session_limit").Set(s.RejectedSession)
 	reg.Counter("montsalvat_serve_rejected_total", "reason", "session_busy").Set(s.RejectedSessionBusy)
+	reg.Counter("montsalvat_serve_rejected_total", "reason", "wrong_shard").Set(s.RejectedWrongShard)
 	reg.Counter("montsalvat_serve_bytes_in_total").Set(s.BytesIn)
 	reg.Counter("montsalvat_serve_bytes_out_total").Set(s.BytesOut)
 }
@@ -383,6 +396,7 @@ func (srv *Server) Stats() Stats {
 		RejectedForeign:     srv.rejForeign.Load(),
 		RejectedSession:     srv.rejSession.Load(),
 		RejectedSessionBusy: srv.rejSessionBusy.Load(),
+		RejectedWrongShard:  srv.rejWrongShard.Load(),
 		BytesIn:             srv.bytesIn.Load(),
 		BytesOut:            srv.bytesOut.Load(),
 	}

@@ -581,3 +581,75 @@ func TestServeClassGuards(t *testing.T) {
 		t.Fatalf("served new: %v", err)
 	}
 }
+
+// TestServeWrongShardRedirect drives the partition-predicate hook end
+// to end: a gateway configured to own only even-length keys rejects the
+// rest with a typed *WrongShardError that survives the wire — the
+// client can extract the owning shard and table epoch for its refresh,
+// and errors.Is(err, ErrWrongShard) holds. Reads and writes both hit
+// the predicate; no rejected request reaches the world.
+func TestServeWrongShardRedirect(t *testing.T) {
+	shardCheck := func(op, class, method string, args []wire.Value) error {
+		if class != demo.KVStoreCls {
+			return nil
+		}
+		if op == opCall && method != "put" && method != "get" {
+			return nil
+		}
+		if len(args) == 0 {
+			return nil
+		}
+		key, ok := args[0].AsStr()
+		if !ok {
+			return nil
+		}
+		if len(key)%2 != 0 {
+			return &WrongShardError{Owner: 3, Epoch: 7}
+		}
+		return nil
+	}
+	srv, addr, cfg := startServer(t, demo.MustKVProgram(), Options{ShardCheck: shardCheck})
+	c, err := Dial(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	store, err := c.New(demo.KVStoreCls)
+	if err != nil {
+		t.Fatalf("new store: %v", err)
+	}
+	// Owned key: served normally.
+	if _, err := c.Call(store, "put", wire.Str("ab"), wire.Str("1")); err != nil {
+		t.Fatalf("owned put: %v", err)
+	}
+	// Foreign key: typed redirect with the owner and epoch intact.
+	_, err = c.Call(store, "put", wire.Str("abc"), wire.Str("2"))
+	if !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("foreign put: %v, want ErrWrongShard", err)
+	}
+	var ws *WrongShardError
+	if !errors.As(err, &ws) {
+		t.Fatalf("foreign put error %v does not carry *WrongShardError", err)
+	}
+	if ws.Owner != 3 || ws.Epoch != 7 {
+		t.Fatalf("redirect = %+v, want owner 3 epoch 7", ws)
+	}
+	// Reads redirect too — a stale client must not read stale shards.
+	if _, err := c.Call(store, "get", wire.Str("abc")); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("foreign get: %v, want ErrWrongShard", err)
+	}
+	// The rejected put never executed: the key is absent on the owned path.
+	if v, err := c.Call(store, "get", wire.Str("ab")); err != nil {
+		t.Fatalf("get owned: %v", err)
+	} else if s, _ := v.AsStr(); s != "1" {
+		t.Fatalf("owned value = %v", v)
+	}
+	st := srv.Stats()
+	if st.RejectedWrongShard != 2 {
+		t.Fatalf("RejectedWrongShard = %d, want 2", st.RejectedWrongShard)
+	}
+	if st.AppErrors != 0 {
+		t.Fatalf("AppErrors = %d, want 0 (redirects are not app errors)", st.AppErrors)
+	}
+}

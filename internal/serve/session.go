@@ -151,7 +151,7 @@ func (s *session) dispatch(req request) {
 			if status == statusAppError {
 				s.srv.appErrors.Add(1)
 			}
-			s.reply(req.id, response{status: status, message: err.Error()})
+			s.reply(req.id, response{status: status, message: errMessage(err)})
 			return
 		}
 		s.reply(req.id, response{status: statusOK, result: result})
@@ -170,6 +170,8 @@ func (s *session) countReject(err error) {
 		s.srv.rejDeadline.Add(1)
 	case errors.Is(err, ErrForeignRef):
 		s.srv.rejForeign.Add(1)
+	case errors.Is(err, ErrWrongShard):
+		s.srv.rejWrongShard.Add(1)
 	}
 }
 
@@ -218,6 +220,9 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		if err := s.srv.checkClass(req.class); err != nil {
 			return wire.Value{}, err
 		}
+		if err := s.shardCheck(opNew, req.class, "", req.args); err != nil {
+			return wire.Value{}, err
+		}
 		args, err := s.importValues(req.args)
 		if err != nil {
 			return wire.Value{}, err
@@ -263,6 +268,9 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		if !ok {
 			return wire.Value{}, ErrForeignRef
 		}
+		if err := s.shardCheck(opCall, e.Class, req.method, req.args); err != nil {
+			return wire.Value{}, err
+		}
 		args, err := s.importValues(req.args)
 		if err != nil {
 			return wire.Value{}, err
@@ -285,6 +293,18 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		return out, nil
 	}
 	return wire.Value{}, ErrBadRequest
+}
+
+// shardCheck consults the partition predicate before a state-touching
+// request executes. Runs on raw request args (session handles, not
+// world refs): partition keys are plain values, and a redirected
+// request must not import handles it will never use.
+func (s *session) shardCheck(op, class, method string, args []wire.Value) error {
+	check := s.srv.opts.ShardCheck
+	if check == nil {
+		return nil
+	}
+	return check(op, class, method, args)
 }
 
 // journal hands a successfully executed mutation to the durability
@@ -431,6 +451,11 @@ func (s *session) teardown() {
 		return
 	}
 	rt := s.srv.w.Untrusted()
+	if rt == nil {
+		// The world was killed out from under the gateway (failover
+		// drills do this): the objects died with the enclave.
+		return
+	}
 	for _, e := range entries {
 		if err := rt.Unpin(wire.Ref(e.Class, e.Hash)); err != nil {
 			s.srv.opts.Logf("serve: session %d unpin %s#%d: %v", s.id, e.Class, e.Handle, err)

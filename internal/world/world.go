@@ -999,3 +999,20 @@ func (w *World) Stats() Stats {
 	}
 	return s
 }
+
+// PoolStats snapshots the marshal-buffer pool's hit/miss counters.
+func (w *World) PoolStats() boundary.BufPoolStats {
+	if w.bufs == nil {
+		return boundary.BufPoolStats{}
+	}
+	return w.bufs.Stats()
+}
+
+// ResetPoolStats zeroes the marshal-buffer pool's hit/miss counters
+// while keeping the pooled buffers warm, so a benchmark phase measures
+// its own pool behaviour rather than inheriting boot traffic.
+func (w *World) ResetPoolStats() {
+	if w.bufs != nil {
+		w.bufs.ResetStats()
+	}
+}
