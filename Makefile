@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fabric-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fabric-smoke obs-fabric-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -74,6 +74,14 @@ crash-smoke:
 # replica, and fail unless every acked write reads back afterwards.
 fabric-smoke:
 	$(GO) run ./cmd/montsalvat-fabric -shards 4 -replicas 1 -load -failover -clients 4 -requests 32
+
+# Fleet observability check: run the fabric load + failover drill with
+# the observability plane mounted (2 replicas so a ship fan-out spans 3
+# Worlds) and -obs-check asserting its two core promises: one trace ID
+# spanning at least three Worlds, and a complete kill -> promote-begin
+# -> promote-commit -> epoch-bump timeline in the event journal.
+obs-fabric-smoke:
+	$(GO) run ./cmd/montsalvat-fabric -shards 3 -replicas 2 -load -failover -clients 4 -requests 24 -metrics-addr 127.0.0.1:0 -obs-check
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/

@@ -15,6 +15,7 @@ package montsalvat
 //	go run ./cmd/montsalvat-bench
 
 import (
+	"fmt"
 	"testing"
 
 	"montsalvat/internal/bench"
@@ -22,6 +23,7 @@ import (
 	"montsalvat/internal/core"
 	"montsalvat/internal/cycles"
 	"montsalvat/internal/demo"
+	"montsalvat/internal/fabric"
 	"montsalvat/internal/heap"
 	"montsalvat/internal/mee"
 	"montsalvat/internal/sgx"
@@ -243,10 +245,12 @@ func BenchmarkBankEndToEnd(b *testing.B) {
 }
 
 // runKVCycles runs the secure KV demo to completion under the given
-// telemetry layer and returns the charged simulated-cycle total.
-func runKVCycles(tb testing.TB, tel *telemetry.Telemetry) int64 {
+// telemetry layer and platform config and returns the charged
+// simulated-cycle total.
+func runKVCycles(tb testing.TB, tel *telemetry.Telemetry, cfg simcfg.Config) int64 {
 	tb.Helper()
 	opts := world.DefaultOptions()
+	opts.Cfg = cfg
 	opts.Telemetry = tel
 	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), opts)
 	if err != nil {
@@ -259,20 +263,75 @@ func runKVCycles(tb testing.TB, tel *telemetry.Telemetry) int64 {
 	return w.Clock().Total()
 }
 
+// runFabricCycles boots a small fabric under the given fleet, drives a
+// fixed sequential write/read load through the router, and returns the
+// summed charged cycles of the primaries. The load is single-client and
+// the shipping path synchronous, so the total is deterministic.
+func runFabricCycles(tb testing.TB, fleet *telemetry.Fleet) int64 {
+	tb.Helper()
+	f, err := fabric.New(fabric.Options{Shards: 2, Replicas: 1, Fleet: fleet})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	client := f.Client(fabric.RouterConfig{})
+	defer client.Close()
+	for i := 0; i < 24; i++ {
+		k := fmt.Sprintf("neutral:%04d", i)
+		if err := client.Put(k, "v"); err != nil {
+			tb.Fatal(err)
+		}
+		if _, _, err := client.Get(k); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var total int64
+	for _, c := range f.ShardBusyCycles() {
+		total += c
+	}
+	return total
+}
+
 // TestTelemetryCycleNeutral is the deterministic half of the telemetry
 // overhead guard: instrumentation observes the simulated platform but
 // never charges it, so the cycle ledger of a fully instrumented run
-// must equal the uninstrumented run exactly. Wall-clock overhead (the
+// must equal the uninstrumented run exactly — on the frame RMI path,
+// on the zero-copy ring path, and across the sharded fabric (sessions,
+// shipping, the event journal). Wall-clock overhead (the
 // <2%-when-disabled budget) is measured with the benchmarks below, not
 // asserted in CI where machine noise would dominate.
 func TestTelemetryCycleNeutral(t *testing.T) {
-	off := runKVCycles(t, nil)
-	on := runKVCycles(t, telemetry.New(telemetry.Options{TraceSampleRate: 1, TraceBuffer: 1024}))
+	fullTel := func() *telemetry.Telemetry {
+		return telemetry.New(telemetry.Options{TraceSampleRate: 1, TraceBuffer: 1024, EventBuffer: 1024})
+	}
+
+	off := runKVCycles(t, nil, simcfg.ForTest())
+	on := runKVCycles(t, fullTel(), simcfg.ForTest())
 	if off != on {
 		t.Fatalf("telemetry changed the simulated-cycle ledger: off=%d on=%d", off, on)
 	}
 	if off == 0 {
 		t.Fatal("KV demo charged no cycles")
+	}
+
+	ringCfg := simcfg.ForTest()
+	ringCfg.Rings = true
+	ringOff := runKVCycles(t, nil, ringCfg)
+	ringOn := runKVCycles(t, fullTel(), ringCfg)
+	if ringOff != ringOn {
+		t.Fatalf("telemetry changed the ring-path cycle ledger: off=%d on=%d", ringOff, ringOn)
+	}
+	if ringOff == 0 {
+		t.Fatal("ring-path KV demo charged no cycles")
+	}
+
+	fabOff := runFabricCycles(t, nil)
+	fabOn := runFabricCycles(t, telemetry.NewFleet(telemetry.Options{TraceSampleRate: 1, TraceBuffer: 4096, EventBuffer: 4096}))
+	if fabOff != fabOn {
+		t.Fatalf("fleet observability changed the fabric cycle ledger: off=%d on=%d", fabOff, fabOn)
+	}
+	if fabOff == 0 {
+		t.Fatal("fabric load charged no cycles")
 	}
 }
 

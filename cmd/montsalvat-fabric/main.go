@@ -12,13 +12,23 @@
 //	                                               # load, kill a primary
 //	                                               # mid-run, promote its
 //	                                               # replica, verify
-//	montsalvat-fabric -metrics-addr :9415          # fabric metrics endpoint
+//	montsalvat-fabric -metrics-addr :9415          # fleet observability endpoint
 //
 // With -load the process is its own client: concurrent routers drive
 // the keyspace through attested sessions, every acknowledged write is
 // read back, and the run fails if any is missing. With -failover one
 // primary is killed after the first load phase and its replica promoted
 // — acked writes must survive the switch.
+//
+// -metrics-addr mounts the fabric-wide observability plane: one
+// endpoint serving shard-labeled montsalvat_fabric_* metrics
+// (/metrics, /snapshot), the fleet-shared trace ring (/traces), and
+// the structured event journal (/events). With -failover the event
+// journal is dumped as a one-line-per-event failover timeline at the
+// end of the run. -obs-check additionally asserts the plane's two core
+// promises — a single trace ID spanning at least three Worlds, and a
+// complete kill → promote-begin → promote-commit → epoch-bump
+// timeline — and fails the run if either is missing.
 package main
 
 import (
@@ -27,6 +37,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -53,7 +65,9 @@ func run(args []string, out io.Writer) error {
 		clients     = fs.Int("clients", 4, "load: concurrent router clients")
 		requests    = fs.Int("requests", 64, "load: writes per client per phase")
 		attestSeed  = fs.String("attest-seed", "montsalvat-fabric-demo", "attestation platform seed")
-		metricsAddr = fs.String("metrics-addr", "", "telemetry HTTP endpoint address (empty disables)")
+		metricsAddr = fs.String("metrics-addr", "", "fleet observability HTTP endpoint address (empty disables)")
+		traceSample = fs.Float64("trace-sample", 1, "fraction of routed operations traced (0 disables tracing)")
+		obsCheck    = fs.Bool("obs-check", false, "with -load: assert cross-World trace propagation and (with -failover) a complete promotion timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,17 +78,20 @@ func run(args []string, out io.Writer) error {
 	if *failover && *replicas < 1 {
 		return fmt.Errorf("-failover needs -replicas >= 1")
 	}
+	if *obsCheck && !*load {
+		return fmt.Errorf("-obs-check requires -load")
+	}
 
-	var tel *telemetry.Telemetry
-	if *metricsAddr != "" {
-		tel = telemetry.New(telemetry.Options{})
+	var fleet *telemetry.Fleet
+	if *metricsAddr != "" || *obsCheck {
+		fleet = telemetry.NewFleet(telemetry.Options{TraceSampleRate: *traceSample, TraceBuffer: 4096})
 	}
 	start := time.Now()
 	f, err := fabric.New(fabric.Options{
-		Shards:    *shards,
-		Replicas:  *replicas,
-		Platform:  sgx.NewPlatformFromSeed([]byte(*attestSeed)),
-		Telemetry: tel,
+		Shards:   *shards,
+		Replicas: *replicas,
+		Platform: sgx.NewPlatformFromSeed([]byte(*attestSeed)),
+		Fleet:    fleet,
 	})
 	if err != nil {
 		return err
@@ -88,19 +105,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "fabric: shard %d on %s measurement %x\n", s.ID, s.Addr, s.Measurement[:8])
 	}
 
-	var stopObs func()
-	if tel != nil {
-		ms, err := telemetry.Serve(*metricsAddr, tel)
+	if fleet != nil && *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, fleet.Telemetry())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "telemetry on http://%s/metrics\n", ms.Addr())
-		stopObs = func() { _ = ms.Close() }
-		defer stopObs()
+		fmt.Fprintf(out, "fleet observability on http://%s/metrics (+ /traces /events /snapshot)\n", ms.Addr())
+		defer func() { _ = ms.Close() }()
 	}
 
 	if *load {
-		return runLoad(out, f, *clients, *requests, *failover)
+		return runLoad(out, f, fleet, *clients, *requests, *failover, *obsCheck)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -113,8 +128,10 @@ func run(args []string, out io.Writer) error {
 
 // runLoad drives phases of writes through concurrent routers, killing
 // and promoting one shard between phases when failover is set. Every
-// acknowledged write is read back at the end.
-func runLoad(out io.Writer, f *fabric.Fabric, clients, requests int, failover bool) error {
+// acknowledged write is read back at the end. With a fleet attached,
+// failover runs end by dumping the event journal as a timeline, and
+// obsCheck asserts the observability-plane invariants.
+func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, requests int, failover, obsCheck bool) error {
 	var (
 		ackedMu sync.Mutex
 		acked   = map[string]string{}
@@ -193,6 +210,100 @@ func runLoad(out io.Writer, f *fabric.Fabric, clients, requests int, failover bo
 	fmt.Fprintf(out, "load: verified %d acked writes across %d shards\n", len(acked), st.Shards)
 	fmt.Fprintf(out, "fabric: %d ship rounds (%d B), %d promotions, %d stale rejections, %d peer handshakes\n",
 		st.ShipRounds, st.ShipBytes, st.Promotions, st.StalePromotionsRejected, st.PeerHandshakes)
+
+	if fleet != nil && failover {
+		printTimeline(out, fleet)
+	}
+	if obsCheck {
+		if err := checkObservability(out, fleet, failover); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintln(out, "load: OK")
+	return nil
+}
+
+// printTimeline dumps the fleet event journal as a one-line-per-event
+// failover timeline, offsets relative to the oldest retained event.
+func printTimeline(out io.Writer, fleet *telemetry.Fleet) {
+	events := fleet.Telemetry().Events().Dump()
+	if len(events) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "timeline: %d events\n", len(events))
+	base := events[0].TimeNS
+	for _, ev := range events {
+		fmt.Fprintf(out, "  %s\n", ev.Line(base))
+	}
+}
+
+// checkObservability asserts the fleet plane's core promises over the
+// run that just completed:
+//
+//  1. cross-World tracing — at least one trace ID whose spans landed on
+//     three or more distinct fabric nodes (router excluded), i.e. the
+//     trace followed a request across Worlds rather than staying local;
+//  2. with failover, timeline completeness — the event journal holds
+//     kill, promote-begin, promote-commit, and epoch-bump events for
+//     the failover in strictly increasing Seq order.
+func checkObservability(out io.Writer, fleet *telemetry.Fleet, failover bool) error {
+	if fleet == nil {
+		return fmt.Errorf("obs-check: no fleet attached")
+	}
+	spans := fleet.Telemetry().Tracer().Dump()
+	worlds := map[uint64]map[string]bool{}
+	for _, sp := range spans {
+		if sp.Node == "" || sp.Node == "router" {
+			continue
+		}
+		m := worlds[sp.TraceID]
+		if m == nil {
+			m = map[string]bool{}
+			worlds[sp.TraceID] = m
+		}
+		m[sp.Node] = true
+	}
+	var bestTrace uint64
+	best := 0
+	for id, m := range worlds {
+		if len(m) > best {
+			best, bestTrace = len(m), id
+		}
+	}
+	if best < 3 {
+		return fmt.Errorf("obs-check: no trace spans 3 Worlds (best trace covers %d; need -replicas >= 2 or a redirect)", best)
+	}
+	nodes := make([]string, 0, best)
+	for n := range worlds[bestTrace] {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintf(out, "obs-check: trace %d spans %d Worlds: %s\n", bestTrace, best, strings.Join(nodes, ", "))
+
+	if failover {
+		order := []telemetry.EventType{
+			telemetry.EventKill, telemetry.EventPromoteBegin,
+			telemetry.EventPromoteCommit, telemetry.EventEpochBump,
+		}
+		seqs := make([]uint64, 0, len(order))
+		events := fleet.Telemetry().Events().Dump()
+		last := uint64(0)
+		for _, want := range order {
+			found := false
+			for _, ev := range events {
+				if ev.Type == want && ev.Seq > last {
+					last = ev.Seq
+					seqs = append(seqs, ev.Seq)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("obs-check: failover timeline incomplete: no %s event after seq %d", want, last)
+			}
+		}
+		fmt.Fprintf(out, "obs-check: failover timeline complete (kill %d -> promote-begin %d -> promote-commit %d -> epoch-bump %d)\n",
+			seqs[0], seqs[1], seqs[2], seqs[3])
+	}
 	return nil
 }

@@ -255,6 +255,7 @@ func All() []Experiment {
 		{ID: "recovery", Title: "Crash-recovery latency: WAL length × checkpoint cadence", Run: RecoveryTime},
 		{ID: "fabric-scale", Title: "Sharded fabric throughput vs shard count", Run: FabricScale},
 		{ID: "failover", Title: "Failover time: replica promotion vs write volume", Run: FailoverTime},
+		{ID: "obs-overhead", Title: "Observability overhead: enabled vs disabled telemetry", Run: ObsOverhead},
 	}
 }
 

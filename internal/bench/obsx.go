@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -115,4 +116,145 @@ func writeProfileTrace(sb *strings.Builder, spans []telemetry.Span) {
 	}
 	fmt.Fprintf(sb, "  trace %x\n", root.TraceID)
 	render(*root, 1)
+}
+
+// obsMode is one telemetry configuration of the overhead experiment.
+type obsMode struct {
+	name string
+	tel  func() *telemetry.Telemetry
+}
+
+func obsModes() []obsMode {
+	return []obsMode{
+		{"disabled", func() *telemetry.Telemetry { return nil }},
+		{"metrics", func() *telemetry.Telemetry {
+			return telemetry.New(telemetry.Options{})
+		}},
+		{"metrics+trace", func() *telemetry.Telemetry {
+			return telemetry.New(telemetry.Options{TraceSampleRate: 1, TraceBuffer: 4096})
+		}},
+	}
+}
+
+// obsRun executes the demo KV workload once under one telemetry mode
+// and returns the charged virtual cycles and wall time of the run.
+func obsRun(opts Options, tel *telemetry.Telemetry) (cycles int64, wall time.Duration, err error) {
+	wopts := world.DefaultOptions()
+	wopts.Cfg = opts.Config()
+	wopts.Telemetry = tel
+	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), wopts)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer w.Close()
+	c0 := w.Clock().Total()
+	start := time.Now()
+	if _, err := w.RunMain(); err != nil {
+		return 0, 0, err
+	}
+	return w.Clock().Total() - c0, time.Since(start), nil
+}
+
+// ObsOverhead measures what the observability plane costs on the
+// boundary hot path: the demo KV workload with telemetry disabled,
+// with the metrics registry attached, and with full-rate tracing on
+// top. The charged virtual cycles — the simulation's cost model — must
+// be identical across modes (the disabled path is additionally pinned
+// by TestTelemetryCycleNeutral); the wall-clock row shows the real
+// implementation cost of the enabled instruments.
+func ObsOverhead(opts Options) (*Table, error) {
+	modes := obsModes()
+	reps := opts.scale(5, 2)
+	t := &Table{
+		ID:     "obs-overhead",
+		Title:  "Observability overhead: enabled vs disabled telemetry",
+		XLabel: "metric",
+		Unit:   "per boundary op (demo KV workload)",
+	}
+	cycPerOp := make([]float64, 0, len(modes))
+	wallPerOp := make([]float64, 0, len(modes))
+	for _, m := range modes {
+		t.Columns = append(t.Columns, m.name)
+		var cycles int64
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			c, wall, err := obsRun(opts, m.tel())
+			if err != nil {
+				return nil, fmt.Errorf("obs-overhead %s: %w", m.name, err)
+			}
+			cycles = c
+			if best == 0 || wall < best {
+				best = wall
+			}
+		}
+		ops := float64(demo.KVRequests)
+		cycPerOp = append(cycPerOp, float64(cycles)/ops)
+		wallPerOp = append(wallPerOp, float64(best.Nanoseconds())/ops)
+	}
+	t.AddRow("virtual cycles/op", cycPerOp...)
+	t.AddRow("wall ns/op (best of reps)", wallPerOp...)
+	for i := 1; i < len(modes); i++ {
+		delta := cycPerOp[i] - cycPerOp[0]
+		t.AddNote("%s: cycle delta vs disabled = %+.0f cycles/op (must be 0), wall overhead %.1f%%",
+			modes[i].name, delta, 100*(wallPerOp[i]-wallPerOp[0])/wallPerOp[0])
+		if delta != 0 {
+			return nil, fmt.Errorf("obs-overhead: %s changed charged cycles by %+.0f/op — telemetry must be cycle-neutral", modes[i].name, delta)
+		}
+	}
+	return t, nil
+}
+
+// ObsPerfPoint is one telemetry mode's measurement in a perf record.
+type ObsPerfPoint struct {
+	Mode        string  `json:"mode"`
+	CyclesPerOp float64 `json:"cycles_per_op"`
+	WallNSPerOp float64 `json:"wall_ns_per_op"`
+	// CycleDelta is CyclesPerOp minus the disabled mode's — 0 by the
+	// cycle-neutrality invariant.
+	CycleDelta float64 `json:"cycle_delta"`
+	// WallOverhead is the fractional wall-clock cost over disabled.
+	WallOverhead float64 `json:"wall_overhead"`
+}
+
+// ObsPerfEntry is one labelled observability-overhead record — the
+// perf-trajectory format of BENCH_obs.json.
+type ObsPerfEntry struct {
+	Label      string         `json:"label"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Quick      bool           `json:"quick"`
+	Points     []ObsPerfPoint `json:"points"`
+}
+
+// ObsPerfFile is the on-disk shape of BENCH_obs.json: an append-only
+// list of labelled runs.
+type ObsPerfFile struct {
+	Schema  string         `json:"schema"`
+	Entries []ObsPerfEntry `json:"entries"`
+}
+
+// ObsPerfSchema identifies the BENCH_obs.json format.
+const ObsPerfSchema = "montsalvat-bench-obs/v1"
+
+// ObsPerf produces one labelled observability-overhead record.
+func ObsPerf(opts Options, label string) (*ObsPerfEntry, error) {
+	table, err := ObsOverhead(opts)
+	if err != nil {
+		return nil, err
+	}
+	cyc, _ := table.Row("virtual cycles/op")
+	wall, _ := table.Row("wall ns/op (best of reps)")
+	e := &ObsPerfEntry{Label: label, GoMaxProcs: runtime.GOMAXPROCS(0), Quick: opts.Quick}
+	for i, mode := range table.Columns {
+		p := ObsPerfPoint{
+			Mode:        mode,
+			CyclesPerOp: cyc.Values[i],
+			WallNSPerOp: wall.Values[i],
+			CycleDelta:  cyc.Values[i] - cyc.Values[0],
+		}
+		if i > 0 && wall.Values[0] > 0 {
+			p.WallOverhead = (wall.Values[i] - wall.Values[0]) / wall.Values[0]
+		}
+		e.Points = append(e.Points, p)
+	}
+	return e, nil
 }

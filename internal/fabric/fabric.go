@@ -34,6 +34,13 @@ type Options struct {
 	Platform *sgx.Platform
 	// Telemetry, when set, receives montsalvat_fabric_* metrics.
 	Telemetry *telemetry.Telemetry
+	// Fleet, when set, is the fabric-wide observability plane: every
+	// node gets a private shard-labeled metrics registry from it, while
+	// all nodes share the fleet's tracer and event journal — one trace
+	// ID follows a request across Worlds, and one totally-ordered
+	// timeline records session, replication, and failover events. The
+	// fleet registry also receives the montsalvat_fabric_* counters.
+	Fleet *telemetry.Fleet
 	// MaxSessions / MaxInFlight are passed through to each gateway
 	// (zero means the serve defaults).
 	MaxSessions int
@@ -156,7 +163,23 @@ func New(opts Options) (*Fabric, error) {
 	if opts.Telemetry != nil {
 		opts.Telemetry.Registry().RegisterCollector(f.collectMetrics)
 	}
+	if ft := opts.Fleet.Telemetry(); ft != nil {
+		ft.Registry().RegisterCollector(f.collectMetrics)
+	}
 	return f, nil
+}
+
+// nodeTel returns the per-node telemetry slice for a fabric node (nil
+// without a Fleet): a private registry plus the fleet-shared tracer and
+// event journal.
+func (f *Fabric) nodeTel(origin string) *telemetry.Telemetry {
+	return f.opts.Fleet.Node(origin)
+}
+
+// fleetEvents returns the fleet-wide event journal (nil without a
+// Fleet).
+func (f *Fabric) fleetEvents() *telemetry.EventLog {
+	return f.opts.Fleet.Telemetry().Events()
 }
 
 // publishTable rebuilds the routing table from the live node set at the
@@ -174,6 +197,8 @@ func (f *Fabric) publishTableLocked() {
 		infos = append(infos, ShardInfo{ID: id, Addr: n.ln.Addr().String(), Measurement: n.srv.Measurement()})
 	}
 	f.table.Store(NewTable(cur.Epoch+1, infos))
+	f.fleetEvents().Emit(telemetry.EventEpochBump, "fabric", 0,
+		"epoch %d -> %d (%d shards)", cur.Epoch, cur.Epoch+1, len(infos))
 }
 
 // refreshPeerMesh re-installs, on every live shard's peer host, the set
@@ -200,8 +225,14 @@ func (f *Fabric) Table() Table {
 	return f.table.Load().(Table)
 }
 
-// Client builds a routing client over this fabric's topology.
+// Client builds a routing client over this fabric's topology. With a
+// Fleet configured and no explicit RouterConfig.Telemetry, the router
+// joins the fleet plane: its route spans and redirect events land in
+// the shared tracer and journal.
 func (f *Fabric) Client(cfg RouterConfig) *Router {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = f.opts.Fleet.Telemetry()
+	}
 	return NewRouter(f, f.platform, cfg)
 }
 
@@ -229,7 +260,7 @@ func (f *Fabric) Checkpoint(id int) error {
 	if err := n.manager().Checkpoint(); err != nil {
 		return err
 	}
-	return n.shipAll()
+	return n.shipAll(telemetry.SpanContext{})
 }
 
 // PauseReplication stops (or resumes) shipping from a shard to its
@@ -264,7 +295,10 @@ func (f *Fabric) KillShard(id int) (Expectation, error) {
 	delete(f.nodes, id)
 	f.dead = append(f.dead, n)
 	f.mu.Unlock()
-	return n.kill(), nil
+	exp := n.kill()
+	f.fleetEvents().Emit(telemetry.EventKill, ShardOrigin(id), 0,
+		"primary killed at stamp %d lsn %d", exp.Stamp, exp.LSN)
+	return exp, nil
 }
 
 // Promote installs the next standby of a shard as its primary, provided
@@ -287,6 +321,9 @@ func (f *Fabric) Promote(id int, expect Expectation) error {
 	f.reps[id] = list[1:]
 	f.mu.Unlock()
 
+	start := time.Now()
+	f.fleetEvents().Emit(telemetry.EventPromoteBegin, ShardOrigin(id), 0,
+		"promoting replica %d, need stamp %d lsn %d", r.idx, expect.Stamp, expect.LSN)
 	n, err := r.promote(expect)
 	if err != nil {
 		if errors.Is(err, ErrStaleReplica) {
@@ -295,12 +332,20 @@ func (f *Fabric) Promote(id int, expect Expectation) error {
 		r.w.Close()
 		return err
 	}
+	dur := time.Since(start)
 	f.mu.Lock()
 	f.nodes[id] = n
+	// promote-commit strictly precedes the epoch-bump publishTableLocked
+	// emits: the failover timeline reads kill -> promote-begin ->
+	// promote-commit -> epoch-bump.
+	f.fleetEvents().Emit(telemetry.EventPromoteCommit, ShardOrigin(id), 0,
+		"replica %d promoted in %v", r.idx, dur.Round(time.Millisecond))
 	f.publishTableLocked()
 	f.refreshPeerMeshLocked()
 	f.mu.Unlock()
 	f.promotions.Add(1)
+	f.opts.Fleet.Telemetry().Registry().
+		Histogram("montsalvat_fabric_promotion_duration_ns").ObserveDuration(dur)
 	return nil
 }
 

@@ -3,10 +3,12 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"montsalvat/internal/serve"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -310,5 +312,159 @@ func TestStalePromotionRejected(t *testing.T) {
 	}
 	if st := f.Stats(); st.StalePromotionsRejected != 1 || st.Promotions != 0 {
 		t.Fatalf("stats = %+v, want 1 stale rejection, 0 promotions", st)
+	}
+}
+
+// TestFabricTracePropagation follows one trace ID across Worlds: a
+// routed put starts a root span on the router, the owning shard's
+// gateway continues it, and the synchronous checkpoint ship carries it
+// to the replica — so the fleet dump must hold spans from at least
+// three distinct nodes under one TraceID. A direct peer call with an
+// injected context must likewise surface on the callee shard.
+func TestFabricTracePropagation(t *testing.T) {
+	fleet := telemetry.NewFleet(telemetry.Options{TraceSampleRate: 1, TraceBuffer: 4096, EventBuffer: 1024})
+	f, err := New(Options{Shards: 2, Replicas: 1, Fleet: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	client := f.Client(RouterConfig{})
+	defer client.Close()
+	for i := 0; i < 16; i++ {
+		if err := client.Put(fmt.Sprintf("trace:%04d", i), "v"); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// Group spans by trace and find one that crossed Worlds end to end:
+	// router root, shard dispatch, replica ship-apply.
+	byTrace := map[uint64]map[string]bool{}
+	names := map[uint64]map[string]bool{}
+	for _, sp := range fleet.Telemetry().Tracer().Dump() {
+		if byTrace[sp.TraceID] == nil {
+			byTrace[sp.TraceID] = map[string]bool{}
+			names[sp.TraceID] = map[string]bool{}
+		}
+		byTrace[sp.TraceID][sp.Node] = true
+		names[sp.TraceID][sp.Name] = true
+	}
+	var full uint64
+	for id, nodes := range byTrace {
+		hasRouter, hasShard, hasReplica := false, false, false
+		for n := range nodes {
+			switch {
+			case n == "router":
+				hasRouter = true
+			case strings.Contains(n, "/replica-"):
+				hasReplica = true
+			case strings.HasPrefix(n, "shard-"):
+				hasShard = true
+			}
+		}
+		if hasRouter && hasShard && hasReplica {
+			full = id
+			break
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no trace spans router+shard+replica; traces seen: %v", byTrace)
+	}
+	if !names[full]["ship-apply"] {
+		t.Fatalf("cross-World trace %d has no replica ship-apply span: %v", full, names[full])
+	}
+
+	// Peer-channel leg: a context injected into CallPeer surfaces as a
+	// peer-call span on the callee shard under the same trace.
+	conn, err := f.PeerDial(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	h, err := conn.BindPeer("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fleet.Telemetry().Tracer().StartRoot("peer-test")
+	sc := root.Context()
+	if _, err := conn.CallPeerCtx(sc, h, "put", wire.Str("peer-trace"), wire.Str("v")); err != nil {
+		t.Fatalf("traced peer call: %v", err)
+	}
+	root.Finish(nil)
+	foundPeer := false
+	for _, sp := range fleet.Telemetry().Tracer().Dump() {
+		if sp.TraceID == sc.TraceID && sp.Node == ShardOrigin(1) && strings.HasPrefix(sp.Name, "peer-call") {
+			foundPeer = true
+			if sp.ParentID != sc.SpanID {
+				t.Fatalf("peer-call span parent %d, want injected span %d", sp.ParentID, sc.SpanID)
+			}
+		}
+	}
+	if !foundPeer {
+		t.Fatalf("no peer-call span on %s under trace %d", ShardOrigin(1), sc.TraceID)
+	}
+}
+
+// TestFabricEventTimeline kills a primary and promotes its replica,
+// then checks the shared journal reconstructs the failover in the
+// contract order: kill, promote-begin, promote-commit, epoch-bump,
+// each with a strictly larger Seq than the previous step.
+func TestFabricEventTimeline(t *testing.T) {
+	fleet := telemetry.NewFleet(telemetry.Options{EventBuffer: 4096})
+	f, err := New(Options{Shards: 2, Replicas: 1, Fleet: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	client := f.Client(RouterConfig{})
+	defer client.Close()
+	for i := 0; i < 16; i++ {
+		if err := client.Put(fmt.Sprintf("tl:%04d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exp, err := f.KillShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Promote(1, exp); err != nil {
+		t.Fatal(err)
+	}
+
+	events := fleet.Telemetry().Events().Dump()
+	seq := func(typ telemetry.EventType, after uint64) uint64 {
+		for _, ev := range events {
+			if ev.Type == typ && ev.Seq > after && ev.Node == ShardOrigin(1) {
+				return ev.Seq
+			}
+		}
+		// Epoch bumps are fabric-scoped, not shard-scoped.
+		for _, ev := range events {
+			if ev.Type == typ && ev.Seq > after {
+				return ev.Seq
+			}
+		}
+		t.Fatalf("journal has no %s event after seq %d: %+v", typ, after, events)
+		return 0
+	}
+	kill := seq(telemetry.EventKill, 0)
+	begin := seq(telemetry.EventPromoteBegin, kill)
+	commit := seq(telemetry.EventPromoteCommit, begin)
+	bump := seq(telemetry.EventEpochBump, commit)
+	if !(kill < begin && begin < commit && commit < bump) {
+		t.Fatalf("failover timeline out of order: kill %d, begin %d, commit %d, bump %d", kill, begin, commit, bump)
+	}
+
+	// The journal also carried replication traffic for the load phase.
+	ships := 0
+	for _, ev := range events {
+		if ev.Type == telemetry.EventShip {
+			ships++
+		}
+	}
+	if ships == 0 {
+		t.Fatal("journal recorded no ship events despite replicated writes")
 	}
 }

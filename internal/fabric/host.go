@@ -21,6 +21,7 @@ import (
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/persist"
 	"montsalvat/internal/registry"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 	"montsalvat/internal/world"
 )
@@ -50,6 +51,11 @@ type PeerHost struct {
 	// (telemetry hook).
 	Logf        func(format string, args ...any)
 	OnHandshake func()
+
+	// Telemetry, when set, continues propagated trace contexts across
+	// the channel (ship-apply and peer-call spans) and journals ship
+	// events. Nil disables both at the cost of one branch.
+	Telemetry *telemetry.Telemetry
 
 	mu     sync.Mutex
 	peers  map[string][32]byte
@@ -243,21 +249,30 @@ func (h *PeerHost) serveShip(args []wire.Value) []byte {
 	if h.Apply == nil {
 		return peerError("replication not served here")
 	}
-	if len(args) != 1 {
+	if len(args) != 1 && len(args) != 3 {
 		return peerError("ship arity")
 	}
 	blob, ok := args[0].AsBytes()
 	if !ok {
 		return peerError("ship payload")
 	}
+	sc := traceFromVals(args[1:])
+	sp := h.Telemetry.Tracer().StartRemote(sc, "ship-apply")
+	sp.SetNode(h.Identity.Origin)
+	sp.SetSealedBytes(len(blob))
 	d, err := persist.DecodeDelta(blob)
 	if err != nil {
+		sp.Finish(err)
 		return peerError("decode delta: %v", err)
 	}
 	stamp, lsn, err := h.Apply(d)
 	if err != nil {
+		sp.Finish(err)
 		return peerError("apply delta: %v", err)
 	}
+	h.Telemetry.Events().Emit(telemetry.EventShip, h.Identity.Origin, sc.TraceID,
+		"applied %d bytes, now stamp %d lsn %d", len(blob), stamp, lsn)
+	sp.Finish(nil)
 	return peerOK(wire.Int(int64(stamp)), wire.Int(int64(lsn)))
 }
 
@@ -288,7 +303,7 @@ func (h *PeerHost) serveCall(ns *registry.Namespace, args []wire.Value) []byte {
 	if h.World == nil {
 		return peerError("objects not served here")
 	}
-	if len(args) != 4 {
+	if len(args) != 4 && len(args) != 6 {
 		return peerError("call arity")
 	}
 	origin, _ := args[0].AsStr()
@@ -298,6 +313,7 @@ func (h *PeerHost) serveCall(ns *registry.Namespace, args []wire.Value) []byte {
 	if !ok {
 		return peerError("call argument vector")
 	}
+	sc := traceFromVals(args[4:])
 	// The cross-shard namespace check: the handle resolves only when the
 	// caller presents the origin shard that issued it.
 	e, ok := ns.LookupFrom(origin, handle)
@@ -312,8 +328,10 @@ func (h *PeerHost) serveCall(ns *registry.Namespace, args []wire.Value) []byte {
 		}
 		imported[i] = v
 	}
+	sp := h.Telemetry.Tracer().StartRemote(sc, "peer-call "+method)
+	sp.SetNode(h.Identity.Origin)
 	var out wire.Value
-	err := h.World.Exec(false, func(env classmodel.Env) error {
+	err := h.World.ExecSpan(false, sp, func(env classmodel.Env) error {
 		v, err := env.Call(wire.Ref(e.Class, e.Hash), method, imported...)
 		if err != nil {
 			return err
@@ -321,6 +339,7 @@ func (h *PeerHost) serveCall(ns *registry.Namespace, args []wire.Value) []byte {
 		out, err = h.exportValue(ns, v)
 		return err
 	})
+	sp.Finish(err)
 	if err != nil {
 		return peerError("call %s.%s: %v", e.Class, method, err)
 	}

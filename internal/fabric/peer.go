@@ -46,6 +46,7 @@ import (
 
 	"montsalvat/internal/persist"
 	"montsalvat/internal/sgx"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -549,6 +550,28 @@ func AcceptPeer(conn net.Conn, local PeerIdentity, peers map[string][32]byte, ti
 	return &PeerConn{conn: conn, ciph: ciph, localOrigin: local.Origin, remoteOrigin: claimed}, nil
 }
 
+// ---- trace-context wire helpers --------------------------------------
+
+// traceVals renders a span context as the two trailing request fields
+// every traced peer operation carries. A zero context encodes as two
+// zeros — "no trace" — so untraced channels pay two varint zeros, not a
+// separate wire format.
+func traceVals(sc telemetry.SpanContext) []wire.Value {
+	return []wire.Value{wire.Int(int64(sc.TraceID)), wire.Int(int64(sc.SpanID))}
+}
+
+// traceFromVals decodes the two trailing trace fields (missing or
+// malformed fields decode as the zero context, keeping the host
+// tolerant of older encoders).
+func traceFromVals(vs []wire.Value) telemetry.SpanContext {
+	if len(vs) < 2 {
+		return telemetry.SpanContext{}
+	}
+	tid, _ := vs[0].AsInt()
+	sid, _ := vs[1].AsInt()
+	return telemetry.SpanContext{TraceID: uint64(tid), SpanID: uint64(sid)}
+}
+
 // ---- initiator-side operations ---------------------------------------
 
 // Have asks the peer for its durable-root inventory (file → size), the
@@ -581,7 +604,16 @@ func (p *PeerConn) Have() (map[string]int64, error) {
 // Ship delivers one replication delta; the peer applies it to its
 // durable root and acknowledges with the stamp and LSN it now holds.
 func (p *PeerConn) Ship(d persist.Delta) (stamp, lastLSN uint64, err error) {
-	req := wire.MarshalList([]wire.Value{wire.Str(peerOpShip), wire.Bytes(persist.EncodeDelta(d))})
+	return p.ShipCtx(telemetry.SpanContext{}, d)
+}
+
+// ShipCtx is Ship carrying the shipping request's trace context, so the
+// replica's apply span joins the trace that triggered the ship (the
+// client put whose ack is waiting on this delta).
+func (p *PeerConn) ShipCtx(sc telemetry.SpanContext, d persist.Delta) (stamp, lastLSN uint64, err error) {
+	req := wire.MarshalList(append([]wire.Value{
+		wire.Str(peerOpShip), wire.Bytes(persist.EncodeDelta(d)),
+	}, traceVals(sc)...))
 	res, err := p.roundTrip(req)
 	if err != nil {
 		return 0, 0, err
@@ -617,9 +649,16 @@ func (p *PeerConn) BindPeer(name string) (PeerHandle, error) {
 // ErrPeerForeignHandle rather than resolving to an unrelated object.
 // Ref results come back as handles in the peer's namespace.
 func (p *PeerConn) CallPeer(h PeerHandle, method string, args ...wire.Value) (wire.Value, error) {
-	req := wire.MarshalList([]wire.Value{
+	return p.CallPeerCtx(telemetry.SpanContext{}, h, method, args...)
+}
+
+// CallPeerCtx is CallPeer carrying the caller's trace context: the host
+// shard continues sc's trace across the peer channel, so a cross-shard
+// call chain shares one trace ID end to end.
+func (p *PeerConn) CallPeerCtx(sc telemetry.SpanContext, h PeerHandle, method string, args ...wire.Value) (wire.Value, error) {
+	req := wire.MarshalList(append([]wire.Value{
 		wire.Str(peerOpCall), wire.Str(h.Origin), wire.Int(h.ID), wire.Str(method), wire.List(args...),
-	})
+	}, traceVals(sc)...))
 	res, err := p.roundTrip(req)
 	if err != nil {
 		return wire.Value{}, err

@@ -68,7 +68,8 @@ type replicaNode struct {
 // from that shard's primary (primaryMeas). The peer host serves
 // replication but no objects: a standby has nothing to call.
 func newReplicaNode(f *Fabric, shardID, idx int, primaryMeas [32]byte) (*replicaNode, error) {
-	w, err := f.buildWorld()
+	tel := f.nodeTel(replicaOrigin(shardID, idx))
+	w, err := f.buildWorld(tel)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +88,7 @@ func newReplicaNode(f *Fabric, shardID, idx int, primaryMeas [32]byte) (*replica
 		},
 		Logf:        f.opts.Logf,
 		OnHandshake: func() { f.peerHandshakes.Add(1) },
+		Telemetry:   tel,
 	}
 	r.host.SetPeers(map[string][32]byte{ShardOrigin(shardID): primaryMeas})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -123,7 +125,11 @@ func (r *replicaNode) promote(expect Expectation) (*shardNode, error) {
 		return nil, err
 	}
 	kv.SetRef(ref)
-	mgr, rep, err := r.fab.openManager(r.shardID, r.w, r.fs, kv)
+	// The promoted node takes over the shard's identity: its manager and
+	// gateway report under the shard origin, continuing the dead
+	// primary's metric series rather than starting a replica-named one.
+	tel := r.fab.nodeTel(ShardOrigin(r.shardID))
+	mgr, rep, err := r.fab.openManager(r.shardID, r.w, r.fs, kv, tel)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: promote shard %d: %w", r.shardID, err)
 	}
@@ -135,7 +141,7 @@ func (r *replicaNode) promote(expect Expectation) (*shardNode, error) {
 		}
 	}
 
-	n := &shardNode{id: r.shardID, fab: r.fab, w: r.w, fs: r.fs, kv: kv, mgr: mgr}
+	n := &shardNode{id: r.shardID, fab: r.fab, tel: tel, w: r.w, fs: r.fs, kv: kv, mgr: mgr}
 	if err := n.startGateway(); err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ import (
 
 	"montsalvat/internal/serve"
 	"montsalvat/internal/sgx"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -42,6 +43,13 @@ type RouterConfig struct {
 	// DialTimeout / RequestTimeout are passed to each shard session.
 	DialTimeout    time.Duration
 	RequestTimeout time.Duration
+	// Telemetry, when set, starts a root span per routed operation and
+	// propagates its context to the owning shard — the client end of
+	// every cross-shard trace. Redirect hops are annotated as child
+	// spans carrying the old and new owner and the table epoch, and the
+	// retry call continues the originating trace rather than starting a
+	// new one.
+	Telemetry *telemetry.Telemetry
 }
 
 // RouterStats counts routing events.
@@ -59,6 +67,8 @@ type Router struct {
 	src      TableSource
 	platform *sgx.Platform
 	cfg      RouterConfig
+	tracer   *telemetry.Tracer
+	events   *telemetry.EventLog
 
 	mu    sync.Mutex
 	table Table
@@ -85,6 +95,8 @@ func NewRouter(src TableSource, platform *sgx.Platform, cfg RouterConfig) *Route
 		src:      src,
 		platform: platform,
 		cfg:      cfg,
+		tracer:   cfg.Telemetry.Tracer(),
+		events:   cfg.Telemetry.Events(),
 		table:    src.Table(),
 		conns:    make(map[int]*routerConn),
 	}
@@ -225,9 +237,15 @@ func isTransportErr(err error) bool {
 
 // do routes one operation: hash the key, call the owner, and on a
 // redirect or dead session refresh the table and retry — at most
-// MaxRedirects hops.
-func (r *Router) do(method, key string, args ...wire.Value) (wire.Value, error) {
+// MaxRedirects hops. A sampled operation is one root span whose context
+// rides every hop, so the retry after a WrongShardError joins the
+// originating trace instead of starting a fresh one; each redirect is a
+// child span annotated with the old and new owner and the table epoch.
+func (r *Router) do(method, key string, args ...wire.Value) (v wire.Value, err error) {
 	r.requests.Add(1)
+	sp := r.tracer.StartRoot("route " + method)
+	sp.SetNode("router")
+	defer func() { sp.Finish(err) }()
 	t := r.currentTable()
 	forced := -1 // owner hint from the last redirect, when the refreshed table still disagrees
 	var lastErr error
@@ -246,7 +264,7 @@ func (r *Router) do(method, key string, args ...wire.Value) (wire.Value, error) 
 			t = r.refresh()
 			continue
 		}
-		v, err := rc.c.Call(rc.kv, method, args...)
+		v, err := rc.c.CallCtx(sp.Context(), 0, rc.kv, method, args...)
 		if err == nil {
 			return v, nil
 		}
@@ -258,6 +276,12 @@ func (r *Router) do(method, key string, args ...wire.Value) (wire.Value, error) 
 			// the refreshed table still routes to the rejecting shard,
 			// follow the redirect hint directly.
 			r.redirects.Add(1)
+			hop := r.tracer.StartChild(sp, "redirect")
+			hop.SetNode("router")
+			hop.SetRedirect(owner, ws.Owner, ws.Epoch)
+			hop.Finish(nil)
+			r.events.Emit(telemetry.EventRedirect, "router", sp.Context().TraceID,
+				"%s %q: owner %d -> %d epoch %d", method, key, owner, ws.Owner, ws.Epoch)
 			t = r.refresh()
 			if t.Owner(key) == owner && ws.Owner != owner {
 				forced = ws.Owner

@@ -25,6 +25,7 @@ import (
 	"montsalvat/internal/serve"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/shim"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 	"montsalvat/internal/world"
 )
@@ -46,6 +47,11 @@ type shardNode struct {
 	id  int
 	fab *Fabric
 
+	// tel is this node's slice of the fleet observability plane: a
+	// private metrics registry plus the fleet-shared tracer and event
+	// journal. Nil when the fabric runs without a Fleet.
+	tel *telemetry.Telemetry
+
 	w  *world.World
 	fs *shim.MemFS
 	kv *persist.WorldKV
@@ -66,10 +72,13 @@ type shardNode struct {
 // buildWorld constructs one fabric World. Every world shares the fabric
 // signer, so all enclaves carry the same MRSIGNER and sealed state
 // written by one can be unsealed by another — the property replication
-// and promotion rest on.
-func (f *Fabric) buildWorld() (*world.World, error) {
+// and promotion rest on. tel (optional) instruments the world's
+// boundary crossings on that node's registry and joins its RMI spans to
+// the fleet-shared tracer.
+func (f *Fabric) buildWorld(tel *telemetry.Telemetry) (*world.World, error) {
 	opts := world.DefaultOptions()
 	opts.Signer = f.signer
+	opts.Telemetry = tel
 	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), opts)
 	return w, err
 }
@@ -97,8 +106,9 @@ func newStoreRef(w *world.World) (wire.Value, error) {
 // openManager boots a persist.Manager for shard id over fs and w's
 // current enclave, registers kv, and recovers. The counter store lives
 // on the same fs (FSCounterStore), so the rollback-protection state is
-// part of the replicated root.
-func (f *Fabric) openManager(id int, w *world.World, fs shim.FS, kv *persist.WorldKV) (*persist.Manager, persist.Report, error) {
+// part of the replicated root. tel (optional) gives the manager the
+// node's metrics registry and the fleet event journal.
+func (f *Fabric) openManager(id int, w *world.World, fs shim.FS, kv *persist.WorldKV, tel *telemetry.Telemetry) (*persist.Manager, persist.Report, error) {
 	ctr, err := sgx.NewMonotonicCounter(f.secret, persist.NewFSCounterStore(fs, shardDir), ShardOrigin(id))
 	if err != nil {
 		return nil, persist.Report{}, err
@@ -110,6 +120,9 @@ func (f *Fabric) openManager(id int, w *world.World, fs shim.FS, kv *persist.Wor
 		Counter:      ctr,
 		Dir:          shardDir,
 		BeforeCommit: w.Flush,
+		Telemetry:    tel.Registry(),
+		Events:       tel.Events(),
+		Node:         ShardOrigin(id),
 		Logf:         f.opts.Logf,
 	})
 	if err != nil {
@@ -132,11 +145,12 @@ const shardDir = "p/"
 // host. Shippers attach later (connectReplicas), once the replica
 // listeners exist.
 func newShardNode(f *Fabric, id int) (*shardNode, error) {
-	w, err := f.buildWorld()
+	tel := f.nodeTel(ShardOrigin(id))
+	w, err := f.buildWorld(tel)
 	if err != nil {
 		return nil, err
 	}
-	n := &shardNode{id: id, fab: f, w: w, fs: shim.NewMemFS()}
+	n := &shardNode{id: id, fab: f, tel: tel, w: w, fs: shim.NewMemFS()}
 	n.kv = persist.NewWorldKV("kv", w)
 	ref, err := newStoreRef(w)
 	if err != nil {
@@ -144,7 +158,7 @@ func newShardNode(f *Fabric, id int) (*shardNode, error) {
 		return nil, err
 	}
 	n.kv.SetRef(ref)
-	mgr, _, err := f.openManager(id, w, n.fs, n.kv)
+	mgr, _, err := f.openManager(id, w, n.fs, n.kv, tel)
 	if err != nil {
 		w.Close()
 		return nil, err
@@ -169,6 +183,8 @@ func (n *shardNode) startGateway() error {
 		Logf:        f.opts.Logf,
 		ShardCheck:  f.shardCheckFor(n.id),
 		Journal:     n.journal,
+		Telemetry:   n.tel,
+		Node:        ShardOrigin(n.id),
 	})
 	if err != nil {
 		return err
@@ -203,6 +219,7 @@ func (n *shardNode) startGateway() error {
 		},
 		Logf:        f.opts.Logf,
 		OnHandshake: func() { f.peerHandshakes.Add(1) },
+		Telemetry:   n.tel,
 	}
 	peerLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -243,7 +260,9 @@ func (n *shardNode) manager() *persist.Manager {
 
 // journal is the gateway's Journal hook: append the put, then ship the
 // delta to every replica before the ack leaves. A ship failure fails
-// the request — an un-replicated write is never acknowledged.
+// the request — an un-replicated write is never acknowledged. The
+// mutation's trace context rides along so the replication leg of the
+// ack path lands in the same trace as the client's put.
 func (n *shardNode) journal(m serve.Mutation) error {
 	if m.Op != serve.MutationCall || m.Class != demo.KVStoreCls || m.Method != "put" || len(m.Args) < 2 {
 		return nil
@@ -253,16 +272,17 @@ func (n *shardNode) journal(m serve.Mutation) error {
 	if _, err := n.manager().Append("kv", persist.OpPut, key, []byte(val)); err != nil {
 		return err
 	}
-	return n.shipAll()
+	return n.shipAll(m.Trace)
 }
 
-// shipAll pushes the current durable root to every attached replica.
-func (n *shardNode) shipAll() error {
+// shipAll pushes the current durable root to every attached replica,
+// continuing sc's trace into each ship.
+func (n *shardNode) shipAll(sc telemetry.SpanContext) error {
 	n.mu.Lock()
 	shippers := append([]*shipper(nil), n.shippers...)
 	n.mu.Unlock()
 	for _, sh := range shippers {
-		if err := sh.ship(); err != nil {
+		if err := sh.ship(sc); err != nil {
 			return fmt.Errorf("fabric: shard %d ship to %s: %w", n.id, sh.conn.RemoteOrigin(), err)
 		}
 	}
@@ -275,7 +295,7 @@ func (n *shardNode) attachShipper(sh *shipper) error {
 	n.mu.Lock()
 	n.shippers = append(n.shippers, sh)
 	n.mu.Unlock()
-	return sh.ship()
+	return sh.ship(telemetry.SpanContext{})
 }
 
 // expectation captures the durable position this primary has

@@ -7,16 +7,30 @@ package fabric
 // sits inside the ack path. A paused shipper (test and operations hook)
 // silently skips rounds: that is exactly how a replica goes stale, and
 // what the promotion-time rollback check exists to catch.
+//
+// Each ship round is instrumented on the primary's registry under the
+// montsalvat_persist_ship_* family (bytes shipped, wall-clock latency,
+// per-replica failures) and, when the triggering request was traced,
+// recorded as a child span of that request — the ack path's replication
+// cost is visible per-trace, not just in aggregate.
 
 import (
 	"sync"
+	"time"
 
 	"montsalvat/internal/persist"
+	"montsalvat/internal/telemetry"
 )
 
 type shipper struct {
 	node *shardNode
 	conn *PeerConn
+
+	// Shipping instruments, cached off the node's registry (nil-safe:
+	// a node without telemetry ships with zero overhead past a branch).
+	bytesShipped *telemetry.Counter
+	latency      *telemetry.Histogram
+	failures     *telemetry.Counter
 
 	mu     sync.Mutex
 	have   map[string]int64
@@ -31,13 +45,23 @@ func newShipper(node *shardNode, conn *PeerConn) (*shipper, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &shipper{node: node, conn: conn, have: have}, nil
+	reg := node.tel.Registry()
+	return &shipper{
+		node:         node,
+		conn:         conn,
+		have:         have,
+		bytesShipped: reg.Counter("montsalvat_persist_ship_bytes_total"),
+		latency:      reg.Histogram("montsalvat_persist_ship_latency_ns"),
+		failures:     reg.Counter("montsalvat_persist_ship_failures_total", "replica", conn.RemoteOrigin()),
+	}, nil
 }
 
-// ship pushes one delta round. Lock order: the manager's mutex is taken
-// inside ReplicaDelta while sh.mu is held; journal holds neither when
-// calling (Append has already released it), so there is no inversion.
-func (sh *shipper) ship() error {
+// ship pushes one delta round, continuing sc's trace (the journaled
+// request waiting on this ack) into a per-replica ship span. Lock
+// order: the manager's mutex is taken inside ReplicaDelta while sh.mu
+// is held; journal holds neither when calling (Append has already
+// released it), so there is no inversion.
+func (sh *shipper) ship(sc telemetry.SpanContext) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.paused {
@@ -45,17 +69,29 @@ func (sh *shipper) ship() error {
 	}
 	d, err := sh.node.manager().ReplicaDelta(sh.have)
 	if err != nil {
+		sh.failures.Inc()
 		return err
 	}
 	if d.Empty() {
 		return nil
 	}
-	if _, _, err := sh.conn.Ship(d); err != nil {
+	sp := sh.node.tel.Tracer().StartRemote(sc, "ship "+sh.conn.RemoteOrigin())
+	sp.SetNode(ShardOrigin(sh.node.id))
+	sp.SetSealedBytes(d.Bytes())
+	start := time.Now()
+	if _, _, err := sh.conn.ShipCtx(sp.Context(), d); err != nil {
+		sh.failures.Inc()
+		sp.Finish(err)
 		return err
 	}
+	sh.latency.ObserveDuration(time.Since(start))
+	sh.bytesShipped.Add(uint64(d.Bytes()))
+	sp.Finish(nil)
 	persist.UpdateHave(sh.have, d)
 	sh.node.fab.shipRounds.Add(1)
 	sh.node.fab.shipBytes.Add(uint64(d.Bytes()))
+	sh.node.tel.Events().Emit(telemetry.EventShip, ShardOrigin(sh.node.id), sc.TraceID,
+		"%d bytes to %s", d.Bytes(), sh.conn.RemoteOrigin())
 	return nil
 }
 

@@ -48,6 +48,11 @@ type Options struct {
 	BeforeCommit func() error
 	// Telemetry receives montsalvat_persist_* metrics. Optional.
 	Telemetry *telemetry.Registry
+	// Events, when set, journals durability transitions (checkpoint
+	// commits, counter advances, recovery replays) as structured events.
+	Events *telemetry.EventLog
+	// Node labels this manager's events in a fleet ("shard-2").
+	Node string
 	// Injector arms crash points. Nil in production.
 	Injector *Injector
 	// Logf receives recovery and cleanup notes. Defaults to discard.
@@ -84,6 +89,8 @@ type Manager struct {
 	curSize   int64
 
 	tel      *telemetry.Registry
+	events   *telemetry.EventLog
+	node     string
 	stats    Stats
 	recovery *telemetry.Histogram
 }
@@ -160,6 +167,8 @@ func Open(opts Options) (*Manager, error) {
 		logf:      opts.Logf,
 		byName:    make(map[string]State),
 		tel:       opts.Telemetry,
+		events:    opts.Events,
+		node:      opts.Node,
 	}
 	if m.tel != nil {
 		m.recovery = m.tel.Histogram("montsalvat_persist_recovery_duration_nanoseconds")
@@ -306,6 +315,8 @@ func (m *Manager) checkpointLocked() error {
 	m.stats.Checkpoints++
 	m.stats.Epoch = m.epoch
 	m.stats.Watermark = m.watermark
+	m.events.Emit(telemetry.EventCounterAdvance, m.node, 0, "stamp %d", c.stamp)
+	m.events.Emit(telemetry.EventCheckpoint, m.node, 0, "stamp %d watermark %d", c.stamp, c.watermark)
 	if err := m.injector.hit(CrashAfterCounterBump); err != nil {
 		return err
 	}
@@ -420,6 +431,7 @@ func (m *Manager) Recover() (Report, error) {
 	if m.recovery != nil {
 		m.recovery.ObserveDuration(rep.Duration)
 	}
+	m.events.Emit(telemetry.EventRecoveryReplay, m.node, 0, "%s", rep)
 	m.logf("persist: recovered %s", rep)
 	return rep, nil
 }

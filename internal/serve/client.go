@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"montsalvat/internal/sgx"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -313,6 +314,14 @@ func (c *Client) Call(h Handle, method string, args ...wire.Value) (wire.Value, 
 // the server.
 func (c *Client) CallTimeout(timeout time.Duration, h Handle, method string, args ...wire.Value) (wire.Value, error) {
 	return c.call(request{op: opCall, handle: h.ID, method: method, args: args}, timeout)
+}
+
+// CallCtx is CallTimeout carrying the caller's trace context: the
+// gateway continues sc's trace across the session frame, so a span
+// started client-side (the fabric router's route span) and the server's
+// serve/exec spans share one trace ID. A zero sc is exactly CallTimeout.
+func (c *Client) CallCtx(sc telemetry.SpanContext, timeout time.Duration, h Handle, method string, args ...wire.Value) (wire.Value, error) {
+	return c.call(request{op: opCall, trace: sc, handle: h.ID, method: method, args: args}, timeout)
 }
 
 // Bind resolves a server-exported name (Server.Export) to a

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"montsalvat/internal/sgx"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -449,15 +450,19 @@ func decodeReady(buf []byte) (int64, error) {
 type request struct {
 	id     int64
 	op     string
-	budget time.Duration // remaining deadline budget propagated by the client
-	class  string        // opNew
-	handle int64         // opCall / opRelease receiver
-	method string        // opCall
-	args   []wire.Value  // refs are session handles, not world hashes
+	budget time.Duration         // remaining deadline budget propagated by the client
+	trace  telemetry.SpanContext // caller's span context; zero = no trace
+	class  string                // opNew
+	handle int64                 // opCall / opRelease receiver
+	method string                // opCall
+	args   []wire.Value          // refs are session handles, not world hashes
 }
 
 func encodeRequest(r request) []byte {
-	vs := []wire.Value{wire.Int(r.id), wire.Str(r.op), wire.Int(int64(r.budget / time.Millisecond))}
+	vs := []wire.Value{
+		wire.Int(r.id), wire.Str(r.op), wire.Int(int64(r.budget / time.Millisecond)),
+		wire.Int(int64(r.trace.TraceID)), wire.Int(int64(r.trace.SpanID)),
+	}
 	switch r.op {
 	case opNew:
 		vs = append(vs, wire.Str(r.class), wire.List(r.args...))
@@ -473,7 +478,7 @@ func encodeRequest(r request) []byte {
 
 func decodeRequest(buf []byte) (request, error) {
 	vs, err := wire.UnmarshalList(buf)
-	if err != nil || len(vs) < 3 {
+	if err != nil || len(vs) < 5 {
 		return request{}, fmt.Errorf("%w: malformed request", ErrBadRequest)
 	}
 	var r request
@@ -485,7 +490,10 @@ func decodeRequest(buf []byte) (request, error) {
 	r.op, _ = vs[1].AsStr()
 	budget, _ := vs[2].AsInt()
 	r.budget = time.Duration(budget) * time.Millisecond
-	rest := vs[3:]
+	traceID, _ := vs[3].AsInt()
+	spanID, _ := vs[4].AsInt()
+	r.trace = telemetry.SpanContext{TraceID: uint64(traceID), SpanID: uint64(spanID)}
+	rest := vs[5:]
 	argList := func(v wire.Value) ([]wire.Value, error) {
 		args, ok := v.AsList()
 		if !ok {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"montsalvat/internal/classmodel"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -25,6 +26,10 @@ type Mutation struct {
 	Method string
 	// Args are the world-level argument values.
 	Args []wire.Value
+	// Trace is the request's propagated span context (zero when the
+	// request was untraced): journalers that do further cross-World work
+	// on the ack path — checkpoint shipping — continue the trace with it.
+	Trace telemetry.SpanContext
 }
 
 // Mutation.Op values, matching the wire ops that produced them.
@@ -89,6 +94,7 @@ func (srv *Server) Recover(ctx context.Context, restore func() error) error {
 	}
 	start := time.Now()
 	srv.recovering.Store(true)
+	srv.events.Emit(telemetry.EventDrain, srv.opts.Node, 0, "recovery drain")
 	// Barrier: after this, every request observes recovering before it
 	// could join reqWG, so the Wait below cannot race an Add.
 	srv.drainMu.Lock()
@@ -128,6 +134,8 @@ func (srv *Server) Recover(ctx context.Context, restore func() error) error {
 
 	srv.recovering.Store(false)
 	srv.recoveries.Add(1)
+	srv.events.Emit(telemetry.EventRecoveryReplay, srv.opts.Node, 0,
+		"gateway recovered in %v, %d sessions invalidated", time.Since(start).Round(time.Millisecond), len(open))
 	srv.opts.Logf("serve: recovered in %v (%d sessions invalidated, %d recoveries total)",
 		time.Since(start).Round(time.Millisecond), len(open), srv.recoveries.Load())
 	return nil

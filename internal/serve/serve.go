@@ -74,7 +74,13 @@ type Options struct {
 	// registry: per-reason admission rejections, handshake and request
 	// latency histograms, live session/in-flight gauges. Pass the same
 	// bundle as world.Options.Telemetry so one scrape covers both layers.
+	// Request spans continue the client's trace context (requests carry
+	// an injected SpanContext), and session lifecycle transitions are
+	// journaled to the bundle's event log.
 	Telemetry *telemetry.Telemetry
+	// Node labels this gateway's spans and events in a fleet ("shard-2");
+	// default "gateway".
+	Node string
 }
 
 func (o *Options) withDefaults() Options {
@@ -102,6 +108,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Node == "" {
+		opts.Node = "gateway"
 	}
 	return opts
 }
@@ -204,6 +213,10 @@ type Server struct {
 	// counters above are absorbed by a registered collector instead).
 	hHandshake *telemetry.Histogram
 	hRequest   *telemetry.Histogram
+	// tracer and events cache the telemetry bundle's components; both
+	// are nil-safe, so the disabled path pays one branch.
+	tracer *telemetry.Tracer
+	events *telemetry.EventLog
 }
 
 // New builds a gateway over an already-booted partitioned world.
@@ -238,6 +251,8 @@ func New(opts Options) (*Server, error) {
 		srv.hRequest = reg.Histogram("montsalvat_serve_request_ns")
 		reg.RegisterCollector(srv.collectMetrics)
 	}
+	srv.tracer = o.Telemetry.Tracer()
+	srv.events = o.Telemetry.Events()
 	return srv, nil
 }
 
@@ -328,6 +343,7 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 	if !srv.draining.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
+	srv.events.Emit(telemetry.EventDrain, srv.opts.Node, 0, "shutdown drain")
 	close(srv.drainCh)
 	// Barrier: after this, every new request observes draining before it
 	// could join reqWG, so the Wait below cannot race an Add.
@@ -544,6 +560,7 @@ func (srv *Server) handshake(conn net.Conn) (*session, error) {
 	srv.sessions[sid] = s
 	srv.mu.Unlock()
 	srv.sessionsTotal.Add(1)
+	srv.events.Emit(telemetry.EventSessionOpen, srv.opts.Node, 0, "session %d from %v", sid, conn.RemoteAddr())
 	return s, nil
 }
 
@@ -553,4 +570,5 @@ func (srv *Server) dropSession(s *session) {
 	delete(srv.sessions, s.id)
 	srv.mu.Unlock()
 	s.teardown()
+	srv.events.Emit(telemetry.EventSessionClose, srv.opts.Node, 0, "session %d", s.id)
 }

@@ -10,6 +10,7 @@ import (
 
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/registry"
+	"montsalvat/internal/telemetry"
 	"montsalvat/internal/wire"
 )
 
@@ -144,7 +145,21 @@ func (s *session) dispatch(req request) {
 			s.srv.reqWG.Done()
 			s.wg.Done()
 		}()
-		result, err := s.execute(req, deadline)
+		// Continue the client's trace across the session frame: the span
+		// joins the injected context (or samples a fresh root for
+		// untraced clients) and is handed to the execution frame, so the
+		// world's proxy-call spans become its children.
+		sp := s.srv.tracer.StartRemote(req.trace, "serve "+req.op)
+		sp.SetNode(s.srv.opts.Node)
+		sp.SetQueueWait(time.Since(start))
+		result, err := s.execute(req, deadline, sp)
+		var ws *WrongShardError
+		if errors.As(err, &ws) {
+			sp.SetEpoch(ws.Epoch)
+			s.srv.events.Emit(telemetry.EventRedirect, s.srv.opts.Node, req.trace.TraceID,
+				"%s -> owner %d epoch %d", req.op, ws.Owner, ws.Epoch)
+		}
+		sp.Finish(err)
 		if err != nil {
 			s.countReject(err)
 			status := errStatus(err)
@@ -195,8 +210,10 @@ func (s *session) reply(id int64, r response) {
 
 // execute runs one admitted request against the world. All object
 // traffic goes through the session namespace; the world only ever sees
-// hashes this session legitimately owns.
-func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
+// hashes this session legitimately owns. sp (nil-safe) is the request's
+// serve span: execution frames carry it so proxy-call spans nest under
+// it, and journaled mutations inherit its context.
+func (s *session) execute(req request, deadline time.Time, sp *telemetry.Span) (wire.Value, error) {
 	if time.Now().After(deadline) {
 		return wire.Value{}, ErrDeadline
 	}
@@ -228,7 +245,7 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 			return wire.Value{}, err
 		}
 		var out wire.Value
-		err = s.srv.w.Exec(false, func(env classmodel.Env) error {
+		err = s.srv.w.ExecSpan(false, sp, func(env classmodel.Env) error {
 			v, err := env.New(req.class, args...)
 			if err != nil {
 				return err
@@ -239,7 +256,7 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		if err != nil {
 			return wire.Value{}, appErr(err)
 		}
-		if err := s.journal(Mutation{Op: opNew, Class: req.class, Args: args}); err != nil {
+		if err := s.journal(Mutation{Op: opNew, Class: req.class, Args: args, Trace: sp.Context()}); err != nil {
 			return wire.Value{}, err
 		}
 		return out, nil
@@ -250,7 +267,7 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 			return wire.Value{}, fmt.Errorf("%w: no export named %q", ErrBadRequest, req.class)
 		}
 		var out wire.Value
-		err := s.srv.w.Exec(false, func(env classmodel.Env) error {
+		err := s.srv.w.ExecSpan(false, sp, func(env classmodel.Env) error {
 			v, err := provider(env)
 			if err != nil {
 				return err
@@ -276,7 +293,7 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 			return wire.Value{}, err
 		}
 		var out wire.Value
-		err = s.srv.w.Exec(false, func(env classmodel.Env) error {
+		err = s.srv.w.ExecSpan(false, sp, func(env classmodel.Env) error {
 			v, err := env.Call(wire.Ref(e.Class, e.Hash), req.method, args...)
 			if err != nil {
 				return err
@@ -287,7 +304,7 @@ func (s *session) execute(req request, deadline time.Time) (wire.Value, error) {
 		if err != nil {
 			return wire.Value{}, appErr(err)
 		}
-		if err := s.journal(Mutation{Op: opCall, Class: e.Class, Method: req.method, Args: args}); err != nil {
+		if err := s.journal(Mutation{Op: opCall, Class: e.Class, Method: req.method, Args: args, Trace: sp.Context()}); err != nil {
 			return wire.Value{}, err
 		}
 		return out, nil

@@ -11,6 +11,7 @@ import (
 //
 //	GET /metrics   Prometheus text exposition of every metric
 //	GET /traces    JSON dump of the sampled-span ring buffer
+//	GET /events    JSON dump of the structured event journal, Seq order
 //	GET /snapshot  JSON snapshot of counters/gauges/histogram quantiles
 //	GET /healthz   liveness probe
 //
@@ -29,6 +30,14 @@ func Handler(t *Telemetry) http.Handler {
 			spans = []Span{}
 		}
 		_ = json.NewEncoder(w).Encode(spans)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := t.Events().Dump()
+		if events == nil {
+			events = []Event{}
+		}
+		_ = json.NewEncoder(w).Encode(events)
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -37,14 +37,19 @@ type Options struct {
 	// with the same seed and rate make the same sampling decisions in
 	// the same order — tests rely on this.
 	Seed uint64
+	// EventBuffer is the capacity of the structured event journal
+	// (default 1024). Old events are overwritten, never blocked on.
+	EventBuffer int
 }
 
-// Telemetry bundles a metrics registry with a transition tracer. A nil
-// *Telemetry is a valid disabled layer: Registry and Tracer return nil,
-// and every instrument method on nil is a no-op.
+// Telemetry bundles a metrics registry with a transition tracer and a
+// structured event journal. A nil *Telemetry is a valid disabled layer:
+// Registry, Tracer, and Events return nil, and every instrument method
+// on nil is a no-op.
 type Telemetry struct {
 	reg    *Registry
 	tracer *Tracer
+	events *EventLog
 }
 
 // New builds an enabled telemetry layer.
@@ -55,7 +60,7 @@ func New(opts Options) *Telemetry {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	t := &Telemetry{reg: NewRegistry()}
+	t := &Telemetry{reg: NewRegistry(), events: NewEventLog(opts.EventBuffer)}
 	if opts.TraceSampleRate > 0 {
 		t.tracer = NewTracer(opts.TraceSampleRate, opts.TraceBuffer, opts.Seed)
 	}
@@ -77,6 +82,14 @@ func (t *Telemetry) Tracer() *Tracer {
 		return nil
 	}
 	return t.tracer
+}
+
+// Events returns the structured event journal (nil when t is nil).
+func (t *Telemetry) Events() *EventLog {
+	if t == nil {
+		return nil
+	}
+	return t.events
 }
 
 // StartSnapshotLogger emits a one-line JSON snapshot of every metric to

@@ -455,3 +455,185 @@ func BenchmarkNilSpanSetters(b *testing.B) {
 		sp.Finish(nil)
 	}
 }
+
+// TestEventLogSeqMonotonicAndWraparound: Seq is the ordering authority
+// — strictly monotonic across emissions — and the ring retains exactly
+// the last buffer events after wraparound.
+func TestEventLogSeqMonotonicAndWraparound(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 20; i++ {
+		l.Emit(EventShip, "shard-0", 0, "event %d", i)
+	}
+	events := l.Dump()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want ring size 8", len(events))
+	}
+	for i, ev := range events {
+		if want := uint64(13 + i); ev.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, ev.Seq, want)
+		}
+		if want := fmt.Sprintf("event %d", 12+i); ev.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, ev.Detail, want)
+		}
+	}
+	if got := l.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+}
+
+// TestEventLogConcurrentEmit hammers one journal from many goroutines:
+// every retained Seq must be unique and Dump must come back sorted.
+// Run under -race this also exercises the lock-free slot protocol.
+func TestEventLogConcurrentEmit(t *testing.T) {
+	l := NewEventLog(4096)
+	const (
+		emitters = 8
+		each     = 400
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Emit(EventCounterAdvance, fmt.Sprintf("shard-%d", g), uint64(g), "tick %d", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	events := l.Dump()
+	if len(events) != emitters*each {
+		t.Fatalf("retained %d events, want %d", len(events), emitters*each)
+	}
+	seen := make(map[uint64]bool, len(events))
+	last := uint64(0)
+	for _, ev := range events {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate Seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Seq <= last {
+			t.Fatalf("Dump not sorted: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+	}
+}
+
+// TestEventLine checks the one-line timeline rendering used by the
+// fabric -failover dump.
+func TestEventLine(t *testing.T) {
+	ev := Event{Seq: 42, TimeNS: 12_345_000, Type: EventPromoteCommit, Node: "shard-3", TraceID: 7, Detail: "replica 0 promoted"}
+	line := ev.Line(0)
+	for _, want := range []string{"000042", "promote-commit", "shard-3", "[trace 7]", "replica 0 promoted"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("timeline line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestStartRemote: a valid remote context continues the trace (same
+// TraceID, parented on the remote span); the zero context degrades to a
+// locally sampled root — the wire-extraction fallback for untraced or
+// legacy frames.
+func TestStartRemote(t *testing.T) {
+	tel := New(Options{TraceSampleRate: 1, TraceBuffer: 64})
+	tr := tel.Tracer()
+
+	root := tr.StartRoot("route put")
+	if root == nil {
+		t.Fatal("full-rate tracer did not sample a root")
+	}
+	sc := root.Context()
+	remote := tr.StartRemote(sc, "dispatch")
+	if remote.TraceID != root.TraceID {
+		t.Fatalf("remote span trace %d, want %d", remote.TraceID, root.TraceID)
+	}
+	if remote.ParentID != root.SpanID {
+		t.Fatalf("remote span parent %d, want %d", remote.ParentID, root.SpanID)
+	}
+	if remote.SpanID == root.SpanID {
+		t.Fatal("remote span reused the parent's SpanID")
+	}
+
+	fresh := tr.StartRemote(SpanContext{}, "dispatch")
+	if fresh == nil {
+		t.Fatal("zero context should fall back to a sampled root")
+	}
+	if fresh.ParentID != 0 || fresh.TraceID == root.TraceID {
+		t.Fatalf("zero-context span = trace %d parent %d, want a fresh root", fresh.TraceID, fresh.ParentID)
+	}
+
+	var nilTracer *Tracer
+	if sp := nilTracer.StartRemote(sc, "x"); sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+}
+
+// TestFleetAggregation covers the fleet identity split: node metrics
+// are private but republished shard-labeled under montsalvat_fabric_*
+// on the fleet registry (histograms as _count/_sum plus quantile
+// gauges), while the tracer and event journal are shared so one trace
+// ID and one Seq order span every node.
+func TestFleetAggregation(t *testing.T) {
+	fleet := NewFleet(Options{TraceSampleRate: 1, TraceBuffer: 64, EventBuffer: 64})
+	a, b := fleet.Node("shard-0"), fleet.Node("shard-1")
+
+	a.Registry().Counter("montsalvat_serve_requests_total").Add(3)
+	b.Registry().Counter("montsalvat_serve_requests_total").Add(5)
+	h := a.Registry().Histogram("montsalvat_persist_ship_latency_ns")
+	for i := 1; i <= 4; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+
+	snap := fleet.Telemetry().Registry().Snapshot()
+	if got := snap.Counters[`montsalvat_fabric_serve_requests_total{shard="shard-0"}`]; got != 3 {
+		t.Fatalf("shard-0 fleet counter = %d, want 3", got)
+	}
+	if got := snap.Counters[`montsalvat_fabric_serve_requests_total{shard="shard-1"}`]; got != 5 {
+		t.Fatalf("shard-1 fleet counter = %d, want 5", got)
+	}
+	if got := snap.Counters[`montsalvat_fabric_persist_ship_latency_ns_count{shard="shard-0"}`]; got != 4 {
+		t.Fatalf("fleet histogram count = %d, want 4", got)
+	}
+	if _, ok := snap.Gauges[`montsalvat_fabric_persist_ship_latency_ns_p50{shard="shard-0"}`]; !ok {
+		t.Fatal("fleet snapshot missing republished p50 gauge")
+	}
+	// Node registries stay private: shard-1 never sees shard-0's counter.
+	if got := b.Registry().Snapshot().Counters["montsalvat_serve_requests_total"]; got != 5 {
+		t.Fatalf("shard-1 private counter = %d, want 5", got)
+	}
+
+	// Shared trace identity: a context minted on one node continues on
+	// another with the same TraceID, visible in the fleet dump.
+	sp := a.Tracer().StartRoot("hop")
+	sc := sp.Context()
+	rsp := b.Tracer().StartRemote(sc, "hop-remote")
+	rsp.Finish(nil)
+	sp.Finish(nil)
+	found := 0
+	for _, s := range fleet.Telemetry().Tracer().Dump() {
+		if s.TraceID == sc.TraceID {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("fleet trace dump holds %d spans of the shared trace, want 2", found)
+	}
+
+	// Shared journal: emissions from both nodes interleave in one Seq order.
+	a.Events().Emit(EventKill, "shard-0", 0, "a")
+	b.Events().Emit(EventEpochBump, "shard-1", 0, "b")
+	events := fleet.Telemetry().Events().Dump()
+	if len(events) != 2 || events[0].Type != EventKill || events[1].Type != EventEpochBump {
+		t.Fatalf("shared journal = %+v, want kill then epoch-bump", events)
+	}
+	if events[0].Seq >= events[1].Seq {
+		t.Fatalf("journal Seq not monotonic across nodes: %d, %d", events[0].Seq, events[1].Seq)
+	}
+
+	// Nil fleet: the whole plane degrades to the disabled layer.
+	var nf *Fleet
+	if nf.Telemetry() != nil || nf.Node("x") != nil || nf.NodeNames() != nil {
+		t.Fatal("nil fleet must return nil bundles")
+	}
+}

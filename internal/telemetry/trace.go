@@ -47,8 +47,38 @@ type Span struct {
 	BodyCycles int64 `json:"body_cycles,omitempty"`
 	// BatchSize is the number of coalesced calls for a batched flush.
 	BatchSize int `json:"batch_size,omitempty"`
+	// Node names the fabric actor that recorded this span ("router",
+	// "shard-2", "shard-2/replica-0", ...). Empty for single-World runs.
+	Node string `json:"node,omitempty"`
+	// Epoch is the fabric table epoch observed by this hop.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// SealedBytes counts sealed (AES-GCM) payload bytes carried by this
+	// hop — checkpoint/WAL deltas for shipping spans.
+	SealedBytes int `json:"sealed_bytes,omitempty"`
+	// Redirect annotates a wrong-shard hop: "owner 2->1 epoch 3".
+	Redirect string `json:"redirect,omitempty"`
 	// Err carries the call error, if any.
 	Err string `json:"err,omitempty"`
+}
+
+// SpanContext is the injectable/extractable wire form of a span's
+// identity: enough to continue the trace on another World across a
+// session or peer-channel frame. The zero value means "no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether sc carries a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// Context extracts the propagation context of sp (zero when sp is nil,
+// so unsampled chains inject the no-trace context for free).
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID}
 }
 
 // SetDir records the transition direction.
@@ -109,6 +139,60 @@ func (sp *Span) SetBatchSize(n int) {
 		return
 	}
 	sp.BatchSize = n
+}
+
+// SetNode records the fabric actor identity.
+func (sp *Span) SetNode(node string) {
+	if sp == nil {
+		return
+	}
+	sp.Node = node
+}
+
+// SetEpoch records the fabric table epoch observed by this hop.
+func (sp *Span) SetEpoch(e uint64) {
+	if sp == nil {
+		return
+	}
+	sp.Epoch = e
+}
+
+// SetSealedBytes records the sealed payload size carried by this hop.
+func (sp *Span) SetSealedBytes(n int) {
+	if sp == nil {
+		return
+	}
+	sp.SealedBytes = n
+}
+
+// SetRedirect annotates a wrong-shard redirect hop.
+func (sp *Span) SetRedirect(oldOwner, newOwner int, epoch uint64) {
+	if sp == nil {
+		return
+	}
+	sp.Redirect = "owner " + itoa(oldOwner) + "->" + itoa(newOwner) + " epoch " + utoa(epoch)
+}
+
+// itoa/utoa avoid importing fmt on the span hot path.
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
 }
 
 // Finish stamps the end time, records the error, and publishes the
@@ -194,6 +278,28 @@ func (t *Tracer) StartRoot(name string) *Span {
 		SpanID:  id,
 		Name:    name,
 		StartNS: time.Now().UnixNano(),
+	}
+}
+
+// StartRemote continues a trace that began on another World: the new
+// span joins sc's trace as a child of the remote span. Sampling was
+// decided at the remote root — a valid context is always captured, an
+// invalid (zero) context falls back to a locally sampled root. Returns
+// nil when t is nil.
+func (t *Tracer) StartRemote(sc SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if !sc.Valid() {
+		return t.StartRoot(name)
+	}
+	return &Span{
+		tracer:   t,
+		TraceID:  sc.TraceID,
+		SpanID:   t.ids.Add(1),
+		ParentID: sc.SpanID,
+		Name:     name,
+		StartNS:  time.Now().UnixNano(),
 	}
 }
 

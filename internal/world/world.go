@@ -535,6 +535,14 @@ func (w *World) ExecMain(fn func(env classmodel.Env) error) error {
 // harness used by benchmarks and examples to drive application objects
 // directly. Trusted execution enters the enclave through one ecall.
 func (w *World) Exec(trusted bool, fn func(env classmodel.Env) error) error {
+	return w.ExecSpan(trusted, nil, fn)
+}
+
+// ExecSpan is Exec with an inbound trace span attached to the execution
+// frame: proxy calls made by fn become children of sp, so a trace that
+// began on another World (a gateway request, a peer call) continues
+// through this one. A nil sp is exactly Exec.
+func (w *World) ExecSpan(trusted bool, sp *telemetry.Span, fn func(env classmodel.Env) error) error {
 	w.stateMu.RLock()
 	var rt *Runtime
 	if trusted {
@@ -549,6 +557,7 @@ func (w *World) Exec(trusted bool, fn func(env classmodel.Env) error) error {
 	}
 	run := func() error {
 		fr := rt.newFrame()
+		fr.span = sp
 		defer rt.releaseFrame(fr)
 		return fn(&env{rt: rt, fr: fr})
 	}
