@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fabric-smoke obs-fabric-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fabric-smoke obs-fabric-smoke commit-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -82,6 +82,14 @@ fabric-smoke:
 # -> promote-commit -> epoch-bump timeline in the event journal.
 obs-fabric-smoke:
 	$(GO) run ./cmd/montsalvat-fabric -shards 3 -replicas 2 -load -failover -clients 4 -requests 24 -metrics-addr 127.0.0.1:0 -obs-check
+
+# Group-commit check: the same fabric load + failover drill on the
+# pipelined durable-write path — batched WAL commits, watermark-gated
+# acks — with -obs-check additionally asserting that traced
+# commit-leader spans parent the batched ship spans (so the trace
+# attributes every replica delta to the commit round that shipped it).
+commit-smoke:
+	$(GO) run ./cmd/montsalvat-fabric -shards 3 -replicas 2 -load -failover -clients 4 -requests 24 -group-commit -metrics-addr 127.0.0.1:0 -obs-check
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/

@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		suite      = fs.String("suite", "rmi", "perf suite for -json: rmi (BENCH_rmi.json), ring (rmi plus payload sweep), persist (BENCH_persist.json), fabric (BENCH_fabric.json) or obs (BENCH_obs.json)")
 		label      = fs.String("label", "run", "entry label for -json records")
 		sweep      = fs.Bool("payload-sweep", false, "with -json -suite rmi: include the ring payload sweep in the entry")
+		groupc     = fs.Bool("group-commit", false, "run fabric experiments on the pipelined group-commit ack path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +63,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	opts := bench.Options{Quick: *quick, Spin: *spin}
+	opts := bench.Options{Quick: *quick, Spin: *spin, GroupCommit: *groupc}
 	if *jsonPath != "" {
 		switch *suite {
 		case "rmi":
@@ -185,14 +186,38 @@ func writeRecoveryPerf(opts bench.Options, path, label string, out io.Writer) er
 	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
 		return err
 	}
-	worst := entry.Points[0]
-	for _, p := range entry.Points {
-		if p.RecoverMS > worst.RecoverMS {
-			worst = p
+	if len(entry.Points) > 0 {
+		worst := entry.Points[0]
+		for _, p := range entry.Points {
+			if p.RecoverMS > worst.RecoverMS {
+				worst = p
+			}
 		}
+		fmt.Fprintf(out, "%s: appended %q (%d points, worst recovery %.1fms at %d records / interval %d)\n",
+			path, label, len(entry.Points), worst.RecoverMS, worst.Records, worst.CkptInterval)
+	} else {
+		fmt.Fprintf(out, "%s: appended %q (no recovery points)\n", path, label)
 	}
-	fmt.Fprintf(out, "%s: appended %q (%d points, worst recovery %.1fms at %d records / interval %d)\n",
-		path, label, len(entry.Points), worst.RecoverMS, worst.Records, worst.CkptInterval)
+	if n := len(entry.GroupCommit); n > 0 {
+		best := entry.GroupCommit[0]
+		var baseAtBest float64
+		for _, p := range entry.GroupCommit {
+			if p.Grouped && p.PutsPerSec > best.PutsPerSec {
+				best = p
+			}
+		}
+		for _, p := range entry.GroupCommit {
+			if !p.Grouped && p.Writers == best.Writers {
+				baseAtBest = p.PutsPerSec
+			}
+		}
+		line := fmt.Sprintf("%s: group-commit sweep %d cells, best %.0f puts/s at %d writers (batch %.1f, ack p99 %.0fus)",
+			path, n, best.PutsPerSec, best.Writers, best.MeanBatch, best.AckP99US)
+		if baseAtBest > 0 {
+			line += fmt.Sprintf(", %.2fx over single-seal", best.PutsPerSec/baseAtBest)
+		}
+		fmt.Fprintln(out, line)
+	}
 	return nil
 }
 

@@ -13,12 +13,20 @@
 //	                                               # mid-run, promote its
 //	                                               # replica, verify
 //	montsalvat-fabric -metrics-addr :9415          # fleet observability endpoint
+//	montsalvat-fabric -load -group-commit          # pipelined durable-write path
 //
 // With -load the process is its own client: concurrent routers drive
 // the keyspace through attested sessions, every acknowledged write is
 // read back, and the run fails if any is missing. With -failover one
 // primary is killed after the first load phase and its replica promoted
 // — acked writes must survive the switch.
+//
+// -group-commit switches the shards to the pipelined durable-write
+// path: concurrent puts are journaled as batched WAL records (one seal
+// per group) and acks are gated on the replica watermark instead of an
+// inline ship round. -commit-records and -commit-delay tune the batch
+// window. With -obs-check, the run additionally asserts that traced
+// commit-leader spans parent the batched ship spans.
 //
 // -metrics-addr mounts the fabric-wide observability plane: one
 // endpoint serving shard-labeled montsalvat_fabric_* metrics
@@ -68,6 +76,10 @@ func run(args []string, out io.Writer) error {
 		metricsAddr = fs.String("metrics-addr", "", "fleet observability HTTP endpoint address (empty disables)")
 		traceSample = fs.Float64("trace-sample", 1, "fraction of routed operations traced (0 disables tracing)")
 		obsCheck    = fs.Bool("obs-check", false, "with -load: assert cross-World trace propagation and (with -failover) a complete promotion timeline")
+
+		groupCommit   = fs.Bool("group-commit", false, "durable writes: group-commit WAL batching + pipelined replication (acks gated on the replica watermark)")
+		commitRecords = fs.Int("commit-records", 0, "with -group-commit: max records per commit batch (0 = engine default)")
+		commitDelay   = fs.Duration("commit-delay", 0, "with -group-commit: max time a commit leader holds the batch window open (0 = yield-based window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,10 +100,13 @@ func run(args []string, out io.Writer) error {
 	}
 	start := time.Now()
 	f, err := fabric.New(fabric.Options{
-		Shards:   *shards,
-		Replicas: *replicas,
-		Platform: sgx.NewPlatformFromSeed([]byte(*attestSeed)),
-		Fleet:    fleet,
+		Shards:           *shards,
+		Replicas:         *replicas,
+		Platform:         sgx.NewPlatformFromSeed([]byte(*attestSeed)),
+		Fleet:            fleet,
+		GroupCommit:      *groupCommit,
+		CommitMaxRecords: *commitRecords,
+		CommitMaxDelay:   *commitDelay,
 	})
 	if err != nil {
 		return err
@@ -115,7 +130,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *load {
-		return runLoad(out, f, fleet, *clients, *requests, *failover, *obsCheck)
+		// The commit-leader trace assertion needs the pipelined ack
+		// path to actually run: group commit on and at least one
+		// replica to ship to.
+		checkCommit := *groupCommit && *replicas >= 1
+		return runLoad(out, f, fleet, *clients, *requests, *failover, *obsCheck, checkCommit)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -131,7 +150,7 @@ func run(args []string, out io.Writer) error {
 // acknowledged write is read back at the end. With a fleet attached,
 // failover runs end by dumping the event journal as a timeline, and
 // obsCheck asserts the observability-plane invariants.
-func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, requests int, failover, obsCheck bool) error {
+func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, requests int, failover, obsCheck, checkCommit bool) error {
 	var (
 		ackedMu sync.Mutex
 		acked   = map[string]string{}
@@ -215,7 +234,7 @@ func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, r
 		printTimeline(out, fleet)
 	}
 	if obsCheck {
-		if err := checkObservability(out, fleet, failover); err != nil {
+		if err := checkObservability(out, fleet, failover, checkCommit); err != nil {
 			return err
 		}
 	}
@@ -245,8 +264,14 @@ func printTimeline(out io.Writer, fleet *telemetry.Fleet) {
 //     trace followed a request across Worlds rather than staying local;
 //  2. with failover, timeline completeness — the event journal holds
 //     kill, promote-begin, promote-commit, and epoch-bump events for
-//     the failover in strictly increasing Seq order.
-func checkObservability(out io.Writer, fleet *telemetry.Fleet, failover bool) error {
+//     the failover in strictly increasing Seq order;
+//  3. with group commit on the pipelined replication path, batched-ship
+//     attribution — at least one commit-leader span exists and parents
+//     at least one ship span, i.e. the trace shows which commit round a
+//     replica delta was shipped for. (Only a subset of ship spans have
+//     commit-leader parents: attach-time catch-up ships are trace
+//     roots, and sync-fallback ships parent the journaling mutation.)
+func checkObservability(out io.Writer, fleet *telemetry.Fleet, failover, checkCommit bool) error {
 	if fleet == nil {
 		return fmt.Errorf("obs-check: no fleet attached")
 	}
@@ -304,6 +329,30 @@ func checkObservability(out io.Writer, fleet *telemetry.Fleet, failover bool) er
 		}
 		fmt.Fprintf(out, "obs-check: failover timeline complete (kill %d -> promote-begin %d -> promote-commit %d -> epoch-bump %d)\n",
 			seqs[0], seqs[1], seqs[2], seqs[3])
+	}
+
+	if checkCommit {
+		leaders := map[uint64]bool{}
+		nLeaders := 0
+		for _, sp := range spans {
+			if sp.Name == "commit-leader" {
+				leaders[sp.SpanID] = true
+				nLeaders++
+			}
+		}
+		if nLeaders == 0 {
+			return fmt.Errorf("obs-check: group commit ran but no commit-leader span was traced")
+		}
+		parented := 0
+		for _, sp := range spans {
+			if strings.HasPrefix(sp.Name, "ship ") && leaders[sp.ParentID] {
+				parented++
+			}
+		}
+		if parented == 0 {
+			return fmt.Errorf("obs-check: %d commit-leader spans but none parents a ship span", nLeaders)
+		}
+		fmt.Fprintf(out, "obs-check: %d commit-leader spans parent %d batched ship spans\n", nLeaders, parented)
 	}
 	return nil
 }

@@ -17,7 +17,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-switchless", "ablation-dispatch", "ablation-tcb",
 		"ablation-transition", "concurrent-rmi", "ring-sweep", "recovery",
-		"fabric-scale", "failover", "obs-overhead",
+		"group-commit", "fabric-scale", "failover", "obs-overhead",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,208 @@
+package bench
+
+// Group-commit experiments: the durable-write cost model with and
+// without the commit queue. Each point drives W concurrent writers
+// through one persist.Manager and measures what the batching actually
+// buys — appends per second, per-ack latency quantiles, the achieved
+// batch size, and sealed bytes per operation. The ungrouped baseline
+// (one sealed frame per append, the fabric-v1 ack path) anchors every
+// writer count, so the table reads as "what did moving the seal out of
+// the per-mutation path change".
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"montsalvat/internal/persist"
+)
+
+// groupCommitWriters is the concurrency sweep.
+func groupCommitWriters(opts Options) []int {
+	if opts.Quick {
+		return []int{1, 4, 16}
+	}
+	return []int{1, 4, 16, 64}
+}
+
+// groupCommitDelays is the commit-window sweep. Zero relies on natural
+// batching (followers pile up while the leader seals); the timed
+// windows trade ack latency for larger groups.
+var groupCommitDelays = []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond}
+
+// GroupCommitPoint is one machine-readable cell of the group-commit
+// sweep in BENCH_persist.json.
+type GroupCommitPoint struct {
+	Writers int `json:"writers"`
+	// DelayUS is the commit window in microseconds; -1 marks the
+	// ungrouped baseline (no commit queue at all).
+	DelayUS          float64 `json:"delay_us"`
+	Grouped          bool    `json:"grouped"`
+	PutsPerSec       float64 `json:"puts_per_sec"`
+	AckP50US         float64 `json:"ack_p50_us"`
+	AckP99US         float64 `json:"ack_p99_us"`
+	MeanBatch        float64 `json:"mean_batch"`
+	SealedFrames     uint64  `json:"sealed_frames"`
+	SealedBytesPerOp float64 `json:"sealed_bytes_per_op"`
+}
+
+// runGroupCommitPoint measures one (writers, window) cell: W writers
+// each journal perWriter puts through a fresh manager, and every
+// Append's wall latency is sampled.
+func runGroupCommitPoint(opts Options, writers int, delay time.Duration, grouped bool) (GroupCommitPoint, error) {
+	perWriter := opts.scale(400, 80)
+	l, err := newRecoveryLineage(opts.Config())
+	if err != nil {
+		return GroupCommitPoint{}, err
+	}
+	m, st, err := l.bootWith(persist.Options{
+		GroupCommit:   grouped,
+		GroupMaxDelay: delay,
+	})
+	if err != nil {
+		return GroupCommitPoint{}, err
+	}
+	if _, err := m.Recover(); err != nil {
+		return GroupCommitPoint{}, err
+	}
+
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	total := writers * perWriter
+	lats := make([][]time.Duration, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%03d:%06d", w, i)
+				st.Put(key, val)
+				t0 := time.Now()
+				if _, err := m.Append("kv", persist.OpPut, key, val); err != nil {
+					errs[w] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return GroupCommitPoint{}, err
+		}
+	}
+
+	all := make([]time.Duration, 0, total)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quant := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+
+	pt := GroupCommitPoint{
+		Writers:  writers,
+		DelayUS:  float64(delay.Microseconds()),
+		Grouped:  grouped,
+		AckP50US: quant(0.50),
+		AckP99US: quant(0.99),
+	}
+	if !grouped {
+		pt.DelayUS = -1
+	}
+	if elapsed > 0 {
+		pt.PutsPerSec = float64(total) / elapsed
+	}
+	stats := m.Stats()
+	if grouped {
+		pt.SealedFrames = stats.GroupCommits
+		if stats.GroupCommits > 0 {
+			pt.MeanBatch = float64(stats.GroupedRecords) / float64(stats.GroupCommits)
+		}
+	} else {
+		pt.SealedFrames = stats.Appends
+		pt.MeanBatch = 1
+	}
+	if total > 0 {
+		pt.SealedBytesPerOp = float64(stats.AppendedBytes) / float64(total)
+	}
+	return pt, nil
+}
+
+// GroupCommitSweep runs the full (writers × window) grid plus the
+// ungrouped baseline per writer count — the machine-readable record
+// for BENCH_persist.json.
+func GroupCommitSweep(opts Options) ([]GroupCommitPoint, error) {
+	var pts []GroupCommitPoint
+	for _, w := range groupCommitWriters(opts) {
+		base, err := runGroupCommitPoint(opts, w, 0, false)
+		if err != nil {
+			return nil, fmt.Errorf("group-commit baseline writers=%d: %w", w, err)
+		}
+		pts = append(pts, base)
+		for _, d := range groupCommitDelays {
+			pt, err := runGroupCommitPoint(opts, w, d, true)
+			if err != nil {
+				return nil, fmt.Errorf("group-commit writers=%d delay=%s: %w", w, d, err)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+// GroupCommit regenerates the human-readable group-commit table.
+func GroupCommit(opts Options) (*Table, error) {
+	writers := groupCommitWriters(opts)
+	t := &Table{
+		ID:      "group-commit",
+		Title:   "Group commit: durable-put throughput vs writers and commit window",
+		XLabel:  "series \\ writers",
+		Unit:    "puts/s",
+		Columns: intColumns(writers),
+	}
+	pts, err := GroupCommitSweep(opts)
+	if err != nil {
+		return nil, err
+	}
+	row := func(name string, keep func(GroupCommitPoint) bool, pick func(GroupCommitPoint) float64) {
+		var vals []float64
+		for _, w := range writers {
+			for _, p := range pts {
+				if p.Writers == w && keep(p) {
+					vals = append(vals, pick(p))
+					break
+				}
+			}
+		}
+		t.AddRow(name, vals...)
+	}
+	isBase := func(p GroupCommitPoint) bool { return !p.Grouped }
+	forDelay := func(d time.Duration) func(GroupCommitPoint) bool {
+		return func(p GroupCommitPoint) bool { return p.Grouped && p.DelayUS == float64(d.Microseconds()) }
+	}
+	puts := func(p GroupCommitPoint) float64 { return p.PutsPerSec }
+	row("single-seal", isBase, puts)
+	for _, d := range groupCommitDelays {
+		row(fmt.Sprintf("window-%s", d), forDelay(d), puts)
+	}
+	row("batch@window-0", forDelay(0), func(p GroupCommitPoint) float64 { return p.MeanBatch })
+	t.AddNote("single-seal = one sealed WAL frame per append (the old ack path); window-X = commit queue with that max delay")
+	t.AddNote("batch row = mean records per sealed frame at window 0: batching is natural, followers queue while the leader seals")
+	return t, nil
+}

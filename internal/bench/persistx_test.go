@@ -55,4 +55,42 @@ func TestRecoveryPerfEntry(t *testing.T) {
 			t.Errorf("no-ckpt point replayed %d of %d records", p.ReplayedRecords, p.Records)
 		}
 	}
+	if len(e.GroupCommit) == 0 {
+		t.Fatal("no group-commit sweep in entry")
+	}
+}
+
+func TestGroupCommitSweepShape(t *testing.T) {
+	pts, err := GroupCommitSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := groupCommitWriters(quickOpts())
+	wantCells := len(writers) * (1 + len(groupCommitDelays))
+	if len(pts) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(pts), wantCells)
+	}
+	for _, p := range pts {
+		if p.PutsPerSec <= 0 || p.AckP50US <= 0 || p.AckP99US < p.AckP50US {
+			t.Errorf("cell %+v: degenerate throughput/latency", p)
+		}
+		if !p.Grouped && (p.MeanBatch != 1 || p.DelayUS != -1) {
+			t.Errorf("baseline cell %+v: not single-seal", p)
+		}
+		if p.Grouped && p.MeanBatch < 1 {
+			t.Errorf("grouped cell %+v: batch below 1", p)
+		}
+		if p.SealedFrames == 0 || p.SealedBytesPerOp <= 0 {
+			t.Errorf("cell %+v: no sealing accounted", p)
+		}
+	}
+	// The point of the engine: with concurrent writers the commit
+	// queue seals fewer frames than it journals records.
+	maxW := writers[len(writers)-1]
+	for _, p := range pts {
+		if p.Grouped && p.Writers == maxW && p.MeanBatch > 1 {
+			return
+		}
+	}
+	t.Fatalf("no grouped cell at %d writers achieved batch > 1", maxW)
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"montsalvat/internal/cycles"
 	"montsalvat/internal/mee"
@@ -59,6 +60,11 @@ type Residency struct {
 
 	faults    uint64
 	evictions uint64
+
+	// evictEpoch increments on every eviction. Memories use it to
+	// validate their MRU page filter: a repeated touch of the same page
+	// may be skipped only while no eviction could have displaced it.
+	evictEpoch atomic.Uint64
 }
 
 type pageKey struct {
@@ -117,6 +123,7 @@ func (r *Residency) touch(m *Memory, page int) {
 		r.remove(victim)
 		delete(r.resident, victim.key)
 		r.evictions++
+		r.evictEpoch.Add(1)
 		r.clock.Charge(simcfg.EPCPageEvictCycles)
 	}
 	node := &lruNode{key: key}
@@ -172,6 +179,22 @@ type Memory struct {
 	versions []uint64  // per-line write counters (freshness)
 	tags     []mee.Tag // per-line integrity tags
 	inited   []bool    // per-line "has been written" flags
+
+	// pt memoises the plaintext of lines whose current ciphertext has
+	// already been decrypted (or was just encrypted), so repeated reads
+	// of a hot line skip redundant AES work in the emulator. The memo is
+	// semantically transparent — it holds exactly the bytes DecryptLine
+	// would produce for the current (ct, version, tag) — and is dropped
+	// for a line whenever the ciphertext is changed behind the MEE's
+	// back (Tamper). Charged MEE cycles are unaffected.
+	pt   []byte
+	ptOK []bool
+
+	// MRU page filter: consecutive accesses to the same resident page
+	// skip the shared residency LRU. Valid only while the residency's
+	// eviction epoch is unchanged (guarded in touchPage).
+	lastPage  int
+	lastEvict uint64
 }
 
 // New creates an encrypted memory of the given size. res may be nil, in
@@ -195,6 +218,9 @@ func New(size int, res *Residency, eng *mee.Engine, clock *cycles.Clock) (*Memor
 		versions: make([]uint64, nLines),
 		tags:     make([]mee.Tag, nLines),
 		inited:   make([]bool, nLines),
+		pt:       make([]byte, nLines*lineBytes),
+		ptOK:     make([]bool, nLines),
+		lastPage: -1,
 	}, nil
 }
 
@@ -217,12 +243,16 @@ func (m *Memory) Read(off int, dst []byte) error {
 	for n := 0; n < len(dst); {
 		li := (off + n) / lineBytes
 		m.touchPage(li * lineBytes / pageBytes)
+		lo := (off + n) % lineBytes
+		if m.inited[li] && m.ptOK[li] {
+			// Memo hit: copy straight out of the plaintext shadow.
+			n += copy(dst[n:], m.pt[li*lineBytes+lo:(li+1)*lineBytes])
+			continue
+		}
 		if err := m.loadLine(li, &line); err != nil {
 			return err
 		}
-		lo := (off + n) % lineBytes
-		c := copy(dst[n:], line[lo:])
-		n += c
+		n += copy(dst[n:], line[lo:])
 	}
 	return nil
 }
@@ -284,6 +314,12 @@ func (m *Memory) Grow(newSize int) error {
 	inited := make([]bool, nLines)
 	copy(inited, m.inited)
 	m.inited = inited
+	pt := make([]byte, nLines*lineBytes)
+	copy(pt, m.pt)
+	m.pt = pt
+	ptOK := make([]bool, nLines)
+	copy(ptOK, m.ptOK)
+	m.ptOK = ptOK
 	return nil
 }
 
@@ -297,6 +333,9 @@ func (m *Memory) Tamper(off int) error {
 		return ErrOutOfRange
 	}
 	m.ct[off] ^= 0xff
+	// The memoised plaintext no longer matches the ciphertext; the next
+	// read must go through the MEE and fail verification.
+	m.ptOK[off/lineBytes] = false
 	return nil
 }
 
@@ -308,12 +347,22 @@ func (m *Memory) check(off, n int) error {
 }
 
 // loadLine decrypts line li into dst. Never-written lines read as zero.
+// Lines with a valid plaintext memo skip the AES work entirely.
 func (m *Memory) loadLine(li int, dst *[lineBytes]byte) error {
 	if !m.inited[li] {
 		*dst = [lineBytes]byte{}
 		return nil
 	}
-	return m.eng.DecryptLine(dst[:], m.ct[li*lineBytes:(li+1)*lineBytes], uint64(li), m.versions[li], m.tags[li])
+	if m.ptOK[li] {
+		copy(dst[:], m.pt[li*lineBytes:(li+1)*lineBytes])
+		return nil
+	}
+	if err := m.eng.DecryptLine(dst[:], m.ct[li*lineBytes:(li+1)*lineBytes], uint64(li), m.versions[li], m.tags[li]); err != nil {
+		return err
+	}
+	copy(m.pt[li*lineBytes:(li+1)*lineBytes], dst[:])
+	m.ptOK[li] = true
+	return nil
 }
 
 // storeLine bumps the line version and encrypts src into the backing store.
@@ -325,11 +374,23 @@ func (m *Memory) storeLine(li int, src *[lineBytes]byte) error {
 	}
 	m.tags[li] = tag
 	m.inited[li] = true
+	copy(m.pt[li*lineBytes:(li+1)*lineBytes], src[:])
+	m.ptOK[li] = true
 	return nil
 }
 
 func (m *Memory) touchPage(page int) {
-	if m.res != nil {
-		m.res.touch(m, page)
+	if m.res == nil {
+		return
 	}
+	if page == m.lastPage && m.res.evictEpoch.Load() == m.lastEvict {
+		// Same page, no eviction since it was made MRU: it is still
+		// resident and no fault can be due — skip the shared LRU.
+		return
+	}
+	// Snapshot the epoch before touching: any eviction that races (or is
+	// caused by) this touch invalidates the filter conservatively.
+	epoch := m.res.evictEpoch.Load()
+	m.res.touch(m, page)
+	m.lastPage, m.lastEvict = page, epoch
 }

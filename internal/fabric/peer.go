@@ -123,12 +123,11 @@ func writePeerFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxPeerFrame {
 		return fmt.Errorf("fabric: peer frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// Header and payload go out in one Write: one syscall per frame.
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 

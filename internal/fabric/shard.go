@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"montsalvat/internal/classmodel"
@@ -67,6 +68,41 @@ type shardNode struct {
 	mu       sync.Mutex
 	mgr      *persist.Manager
 	shippers []*shipper
+
+	// Replication pump state (group-commit mode only). Lock hierarchy:
+	// ackMu > n.mu > shipper locks > manager mutex — ackMu may be held
+	// while computing the watermark (which snapshots shippers under
+	// n.mu), never the reverse.
+	ackMu       sync.Mutex
+	waiters     []*pendingAck
+	pumpErr     error // non-nil once the pump is stopped; fails new waiters fast
+	pumpStopped bool
+
+	pumpKick chan struct{}
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+
+	// ackedHigh is the highest LSN this node has acknowledged (group-
+	// commit mode). It seeds from the recovered position at gateway
+	// start and advances with every completed ack. kill() captures it
+	// as the promotion expectation: the durable-but-unacked tail
+	// beyond it carries no promise and must not fail a healthy
+	// successor, while everything at or below it was replicated (or
+	// fallback-shipped) before its ack left.
+	ackedHigh atomic.Uint64
+}
+
+// pendingAck is one journaled put parked on the replication watermark:
+// its ack leaves when every replica's acked LSN covers lsn, when the
+// fallback timer degrades it to a synchronous ship, or when the pump
+// stops. done is guarded by ackMu and makes completion single-shot
+// across those three racing paths.
+type pendingAck struct {
+	lsn      uint64
+	sc       telemetry.SpanContext
+	complete func(error)
+	timer    *time.Timer
+	done     bool
 }
 
 // buildWorld constructs one fabric World. Every world shares the fabric
@@ -114,16 +150,19 @@ func (f *Fabric) openManager(id int, w *world.World, fs shim.FS, kv *persist.Wor
 		return nil, persist.Report{}, err
 	}
 	m, err := persist.Open(persist.Options{
-		FS:           fs,
-		Enclave:      w.Enclave(),
-		Secret:       f.secret,
-		Counter:      ctr,
-		Dir:          shardDir,
-		BeforeCommit: w.Flush,
-		Telemetry:    tel.Registry(),
-		Events:       tel.Events(),
-		Node:         ShardOrigin(id),
-		Logf:         f.opts.Logf,
+		FS:              fs,
+		Enclave:         w.Enclave(),
+		Secret:          f.secret,
+		Counter:         ctr,
+		Dir:             shardDir,
+		BeforeCommit:    w.Flush,
+		Telemetry:       tel.Registry(),
+		Events:          tel.Events(),
+		Node:            ShardOrigin(id),
+		Logf:            f.opts.Logf,
+		GroupCommit:     f.opts.GroupCommit,
+		GroupMaxRecords: f.opts.CommitMaxRecords,
+		GroupMaxDelay:   f.opts.CommitMaxDelay,
 	})
 	if err != nil {
 		return nil, persist.Report{}, err
@@ -175,18 +214,31 @@ func newShardNode(f *Fabric, id int) (*shardNode, error) {
 // shard's world.
 func (n *shardNode) startGateway() error {
 	f := n.fab
-	srv, err := serve.New(serve.Options{
+	sOpts := serve.Options{
 		World:       n.w,
 		Platform:    f.platform,
 		MaxSessions: f.opts.MaxSessions,
 		MaxInFlight: f.opts.MaxInFlight,
 		Logf:        f.opts.Logf,
 		ShardCheck:  f.shardCheckFor(n.id),
-		Journal:     n.journal,
 		Telemetry:   n.tel,
 		Node:        ShardOrigin(n.id),
-	})
+	}
+	if f.opts.GroupCommit {
+		// Pipelined path: the worker hands the put to the commit queue
+		// and is freed; the ack leaves when the replication watermark
+		// covers the put's LSN. The pump must be live before the first
+		// request lands. Everything recovered counts as acked — it was
+		// validated against the predecessor's expectation.
+		n.ackedHigh.Store(n.mgr.Stats().LastLSN)
+		sOpts.JournalAsync = n.journalAsync
+		n.startPump()
+	} else {
+		sOpts.Journal = n.journal
+	}
+	srv, err := serve.New(sOpts)
 	if err != nil {
+		n.stopPump(fmt.Errorf("fabric: shard %d gateway failed to start", n.id))
 		return err
 	}
 	srv.Export("kv", func(env classmodel.Env) (wire.Value, error) {
@@ -198,6 +250,7 @@ func (n *shardNode) startGateway() error {
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		n.stopPump(fmt.Errorf("fabric: shard %d gateway failed to start", n.id))
 		return err
 	}
 	n.srv, n.ln = srv, ln
@@ -224,6 +277,7 @@ func (n *shardNode) startGateway() error {
 	peerLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		ln.Close()
+		n.stopPump(fmt.Errorf("fabric: shard %d gateway failed to start", n.id))
 		return err
 	}
 	n.peerLn = peerLn
@@ -275,6 +329,214 @@ func (n *shardNode) journal(m serve.Mutation) error {
 	return n.shipAll(m.Trace)
 }
 
+// journalAsync is the gateway hook on the pipelined path. The append
+// runs inline — concurrent workers parking on the commit queue is
+// exactly what forms a batch, and the pool is wider than any client
+// fan-out — but the ack goes asynchronous the moment it has to wait on
+// replication: complete fires from the pump (watermark) or the
+// fallback ship, not from this worker. Non-put mutations complete
+// immediately.
+func (n *shardNode) journalAsync(m serve.Mutation, complete func(error)) {
+	if m.Op != serve.MutationCall || m.Class != demo.KVStoreCls || m.Method != "put" || len(m.Args) < 2 {
+		complete(nil)
+		return
+	}
+	key, _ := m.Args[0].AsStr()
+	val, _ := m.Args[1].AsStr()
+	lsn, err := n.manager().Append("kv", persist.OpPut, key, []byte(val))
+	if err != nil {
+		complete(err)
+		return
+	}
+	n.awaitReplicated(lsn, m.Trace, complete)
+}
+
+// awaitReplicated gates an ack on the replication watermark: complete
+// fires once every replica's acked LSN covers lsn. If the watermark
+// stalls, the fallback timer degrades this waiter to a synchronous
+// ship; if the pump is stopped, the waiter fails immediately.
+func (n *shardNode) awaitReplicated(lsn uint64, sc telemetry.SpanContext, complete func(error)) {
+	n.ackMu.Lock()
+	if n.pumpErr != nil {
+		err := n.pumpErr
+		n.ackMu.Unlock()
+		complete(err)
+		return
+	}
+	if lsn <= n.coveredLSN() {
+		n.ackMu.Unlock()
+		n.noteAckedHigh(lsn)
+		complete(nil)
+		return
+	}
+	pa := &pendingAck{lsn: lsn, sc: sc, complete: complete}
+	pa.timer = time.AfterFunc(n.fab.syncFallbackAfter(), func() { n.ackFallback(pa) })
+	n.waiters = append(n.waiters, pa)
+	n.ackMu.Unlock()
+	n.kickPump()
+}
+
+// coveredLSN is the replication watermark: the highest LSN every
+// attached replica has durably applied. Paused replicas count — a
+// pause freezes the watermark, and stalled waiters degrade through the
+// fallback path rather than acking unreplicated writes early. With no
+// replicas attached there is nothing to wait for.
+func (n *shardNode) coveredLSN() uint64 {
+	covered := ^uint64(0)
+	n.mu.Lock()
+	for _, sh := range n.shippers {
+		// acked() is one atomic load; cheap enough to take under n.mu
+		// on every journaled put without copying the slice.
+		if a := sh.acked(); a < covered {
+			covered = a
+		}
+	}
+	n.mu.Unlock()
+	return covered
+}
+
+// startPump launches the replication pump: one goroutine per shard
+// that ships deltas whenever waiters are parked, batching however many
+// puts landed since the last round into one ship per replica.
+func (n *shardNode) startPump() {
+	n.pumpKick = make(chan struct{}, 1)
+	n.pumpStop = make(chan struct{})
+	n.pumpDone = make(chan struct{})
+	go n.pumpLoop()
+}
+
+func (n *shardNode) kickPump() {
+	select {
+	case n.pumpKick <- struct{}{}:
+	default: // a round is already scheduled; it will see this waiter
+	}
+}
+
+func (n *shardNode) pumpLoop() {
+	defer close(n.pumpDone)
+	for {
+		select {
+		case <-n.pumpStop:
+			return
+		case <-n.pumpKick:
+			n.pumpRound()
+		}
+	}
+}
+
+// pumpRound ships one delta round to every replica and completes every
+// waiter the advanced watermark now covers. The round is traced as a
+// commit-leader span continuing the oldest waiter's trace; the
+// per-replica ship spans parent under it, so a trace shows one batched
+// replication round serving many puts. Ship errors are not fatal here —
+// a waiter a failed round leaves behind is delivered (value or error)
+// by its fallback ship.
+func (n *shardNode) pumpRound() {
+	n.ackMu.Lock()
+	if len(n.waiters) == 0 {
+		n.ackMu.Unlock()
+		return
+	}
+	sc := n.waiters[0].sc
+	n.ackMu.Unlock()
+
+	sp := n.tel.Tracer().StartRemote(sc, "commit-leader")
+	sp.SetNode(ShardOrigin(n.id))
+	n.mu.Lock()
+	shippers := append([]*shipper(nil), n.shippers...)
+	n.mu.Unlock()
+	for _, sh := range shippers {
+		_ = sh.ship(sp.Context())
+	}
+	sp.Finish(nil)
+	n.completeCovered()
+}
+
+// completeCovered releases every waiter at or below the watermark.
+func (n *shardNode) completeCovered() {
+	covered := n.coveredLSN()
+	n.ackMu.Lock()
+	var ready []*pendingAck
+	rest := n.waiters[:0]
+	for _, pa := range n.waiters {
+		if pa.lsn <= covered {
+			pa.done = true
+			pa.timer.Stop()
+			ready = append(ready, pa)
+		} else {
+			rest = append(rest, pa)
+		}
+	}
+	n.waiters = rest
+	n.ackMu.Unlock()
+	for _, pa := range ready {
+		n.noteAckedHigh(pa.lsn)
+		pa.complete(nil)
+	}
+}
+
+// noteAckedHigh advances the acked-position watermark monotonically.
+func (n *shardNode) noteAckedHigh(lsn uint64) {
+	for {
+		cur := n.ackedHigh.Load()
+		if lsn <= cur || n.ackedHigh.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// ackFallback fires when a waiter has sat on the watermark longer than
+// SyncFallbackAfter: the shard ships synchronously on its behalf (the
+// fabric-v1 ack path — paused replicas are skipped there exactly as
+// they always were) and delivers the outcome, error included.
+func (n *shardNode) ackFallback(pa *pendingAck) {
+	n.ackMu.Lock()
+	if pa.done {
+		n.ackMu.Unlock()
+		return
+	}
+	pa.done = true
+	for i, w := range n.waiters {
+		if w == pa {
+			n.waiters = append(n.waiters[:i], n.waiters[i+1:]...)
+			break
+		}
+	}
+	n.ackMu.Unlock()
+	n.fab.syncFallbacks.Add(1)
+	err := n.shipAll(pa.sc)
+	if err == nil {
+		n.noteAckedHigh(pa.lsn)
+	}
+	pa.complete(err)
+}
+
+// stopPump halts the replication pump and fails every parked waiter
+// with err; later awaitReplicated calls fail immediately. Idempotent —
+// the first err wins — and a no-op when the pump never started.
+func (n *shardNode) stopPump(err error) {
+	n.ackMu.Lock()
+	if n.pumpErr == nil {
+		n.pumpErr = err
+	}
+	taken := n.waiters
+	n.waiters = nil
+	for _, pa := range taken {
+		pa.done = true
+		pa.timer.Stop()
+	}
+	stopped := n.pumpStopped
+	n.pumpStopped = true
+	n.ackMu.Unlock()
+	if !stopped && n.pumpDone != nil {
+		close(n.pumpStop)
+		<-n.pumpDone
+	}
+	for _, pa := range taken {
+		pa.complete(err)
+	}
+}
+
 // shipAll pushes the current durable root to every attached replica,
 // continuing sc's trace into each ship.
 func (n *shardNode) shipAll(sc telemetry.SpanContext) error {
@@ -302,7 +564,14 @@ func (n *shardNode) attachShipper(sh *shipper) error {
 // acknowledged — what any promoted successor must reach.
 func (n *shardNode) expectation() Expectation {
 	st := n.manager().Stats()
-	return Expectation{Stamp: st.Epoch, LSN: st.LastLSN}
+	exp := Expectation{Stamp: st.Epoch, LSN: st.LastLSN}
+	if n.fab.opts.GroupCommit {
+		// Pipelined mode: the durable-but-unacked tail past the acked
+		// watermark carries no promise, and a healthy replica may not
+		// hold it — a successor only has to cover what was acked.
+		exp.LSN = n.ackedHigh.Load()
+	}
+	return exp
 }
 
 // kill simulates primary failure: capture the acked position, kill the
@@ -311,6 +580,9 @@ func (n *shardNode) expectation() Expectation {
 func (n *shardNode) kill() Expectation {
 	exp := n.expectation()
 	n.w.Kill()
+	// Stop the pump before draining the gateway: parked waiters fail
+	// fast instead of holding Shutdown open until their fallback timers.
+	n.stopPump(fmt.Errorf("fabric: shard %d primary killed", n.id))
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	_ = n.srv.Shutdown(ctx)
 	cancel()
@@ -334,9 +606,12 @@ func (n *shardNode) teardownPeers() {
 	}
 }
 
-// shutdown is the graceful path (Fabric.Close).
+// shutdown is the graceful path (Fabric.Close): drain the gateway
+// first — in-flight puts finish through the still-running pump — then
+// stop the pump (no waiters can remain).
 func (n *shardNode) shutdown(ctx context.Context) error {
 	err := n.srv.Shutdown(ctx)
+	n.stopPump(fmt.Errorf("fabric: shard %d shut down", n.id))
 	n.ln.Close()
 	n.teardownPeers()
 	<-n.serveDone

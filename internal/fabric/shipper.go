@@ -2,11 +2,23 @@ package fabric
 
 // shipper.go drives checkpoint shipping for one primary→replica pair:
 // it owns the attested peer channel and the locally tracked inventory
-// of what the replica holds, and pushes incremental ReplicaDeltas —
-// called synchronously from the gateway's Journal hook, so replication
-// sits inside the ack path. A paused shipper (test and operations hook)
-// silently skips rounds: that is exactly how a replica goes stale, and
-// what the promotion-time rollback check exists to catch.
+// of what the replica holds, and pushes incremental ReplicaDeltas. With
+// group commit off the gateway's Journal hook calls it synchronously,
+// so replication sits inside the ack path; with group commit on the
+// shard's replication pump drives it off the ack path and acks gate on
+// the acked-LSN watermark instead. A paused shipper (test and
+// operations hook) silently skips rounds: that is exactly how a
+// replica goes stale, and what the promotion-time rollback check
+// exists to catch.
+//
+// Locking: ioMu serialises whole ship rounds (delta capture, the
+// network round-trip, the inventory update) so concurrent callers —
+// the pump and a fallback ship — never interleave deltas out of order.
+// The tiny mu guards only the paused flag, so pause/resume (and the
+// pausedNow check at the top of a round) never wait behind a network
+// round-trip. ackedLSN is the replica's replication watermark: the
+// highest primary LSN this replica has durably applied, advanced
+// monotonically after every successful (or provably empty) round.
 //
 // Each ship round is instrumented on the primary's registry under the
 // montsalvat_persist_ship_* family (bytes shipped, wall-clock latency,
@@ -16,6 +28,7 @@ package fabric
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"montsalvat/internal/persist"
@@ -32,9 +45,22 @@ type shipper struct {
 	latency      *telemetry.Histogram
 	failures     *telemetry.Counter
 
+	// ioMu serialises ship rounds and guards have. Never held while
+	// taking mu; held across the network round-trip by design (rounds
+	// must not interleave), which is why paused lives under its own
+	// lock.
+	ioMu sync.Mutex
+	have map[string]int64
+
+	// mu guards only paused.
 	mu     sync.Mutex
-	have   map[string]int64
 	paused bool
+
+	// ackedLSN is the highest primary LSN known durably applied at the
+	// replica — the input to the shard's replication watermark. CAS
+	// keeps it monotonic even if a slow round finishes after a newer
+	// one.
+	ackedLSN atomic.Uint64
 }
 
 // newShipper wraps a freshly attested channel, seeding the inventory
@@ -57,22 +83,25 @@ func newShipper(node *shardNode, conn *PeerConn) (*shipper, error) {
 }
 
 // ship pushes one delta round, continuing sc's trace (the journaled
-// request waiting on this ack) into a per-replica ship span. Lock
-// order: the manager's mutex is taken inside ReplicaDelta while sh.mu
-// is held; journal holds neither when calling (Append has already
-// released it), so there is no inversion.
+// request or commit group waiting on this) into a per-replica ship
+// span. Lock order: the manager's mutex is taken inside ReplicaDelta
+// while sh.ioMu is held; callers hold neither n.mu nor the manager's
+// mutex when calling, so there is no inversion.
 func (sh *shipper) ship(sc telemetry.SpanContext) error {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.paused {
+	if sh.pausedNow() {
 		return nil
 	}
+	sh.ioMu.Lock()
+	defer sh.ioMu.Unlock()
 	d, err := sh.node.manager().ReplicaDelta(sh.have)
 	if err != nil {
 		sh.failures.Inc()
 		return err
 	}
 	if d.Empty() {
+		// Nothing to move: the replica already held everything up to
+		// the cut — the watermark still advances.
+		sh.noteAcked(d.LastLSN)
 		return nil
 	}
 	sp := sh.node.tel.Tracer().StartRemote(sc, "ship "+sh.conn.RemoteOrigin())
@@ -88,6 +117,7 @@ func (sh *shipper) ship(sc telemetry.SpanContext) error {
 	sh.bytesShipped.Add(uint64(d.Bytes()))
 	sp.Finish(nil)
 	persist.UpdateHave(sh.have, d)
+	sh.noteAcked(d.LastLSN)
 	sh.node.fab.shipRounds.Add(1)
 	sh.node.fab.shipBytes.Add(uint64(d.Bytes()))
 	sh.node.tel.Events().Emit(telemetry.EventShip, ShardOrigin(sh.node.id), sc.TraceID,
@@ -95,11 +125,31 @@ func (sh *shipper) ship(sc telemetry.SpanContext) error {
 	return nil
 }
 
+// noteAcked advances the replication watermark monotonically.
+func (sh *shipper) noteAcked(lsn uint64) {
+	for {
+		cur := sh.ackedLSN.Load()
+		if lsn <= cur || sh.ackedLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// acked returns the watermark: every primary LSN <= acked() is durably
+// applied at this replica.
+func (sh *shipper) acked() uint64 { return sh.ackedLSN.Load() }
+
 // pause stops (or resumes) shipping without tearing the channel down.
 func (sh *shipper) pause(v bool) {
 	sh.mu.Lock()
 	sh.paused = v
 	sh.mu.Unlock()
+}
+
+func (sh *shipper) pausedNow() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.paused
 }
 
 func (sh *shipper) close() {

@@ -47,6 +47,20 @@ const (
 	// CrashMidTruncate fires after deleting one old segment with more
 	// cleanup remaining.
 	CrashMidTruncate
+	// CrashAfterBatchSeal fires in the group-commit path after the
+	// leader sealed the batch record but before any bytes reached
+	// storage: the whole group is lost, and since no member was acked,
+	// recovery must surface none of them.
+	CrashAfterBatchSeal
+	// CrashMidBatchAppend fires with the batch frame half-written — a
+	// torn batch at the log tail. Replay drops the entire torn frame,
+	// so the group vanishes at per-mutation granularity (none acked).
+	CrashMidBatchAppend
+	// CrashBeforeGroupWake fires after the batch frame is fully durable
+	// but before any parked waiter is woken: the batch analogue of
+	// CrashAfterAppend — recovery may legitimately surface every
+	// mutation of the group even though none was acked.
+	CrashBeforeGroupWake
 
 	numCrashPoints
 )
@@ -69,6 +83,9 @@ var crashPointNames = [...]string{
 	"after-checkpoint-write",
 	"after-counter-bump",
 	"mid-truncate",
+	"after-batch-seal",
+	"mid-batch-append",
+	"before-group-wake",
 }
 
 func (p CrashPoint) String() string {

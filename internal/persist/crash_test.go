@@ -3,7 +3,9 @@ package persist
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestCrashMatrix kills the manager at every instrumented crash point
@@ -19,9 +21,15 @@ import (
 func TestCrashMatrix(t *testing.T) {
 	for _, point := range CrashPoints() {
 		t.Run(point.String(), func(t *testing.T) {
+			appendPoint := point == CrashBeforeAppend || point == CrashMidAppend || point == CrashAfterAppend
+			batchPoint := point == CrashAfterBatchSeal || point == CrashMidBatchAppend || point == CrashBeforeGroupWake
 			e := newEnv(t)
 			inj := &Injector{}
 			opts := Options{Dir: "p/", SegmentBytes: 300, Injector: inj}
+			if batchPoint {
+				// The batch points only exist on the group-commit path.
+				opts.GroupCommit = true
+			}
 
 			kv := NewMapState("kv")
 			m := e.open(opts, kv)
@@ -46,21 +54,83 @@ func TestCrashMatrix(t *testing.T) {
 				put(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
 			}
 
-			// The crash. mayRecover marks the in-flight mutation as
-			// legitimately recoverable (durable before the crash fired).
-			appendPoint := point == CrashBeforeAppend || point == CrashMidAppend || point == CrashAfterAppend
-			var pendingKey, pendingVal string
+			// The crash. pending holds the in-flight mutations; mayRecover
+			// marks them as legitimately recoverable (durable before the
+			// crash fired).
+			pending := map[string]string{}
 			mayRecover := false
-			inj.Arm(point)
-			if appendPoint {
-				pendingKey, pendingVal = "pending", "pv"
-				kv.Put(pendingKey, []byte(pendingVal))
-				_, err := m.Append("kv", OpPut, pendingKey, []byte(pendingVal))
+			switch {
+			case appendPoint:
+				inj.Arm(point)
+				pending["pending"] = "pv"
+				kv.Put("pending", []byte("pv"))
+				_, err := m.Append("kv", OpPut, "pending", []byte("pv"))
 				if !IsCrash(err) {
 					t.Fatalf("append survived armed %s: %v", point, err)
 				}
 				mayRecover = point == CrashAfterAppend
-			} else {
+			case batchPoint:
+				// Crash inside a multi-member batch: park the commit leader
+				// on m.mu so followers provably pile into one group, arm the
+				// point for the group's commit (hit #2 — the leader's own
+				// singleton batch is hit #1), then let it run.
+				gc := m.gc
+				waitFor := func(cond func() bool, what string) {
+					t.Helper()
+					deadline := time.Now().Add(5 * time.Second)
+					for !cond() {
+						if time.Now().After(deadline) {
+							t.Fatalf("timeout waiting for %s", what)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+				m.mu.Lock()
+				kv.Put("lead", []byte("lv"))
+				leaderErr := make(chan error, 1)
+				go func() {
+					_, err := m.Append("kv", OpPut, "lead", []byte("lv"))
+					leaderErr <- err
+				}()
+				waitFor(func() bool {
+					gc.mu.Lock()
+					defer gc.mu.Unlock()
+					return gc.leading && len(gc.pending) == 0
+				}, "leader to drain its own batch")
+				groupKeys := []string{"ga", "gb", "gc"}
+				var wg sync.WaitGroup
+				errs := make([]error, len(groupKeys))
+				for i, k := range groupKeys {
+					kv.Put(k, []byte("gv"))
+					wg.Add(1)
+					go func(i int, k string) {
+						defer wg.Done()
+						_, errs[i] = m.Append("kv", OpPut, k, []byte("gv"))
+					}(i, k)
+				}
+				waitFor(func() bool {
+					gc.mu.Lock()
+					defer gc.mu.Unlock()
+					return len(gc.pending) == len(groupKeys)
+				}, "followers to queue")
+				inj.ArmAfter(point, 2)
+				m.mu.Unlock()
+				if err := <-leaderErr; err != nil {
+					t.Fatalf("leader append before armed %s: %v", point, err)
+				}
+				acked["lead"] = "lv"
+				wg.Wait()
+				for i, err := range errs {
+					if !IsCrash(err) {
+						t.Fatalf("group append %q survived armed %s: %v", groupKeys[i], point, err)
+					}
+				}
+				for _, k := range groupKeys {
+					pending[k] = "gv"
+				}
+				mayRecover = point == CrashBeforeGroupWake
+			default:
+				inj.Arm(point)
 				err := m.Checkpoint()
 				if !IsCrash(err) {
 					t.Fatalf("checkpoint survived armed %s: %v", point, err)
@@ -74,8 +144,8 @@ func TestCrashMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("recovery after %s: %v", point, err)
 			}
-			if point == CrashMidAppend && !rep.TornTail {
-				t.Error("mid-append crash did not surface a torn tail")
+			if (point == CrashMidAppend || point == CrashMidBatchAppend) && !rep.TornTail {
+				t.Errorf("%s crash did not surface a torn tail", point)
 			}
 
 			// Prefix consistency: all acked mutations present...
@@ -87,13 +157,13 @@ func TestCrashMatrix(t *testing.T) {
 						t.Fatalf("acked %q lost after %s: got %q, %v", k, point, got, ok)
 					}
 				}
-				// ...and nothing beyond acked plus (maybe) the pending op.
+				// ...and nothing beyond acked plus (maybe) the pending ops.
 				for _, k := range s.Keys() {
 					if _, ok := acked[k]; ok {
 						continue
 					}
-					if k == pendingKey && mayRecover {
-						if got, _ := s.Get(k); string(got) != pendingVal {
+					if want, ok := pending[k]; ok && mayRecover {
+						if got, _ := s.Get(k); string(got) != want {
 							t.Fatalf("pending %q recovered with wrong value %q", k, got)
 						}
 						continue
@@ -102,15 +172,36 @@ func TestCrashMatrix(t *testing.T) {
 				}
 			}
 			assertPrefix(kv2)
+			if batchPoint {
+				// A batch is all-or-nothing: either the whole group was
+				// durable before the crash (before-group-wake) or none of
+				// it survives — never a partial group.
+				recovered := 0
+				for k := range pending {
+					if _, ok := kv2.Get(k); ok {
+						recovered++
+					}
+				}
+				want := 0
+				if mayRecover {
+					want = len(pending)
+				}
+				if recovered != want {
+					t.Fatalf("batch recovered %d/%d members after %s, want %d",
+						recovered, len(pending), point, want)
+				}
+			}
 
 			// The recovered log is live: write, checkpoint, restart again.
 			kv2.Put("post", []byte("crash"))
 			mustAppend(t, m2, "kv", "post", "crash")
 			acked["post"] = "crash"
 			if mayRecover {
-				acked[pendingKey] = pendingVal // now part of durable state
+				for k, v := range pending {
+					acked[k] = v // now part of durable state
+				}
 				mayRecover = false
-				pendingKey = ""
+				pending = map[string]string{}
 			}
 			if err := m2.Checkpoint(); err != nil {
 				t.Fatalf("checkpoint after recovery from %s: %v", point, err)

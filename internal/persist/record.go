@@ -56,9 +56,16 @@ var (
 
 const (
 	recordVersion = 1
+	// batchRecordVersion tags a group-commit frame: one sealed payload
+	// carrying several consecutive records (DESIGN.md §16). The version
+	// byte doubles as the frame discriminator at replay.
+	batchRecordVersion = 2
 	// maxRecordField bounds key/value lengths so a corrupted length
 	// prefix cannot drive a huge allocation before the bound check.
 	maxRecordField = 1 << 20
+	// maxBatchRecords bounds the sub-record count of a batch frame so a
+	// corrupted count cannot drive a huge allocation.
+	maxBatchRecords = 1 << 16
 )
 
 // EncodeWALRecord serialises a record to its plaintext form (the bytes
@@ -120,6 +127,75 @@ func DecodeWALRecord(buf []byte) (Record, error) {
 		return r, fmt.Errorf("%w: %d trailing bytes", ErrRecordMalformed, len(rest))
 	}
 	return r, nil
+}
+
+// EncodeWALBatch serialises a group of records into one batch payload
+// (the bytes sealed as a single WAL frame by the group-commit path).
+// Layout: version u8 (batchRecordVersion), count uvarint, then each
+// record's EncodeWALRecord bytes, uvarint-length-prefixed. The records
+// must carry consecutive LSNs; replay enforces that.
+func EncodeWALBatch(recs []Record) []byte {
+	size := 1 + binary.MaxVarintLen64
+	subs := make([][]byte, len(recs))
+	for i, r := range recs {
+		subs[i] = EncodeWALRecord(r)
+		size += binary.MaxVarintLen64 + len(subs[i])
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, batchRecordVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, sub := range subs {
+		buf = binary.AppendUvarint(buf, uint64(len(sub)))
+		buf = append(buf, sub...)
+	}
+	return buf
+}
+
+// DecodeWALBatch parses a batch payload produced by EncodeWALBatch.
+// Like DecodeWALRecord it is an untrusted-input surface and must fail
+// cleanly on arbitrary bytes; trailing garbage is rejected.
+func DecodeWALBatch(buf []byte) ([]Record, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrRecordTruncated, len(buf))
+	}
+	if buf[0] != batchRecordVersion {
+		return nil, fmt.Errorf("%w: batch version %d", ErrRecordMalformed, buf[0])
+	}
+	rest := buf[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: batch count", ErrRecordTruncated)
+	}
+	if count == 0 || count > maxBatchRecords {
+		return nil, fmt.Errorf("%w: batch count %d", ErrRecordMalformed, count)
+	}
+	rest = rest[n:]
+	recs := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		subLen, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: batch record %d length", ErrRecordTruncated, i)
+		}
+		// A single record holds at most three maxRecordField fields
+		// plus small fixed framing.
+		if subLen > maxRecordField*4 {
+			return nil, fmt.Errorf("%w: batch record %d length %d", ErrRecordMalformed, i, subLen)
+		}
+		rest = rest[w:]
+		if uint64(len(rest)) < subLen {
+			return nil, fmt.Errorf("%w: batch record %d needs %d bytes, have %d", ErrRecordTruncated, i, subLen, len(rest))
+		}
+		rec, err := DecodeWALRecord(rest[:subLen])
+		if err != nil {
+			return nil, fmt.Errorf("batch record %d: %w", i, err)
+		}
+		recs = append(recs, rec)
+		rest = rest[subLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrRecordMalformed, len(rest))
+	}
+	return recs, nil
 }
 
 func decodeField(buf []byte, what string) (field, rest []byte, err error) {

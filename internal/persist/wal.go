@@ -21,6 +21,12 @@ import (
 // different positions. Each record is sealed with AAD binding (seq,
 // lsn); the LSN also rides in plaintext framing so replay can skip
 // records below the checkpoint watermark without paying an unseal.
+// A frame's sealed payload is either one record (recordVersion) or a
+// group-commit batch of consecutive records (batchRecordVersion); for
+// a batch, the framing LSN and AAD bind the first LSN, and the
+// watermark skip stays sound because checkpoints and batch appends
+// serialise on the manager mutex — the watermark always lands on a
+// batch boundary.
 // The epoch field is the monotonic-counter value when the segment was
 // opened — the rollback stamp: a segment from before the latest
 // checkpoint can only legitimately contain LSNs at or below the
@@ -175,6 +181,56 @@ func (m *Manager) appendRecord(rec Record) error {
 	return nil
 }
 
+// appendBatchRecord seals a group of consecutive records into one
+// frame and appends it (the group-commit fast path). The frame's
+// plaintext LSN is the batch's first LSN; the AAD binds (seq, first
+// LSN) so the host can neither move nor reorder the batch. Honours the
+// batch crash points.
+func (m *Manager) appendBatchRecord(recs []Record) error {
+	sealed, err := m.seal(EncodeWALBatch(recs), recordAAD(m.curSeq, recs[0].LSN))
+	if err != nil {
+		return err
+	}
+	if !fitsLen(len(sealed)) {
+		return fmt.Errorf("persist: batch record too large: %d bytes", len(sealed))
+	}
+	if err := m.injector.hit(CrashAfterBatchSeal); err != nil {
+		// Sealed but never written: the whole group is lost, which is
+		// fine — no member was acked.
+		return err
+	}
+	frame := make([]byte, 0, recFrameLen+len(sealed))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(8+len(sealed)))
+	frame = appendU64(frame, recs[0].LSN)
+	frame = append(frame, sealed...)
+	if err := m.injector.hit(CrashMidBatchAppend); err != nil {
+		// Simulate the torn write: half the batch frame reaches the
+		// tail before the "process" dies. Replay drops the whole torn
+		// frame — the group vanishes at per-mutation granularity.
+		_, _ = m.fs.Append(m.segmentName(m.curSeq), frame[:recFrameLen+len(sealed)/2])
+		return err
+	}
+	if _, err := m.fs.Append(m.segmentName(m.curSeq), frame); err != nil {
+		return fmt.Errorf("persist: append batch record: %w", err)
+	}
+	m.curSize += int64(len(frame))
+	return nil
+}
+
+// decodeFrameRecords parses a frame's unsealed payload into its
+// records: a batch frame (group commit) yields several, a plain frame
+// yields one. The version byte discriminates.
+func decodeFrameRecords(plain []byte) ([]Record, error) {
+	if len(plain) > 0 && plain[0] == batchRecordVersion {
+		return DecodeWALBatch(plain)
+	}
+	rec, err := DecodeWALRecord(plain)
+	if err != nil {
+		return nil, err
+	}
+	return []Record{rec}, nil
+}
+
 // segRecord is one framed record as read back from a segment.
 type segRecord struct {
 	lsn    uint64
@@ -290,22 +346,32 @@ func (m *Manager) replayLog(counter, watermark uint64, apply func(Record) error)
 				return replayed, lastLSN, false, fmt.Errorf(
 					"%w: segment %d LSN %d: %v", ErrCorruptRecord, seq, sr.lsn, err)
 			}
-			rec, err := DecodeWALRecord(plain)
+			subs, err := decodeFrameRecords(plain)
 			if err != nil {
 				return replayed, lastLSN, false, fmt.Errorf(
 					"%w: segment %d LSN %d: %v", ErrCorruptRecord, seq, sr.lsn, err)
 			}
-			if rec.LSN != sr.lsn {
+			if subs[0].LSN != sr.lsn {
 				return replayed, lastLSN, false, fmt.Errorf(
-					"%w: frame LSN %d, record LSN %d", ErrCorruptRecord, sr.lsn, rec.LSN)
+					"%w: frame LSN %d, record LSN %d", ErrCorruptRecord, sr.lsn, subs[0].LSN)
 			}
-			if apply != nil {
-				if err := apply(rec); err != nil {
-					return replayed, lastLSN, false, err
+			for _, rec := range subs {
+				// Batch members must be consecutive from the frame LSN;
+				// a batch straddling the watermark is impossible
+				// (checkpoints and batch appends serialise on m.mu, so
+				// the watermark always lands on a batch boundary).
+				if rec.LSN != lastLSN+1 {
+					return replayed, lastLSN, false, fmt.Errorf(
+						"%w: segment %d batch LSN %d after %d", ErrCorruptRecord, seq, rec.LSN, lastLSN)
 				}
+				if apply != nil {
+					if err := apply(rec); err != nil {
+						return replayed, lastLSN, false, err
+					}
+				}
+				replayed++
+				lastLSN = rec.LSN
 			}
-			replayed++
-			lastLSN = sr.lsn
 		}
 		torn = torn || segTorn
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/ecdh"
 	"crypto/rand"
@@ -56,10 +57,12 @@ func AsHandle(v wire.Value) (Handle, bool) {
 type Client struct {
 	cfg       ClientConfig
 	conn      net.Conn
+	rd        *bufio.Reader // owns all reads from conn
 	sessionID int64
 
 	writeMu sync.Mutex // serialises frame writes and the send counter
 	ciph    *sessionCipher
+	sendBuf []byte // reusable sealed-frame buffer, guarded by writeMu
 
 	mu      sync.Mutex
 	pending map[int64]chan response
@@ -85,7 +88,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{cfg: cfg, conn: conn, pending: make(map[int64]chan response)}
+	c := &Client{cfg: cfg, conn: conn, rd: bufio.NewReaderSize(conn, 4096), pending: make(map[int64]chan response)}
 	if err := c.handshake(); err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -114,7 +117,7 @@ func (c *Client) handshake() error {
 		return fmt.Errorf("%w: hello: %v", ErrHandshake, err)
 	}
 
-	buf, err := readFrame(c.conn)
+	buf, err := readFrame(c.rd)
 	if err != nil {
 		return fmt.Errorf("%w: attest: %v", ErrHandshake, err)
 	}
@@ -150,7 +153,7 @@ func (c *Client) handshake() error {
 	if _, err := writeFrame(c.conn, c.ciph.seal(encodeAck())); err != nil {
 		return fmt.Errorf("%w: ack: %v", ErrHandshake, err)
 	}
-	buf, err = readFrame(c.conn)
+	buf, err = readFrame(c.rd)
 	if err != nil {
 		return fmt.Errorf("%w: ready: %v", ErrHandshake, err)
 	}
@@ -168,7 +171,7 @@ func (c *Client) SessionID() int64 { return c.sessionID }
 // readLoop demultiplexes responses to their waiting callers.
 func (c *Client) readLoop() {
 	for {
-		payload, err := readFrame(c.conn)
+		payload, err := readFrame(c.rd)
 		if err != nil {
 			c.fail(err)
 			return
@@ -245,7 +248,11 @@ func (c *Client) roundTrip(req request) (response, error) {
 
 	plain := encodeRequest(req)
 	c.writeMu.Lock()
-	_, err := writeFrame(c.conn, c.ciph.seal(plain))
+	frame, err := c.ciph.sealFrame(c.sendBuf, plain)
+	c.sendBuf = frame
+	if err == nil {
+		_, err = c.conn.Write(frame)
+	}
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()

@@ -220,20 +220,19 @@ func (e *AppError) Error() string { return "serve: application error: " + e.Msg 
 // ---- frame I/O --------------------------------------------------------
 
 // writeFrame writes one length-prefixed frame and returns the bytes put
-// on the wire.
+// on the wire. Header and payload go out in a single Write so each frame
+// costs one syscall on an unbuffered conn.
 func writeFrame(w io.Writer, payload []byte) (int, error) {
 	if len(payload) > maxFrameBytes {
 		return 0, fmt.Errorf("%w: frame of %d bytes", ErrBadRequest, len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return 0, err
-	}
-	return 4 + len(payload), nil
+	return len(buf), nil
 }
 
 // readFrame reads one length-prefixed frame, rejecting oversized
@@ -302,10 +301,28 @@ func (c *sessionCipher) seal(plain []byte) []byte {
 	return c.aead.Seal(nil, nonce, plain, nil)
 }
 
-// open decrypts the next inbound frame payload in order.
+// sealFrame encrypts one outbound payload directly into a reusable
+// wire-frame buffer ([4-byte length][sealed payload]) and returns it,
+// growing buf as needed. The caller owns buf's reuse discipline (the
+// connection write lock).
+func (c *sessionCipher) sealFrame(buf, plain []byte) ([]byte, error) {
+	var nonce [12]byte
+	nonce[0] = c.sendDir
+	binary.BigEndian.PutUint64(nonce[4:], c.sendCtr)
+	c.sendCtr++
+	buf = append(buf[:0], 0, 0, 0, 0)
+	buf = c.aead.Seal(buf, nonce[:], plain, nil)
+	if len(buf)-4 > maxFrameBytes {
+		return buf[:0], fmt.Errorf("%w: frame of %d bytes", ErrBadRequest, len(buf)-4)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf, nil
+}
+
+// open decrypts the next inbound frame payload in order, in place.
 func (c *sessionCipher) open(sealed []byte) ([]byte, error) {
 	nonce := nonceFor(c.recvDir, c.recvCtr)
-	plain, err := c.aead.Open(nil, nonce, sealed, nil)
+	plain, err := c.aead.Open(sealed[:0], nonce, sealed, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%w: frame auth: %v", ErrHandshake, err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"crypto/ecdh"
 	"crypto/rand"
@@ -67,6 +68,16 @@ type Options struct {
 	// the append itself landed — the standard durable-but-unacked
 	// window).
 	Journal func(m Mutation) error
+	// JournalAsync is the pipelined variant of Journal: the hook takes
+	// ownership of the request's completion and calls complete exactly
+	// once when the mutation is durable (nil) or failed (non-nil), at
+	// which point the gateway sends the ack — or the error — and
+	// releases the request's admission slot. The executing worker is
+	// freed as soon as the hook returns, so a slow durability path
+	// (group commit, replication watermarks) parks only the request,
+	// not a pool worker. complete may be called from any goroutine.
+	// When both hooks are set, JournalAsync wins.
+	JournalAsync func(m Mutation, complete func(error))
 	// Logf, when set, receives diagnostic messages (e.g. teardown
 	// release failures). Defaults to discarding them.
 	Logf func(format string, args ...any)
@@ -469,7 +480,10 @@ func (srv *Server) handshake(conn net.Conn) (*session, error) {
 	_ = conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 
-	buf, err := readFrame(conn)
+	// One buffered reader owns the conn's read side for the whole
+	// session lifetime (handshake and request loop).
+	rd := bufio.NewReaderSize(conn, 4096)
+	buf, err := readFrame(rd)
 	if err != nil {
 		return nil, fmt.Errorf("%w: hello: %v", ErrHandshake, err)
 	}
@@ -529,7 +543,7 @@ func (srv *Server) handshake(conn net.Conn) (*session, error) {
 	}
 	// The sealed ack proves the client derived the same key, i.e. it
 	// really holds the private half of the hello it sent.
-	buf, err = readFrame(conn)
+	buf, err = readFrame(rd)
 	if err != nil {
 		return nil, fmt.Errorf("%w: ack: %v", ErrHandshake, err)
 	}
@@ -544,7 +558,7 @@ func (srv *Server) handshake(conn net.Conn) (*session, error) {
 		return nil, fmt.Errorf("%w: ready: %v", ErrHandshake, err)
 	}
 
-	s := newSession(srv, sid, conn, ciph)
+	s := newSession(srv, sid, conn, rd, ciph)
 	srv.mu.Lock()
 	if srv.draining.Load() {
 		srv.mu.Unlock()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -22,10 +23,12 @@ type session struct {
 	id   int64
 	srv  *Server
 	conn net.Conn
+	rd   *bufio.Reader // owns all reads from conn (shared with the handshake)
 	ns   *registry.Namespace
 
 	writeMu sync.Mutex // serialises response writes and the send counter
 	ciph    *sessionCipher
+	sendBuf []byte // reusable sealed-frame buffer, guarded by writeMu
 
 	inflight  atomic.Int64 // per-session admitted requests
 	wg        sync.WaitGroup
@@ -36,11 +39,12 @@ type session struct {
 	dead atomic.Bool
 }
 
-func newSession(srv *Server, id int64, conn net.Conn, ciph *sessionCipher) *session {
+func newSession(srv *Server, id int64, conn net.Conn, rd *bufio.Reader, ciph *sessionCipher) *session {
 	return &session{
 		id:   id,
 		srv:  srv,
 		conn: conn,
+		rd:   rd,
 		ns:   registry.NewNamespace(),
 		ciph: ciph,
 	}
@@ -57,7 +61,7 @@ func (s *session) closeConn() {
 func (s *session) loop() {
 	defer s.wg.Wait() // in-flight replies need the connection state
 	for {
-		payload, err := readFrame(s.conn)
+		payload, err := readFrame(s.rd)
 		if err != nil {
 			return
 		}
@@ -138,13 +142,6 @@ func (s *session) dispatch(req request) {
 	s.srv.drainMu.RUnlock()
 	start := time.Now()
 	s.srv.pool.submit(func() {
-		defer func() {
-			s.srv.hRequest.ObserveDuration(time.Since(start))
-			s.srv.adm.release()
-			s.inflight.Add(-1)
-			s.srv.reqWG.Done()
-			s.wg.Done()
-		}()
 		// Continue the client's trace across the session frame: the span
 		// joins the injected context (or samples a fresh root for
 		// untraced clients) and is handed to the execution frame, so the
@@ -152,24 +149,43 @@ func (s *session) dispatch(req request) {
 		sp := s.srv.tracer.StartRemote(req.trace, "serve "+req.op)
 		sp.SetNode(s.srv.opts.Node)
 		sp.SetQueueWait(time.Since(start))
-		result, err := s.execute(req, deadline, sp)
-		var ws *WrongShardError
-		if errors.As(err, &ws) {
-			sp.SetEpoch(ws.Epoch)
-			s.srv.events.Emit(telemetry.EventRedirect, s.srv.opts.Node, req.trace.TraceID,
-				"%s -> owner %d epoch %d", req.op, ws.Owner, ws.Epoch)
+		// done finishes the request: span, reply, and the admission
+		// epilogue. On the synchronous path the worker calls it inline;
+		// on the async-journal path the durability layer calls it once
+		// the mutation is durable — possibly long after this worker
+		// moved on. The Once guards a buggy double-completion.
+		var once sync.Once
+		done := func(result wire.Value, err error) {
+			once.Do(func() {
+				var ws *WrongShardError
+				if errors.As(err, &ws) {
+					sp.SetEpoch(ws.Epoch)
+					s.srv.events.Emit(telemetry.EventRedirect, s.srv.opts.Node, req.trace.TraceID,
+						"%s -> owner %d epoch %d", req.op, ws.Owner, ws.Epoch)
+				}
+				sp.Finish(err)
+				if err != nil {
+					s.countReject(err)
+					status := errStatus(err)
+					if status == statusAppError {
+						s.srv.appErrors.Add(1)
+					}
+					s.reply(req.id, response{status: status, message: errMessage(err)})
+				} else {
+					s.reply(req.id, response{status: statusOK, result: result})
+				}
+				s.srv.hRequest.ObserveDuration(time.Since(start))
+				s.srv.adm.release()
+				s.inflight.Add(-1)
+				s.srv.reqWG.Done()
+				s.wg.Done()
+			})
 		}
-		sp.Finish(err)
-		if err != nil {
-			s.countReject(err)
-			status := errStatus(err)
-			if status == statusAppError {
-				s.srv.appErrors.Add(1)
-			}
-			s.reply(req.id, response{status: status, message: errMessage(err)})
-			return
+		result, err, async := s.execute(req, deadline, sp, done)
+		if async {
+			return // the async journal hook owns completion
 		}
-		s.reply(req.id, response{status: statusOK, result: result})
+		done(result, err)
 	})
 }
 
@@ -196,8 +212,15 @@ func (s *session) reply(id int64, r response) {
 	plain := encodeResponse(r)
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	frame, err := s.ciph.sealFrame(s.sendBuf, plain)
+	s.sendBuf = frame
+	if err != nil {
+		s.closeConn()
+		return
+	}
 	_ = s.conn.SetWriteDeadline(time.Now().Add(s.srv.opts.WriteTimeout))
-	n, err := writeFrame(s.conn, s.ciph.seal(plain))
+	_, err = s.conn.Write(frame)
+	n := len(frame)
 	_ = s.conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		// The read loop will observe the broken connection and tear the
@@ -213,36 +236,40 @@ func (s *session) reply(id int64, r response) {
 // hashes this session legitimately owns. sp (nil-safe) is the request's
 // serve span: execution frames carry it so proxy-call spans nest under
 // it, and journaled mutations inherit its context.
-func (s *session) execute(req request, deadline time.Time, sp *telemetry.Span) (wire.Value, error) {
+//
+// async reports that the request's completion was handed to the
+// JournalAsync hook (which will call done); the returned value/error
+// are then meaningless and the caller must not complete the request.
+func (s *session) execute(req request, deadline time.Time, sp *telemetry.Span, done func(wire.Value, error)) (_ wire.Value, _ error, async bool) {
 	if time.Now().After(deadline) {
-		return wire.Value{}, ErrDeadline
+		return wire.Value{}, ErrDeadline, false
 	}
 	switch req.op {
 	case opPing:
-		return wire.Null(), nil
+		return wire.Null(), nil, false
 
 	case opRelease:
 		e, ok := s.ns.Remove(req.handle)
 		if !ok {
-			return wire.Value{}, ErrForeignRef
+			return wire.Value{}, ErrForeignRef, false
 		}
 		// Unpinning makes the object collectable; the mirror is freed by
 		// the regular GC-release path (next sweep), not synchronously.
 		if err := s.srv.w.Untrusted().Unpin(wire.Ref(e.Class, e.Hash)); err != nil {
-			return wire.Value{}, &AppError{Msg: err.Error()}
+			return wire.Value{}, &AppError{Msg: err.Error()}, false
 		}
-		return wire.Null(), nil
+		return wire.Null(), nil, false
 
 	case opNew:
 		if err := s.srv.checkClass(req.class); err != nil {
-			return wire.Value{}, err
+			return wire.Value{}, err, false
 		}
 		if err := s.shardCheck(opNew, req.class, "", req.args); err != nil {
-			return wire.Value{}, err
+			return wire.Value{}, err, false
 		}
 		args, err := s.importValues(req.args)
 		if err != nil {
-			return wire.Value{}, err
+			return wire.Value{}, err, false
 		}
 		var out wire.Value
 		err = s.srv.w.ExecSpan(false, sp, func(env classmodel.Env) error {
@@ -254,17 +281,21 @@ func (s *session) execute(req request, deadline time.Time, sp *telemetry.Span) (
 			return err
 		})
 		if err != nil {
-			return wire.Value{}, appErr(err)
+			return wire.Value{}, appErr(err), false
 		}
-		if err := s.journal(Mutation{Op: opNew, Class: req.class, Args: args, Trace: sp.Context()}); err != nil {
-			return wire.Value{}, err
+		m := Mutation{Op: opNew, Class: req.class, Args: args, Trace: sp.Context()}
+		if s.journalAsync(m, out, done) {
+			return wire.Value{}, nil, true
 		}
-		return out, nil
+		if err := s.journal(m); err != nil {
+			return wire.Value{}, err, false
+		}
+		return out, nil, false
 
 	case opBind:
 		provider := s.srv.lookupExport(req.class)
 		if provider == nil {
-			return wire.Value{}, fmt.Errorf("%w: no export named %q", ErrBadRequest, req.class)
+			return wire.Value{}, fmt.Errorf("%w: no export named %q", ErrBadRequest, req.class), false
 		}
 		var out wire.Value
 		err := s.srv.w.ExecSpan(false, sp, func(env classmodel.Env) error {
@@ -276,21 +307,21 @@ func (s *session) execute(req request, deadline time.Time, sp *telemetry.Span) (
 			return err
 		})
 		if err != nil {
-			return wire.Value{}, appErr(err)
+			return wire.Value{}, appErr(err), false
 		}
-		return out, nil
+		return out, nil, false
 
 	case opCall:
 		e, ok := s.ns.Lookup(req.handle)
 		if !ok {
-			return wire.Value{}, ErrForeignRef
+			return wire.Value{}, ErrForeignRef, false
 		}
 		if err := s.shardCheck(opCall, e.Class, req.method, req.args); err != nil {
-			return wire.Value{}, err
+			return wire.Value{}, err, false
 		}
 		args, err := s.importValues(req.args)
 		if err != nil {
-			return wire.Value{}, err
+			return wire.Value{}, err, false
 		}
 		var out wire.Value
 		err = s.srv.w.ExecSpan(false, sp, func(env classmodel.Env) error {
@@ -302,14 +333,18 @@ func (s *session) execute(req request, deadline time.Time, sp *telemetry.Span) (
 			return err
 		})
 		if err != nil {
-			return wire.Value{}, appErr(err)
+			return wire.Value{}, appErr(err), false
 		}
-		if err := s.journal(Mutation{Op: opCall, Class: e.Class, Method: req.method, Args: args, Trace: sp.Context()}); err != nil {
-			return wire.Value{}, err
+		m := Mutation{Op: opCall, Class: e.Class, Method: req.method, Args: args, Trace: sp.Context()}
+		if s.journalAsync(m, out, done) {
+			return wire.Value{}, nil, true
 		}
-		return out, nil
+		if err := s.journal(m); err != nil {
+			return wire.Value{}, err, false
+		}
+		return out, nil, false
 	}
-	return wire.Value{}, ErrBadRequest
+	return wire.Value{}, ErrBadRequest, false
 }
 
 // shardCheck consults the partition predicate before a state-touching
@@ -322,6 +357,27 @@ func (s *session) shardCheck(op, class, method string, args []wire.Value) error 
 		return nil
 	}
 	return check(op, class, method, args)
+}
+
+// journalAsync hands a successfully executed mutation to the pipelined
+// durability hook, transferring completion ownership: the hook calls
+// complete when the mutation is durable, and complete finishes the
+// request with out (or withholds the OK on a journal error — the
+// mutation ran but is not durable, so the client must not be told it
+// succeeded). Returns false when no async hook is configured.
+func (s *session) journalAsync(m Mutation, out wire.Value, done func(wire.Value, error)) bool {
+	ja := s.srv.opts.JournalAsync
+	if ja == nil {
+		return false
+	}
+	ja(m, func(jerr error) {
+		if jerr != nil {
+			done(wire.Value{}, &AppError{Msg: "journal: " + jerr.Error()})
+			return
+		}
+		done(out, nil)
+	})
+	return true
 }
 
 // journal hands a successfully executed mutation to the durability
