@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-full serve-smoke obs-smoke crash-smoke fabric-smoke obs-fabric-smoke commit-smoke fuzz vet fmt examples clean
+.PHONY: all build test race cover bench bench-smoke bench-scale-smoke bench-ring-smoke bench-orderly bench-full serve-smoke obs-smoke crash-smoke fabric-smoke obs-fabric-smoke commit-smoke orderly-smoke fuzz vet fmt examples clean
 
 all: build test
 
@@ -15,7 +15,7 @@ build:
 test:
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sgx/... ./internal/ring/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/... ./internal/fabric/...
+	$(GO) test -race ./internal/sgx/... ./internal/ring/... ./internal/world/... ./internal/serve/... ./internal/telemetry/... ./internal/persist/... ./internal/fabric/... ./internal/orderly/...
 
 race:
 	$(GO) test -race ./...
@@ -90,6 +90,21 @@ obs-fabric-smoke:
 # attributes every replica delta to the commit round that shipped it).
 commit-smoke:
 	$(GO) run ./cmd/montsalvat-fabric -shards 3 -replicas 2 -load -failover -clients 4 -requests 24 -group-commit -metrics-addr 127.0.0.1:0 -obs-check
+
+# Model-check smoke: bounded exhaustive exploration of the boundary,
+# recovery, and failover state machines. The serve side sweeps the
+# in-process world alphabet (exhaustive depth 6, a deep states-bounded
+# pass, lockrank-armed passes over world and served gateway); the
+# fabric side exhausts the two-shard failover alphabet. Fails on any
+# invariant violation, printing the shrunk trace as a replayable seed.
+orderly-smoke:
+	$(GO) run ./cmd/montsalvat-serve -orderly-check
+	$(GO) run ./cmd/montsalvat-fabric -orderly-check
+
+# Model-checker throughput: the orderly explorer's budgeted deep mode,
+# recording distinct states/sec per configuration to BENCH_orderly.json.
+bench-orderly:
+	$(GO) run ./cmd/montsalvat-bench -json BENCH_orderly.json -suite orderly -quick -spin=false
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/

@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 		format     = fs.String("format", "text", "output format: text or csv")
 		profile    = fs.Bool("profile-dispatch", false, "run the KV demo with full-rate telemetry and print the dispatch profile")
 		jsonPath   = fs.String("json", "", "run a perf suite (see -suite) and append a machine-readable entry to this file (e.g. BENCH_rmi.json)")
-		suite      = fs.String("suite", "rmi", "perf suite for -json: rmi (BENCH_rmi.json), ring (rmi plus payload sweep), persist (BENCH_persist.json), fabric (BENCH_fabric.json) or obs (BENCH_obs.json)")
+		suite      = fs.String("suite", "rmi", "perf suite for -json: rmi (BENCH_rmi.json), ring (rmi plus payload sweep), persist (BENCH_persist.json), fabric (BENCH_fabric.json), obs (BENCH_obs.json) or orderly (BENCH_orderly.json)")
 		label      = fs.String("label", "run", "entry label for -json records")
 		sweep      = fs.Bool("payload-sweep", false, "with -json -suite rmi: include the ring payload sweep in the entry")
 		groupc     = fs.Bool("group-commit", false, "run fabric experiments on the pipelined group-commit ack path")
@@ -76,8 +76,10 @@ func run(args []string, out io.Writer) error {
 			return writeFabricPerf(opts, *jsonPath, *label, out)
 		case "obs":
 			return writeObsPerf(opts, *jsonPath, *label, out)
+		case "orderly":
+			return writeOrderlyPerf(opts, *jsonPath, *label, out)
 		default:
-			return fmt.Errorf("unknown -suite %q (want rmi, ring, persist, fabric or obs)", *suite)
+			return fmt.Errorf("unknown -suite %q (want rmi, ring, persist, fabric, obs or orderly)", *suite)
 		}
 	}
 	if *profile {
@@ -293,6 +295,42 @@ func writeObsPerf(opts bench.Options, path, label string, out io.Writer) error {
 	worst := entry.Points[len(entry.Points)-1]
 	fmt.Fprintf(out, "%s: appended %q (%d modes, cycle delta %+.0f/op, %s wall overhead %.1f%%)\n",
 		path, label, len(entry.Points), worst.CycleDelta, worst.Mode, worst.WallOverhead*100)
+	return nil
+}
+
+// writeOrderlyPerf runs the model-checker throughput suite (the orderly
+// explorer's budgeted deep mode) and appends the labelled entry to the
+// trajectory file, creating it when absent.
+func writeOrderlyPerf(opts bench.Options, path, label string, out io.Writer) error {
+	entry, err := bench.OrderlyPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	var file bench.OrderlyPerfFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First record: start a fresh trajectory.
+	default:
+		return err
+	}
+	file.Schema = bench.OrderlyPerfSchema
+	file.Entries = append(file.Entries, *entry)
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, p := range entry.Points {
+		fmt.Fprintf(out, "%s: appended %q (%s depth<=%d: %d states, %.0f states/s, %d resets)\n",
+			path, label, p.Config, p.MaxDepth, p.States, p.StatesPerSec, p.Resets)
+	}
 	return nil
 }
 

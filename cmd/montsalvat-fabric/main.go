@@ -52,7 +52,9 @@ import (
 	"time"
 
 	"montsalvat/internal/fabric"
+	"montsalvat/internal/orderly"
 	"montsalvat/internal/sgx"
+	"montsalvat/internal/smoke"
 	"montsalvat/internal/telemetry"
 )
 
@@ -76,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		metricsAddr = fs.String("metrics-addr", "", "fleet observability HTTP endpoint address (empty disables)")
 		traceSample = fs.Float64("trace-sample", 1, "fraction of routed operations traced (0 disables tracing)")
 		obsCheck    = fs.Bool("obs-check", false, "with -load: assert cross-World trace propagation and (with -failover) a complete promotion timeline")
+		orderlyChk  = fs.Bool("orderly-check", false, "model-check the fabric failover state machine (bounded exhaustive exploration), exit")
 
 		groupCommit   = fs.Bool("group-commit", false, "durable writes: group-commit WAL batching + pipelined replication (acks gated on the replica watermark)")
 		commitRecords = fs.Int("commit-records", 0, "with -group-commit: max records per commit batch (0 = engine default)")
@@ -83,6 +86,9 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *orderlyChk {
+		return orderly.RunCheck(out, orderly.FabricCheckPasses())
 	}
 	if *failover && !*load {
 		return fmt.Errorf("-failover requires -load")
@@ -151,10 +157,7 @@ func run(args []string, out io.Writer) error {
 // failover runs end by dumping the event journal as a timeline, and
 // obsCheck asserts the observability-plane invariants.
 func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, requests int, failover, obsCheck, checkCommit bool) error {
-	var (
-		ackedMu sync.Mutex
-		acked   = map[string]string{}
-	)
+	acked := smoke.NewLedger()
 	phase := func(name string, tolerant bool) error {
 		var wg sync.WaitGroup
 		errs := make(chan error, clients)
@@ -175,9 +178,7 @@ func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, r
 						errs <- fmt.Errorf("%s put %s: %w", name, k, err)
 						return
 					}
-					ackedMu.Lock()
-					acked[k] = v
-					ackedMu.Unlock()
+					acked.Ack(k, v)
 				}
 			}(c)
 		}
@@ -186,11 +187,8 @@ func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, r
 		for err := range errs {
 			return err
 		}
-		ackedMu.Lock()
-		n := len(acked)
-		ackedMu.Unlock()
 		fmt.Fprintf(out, "load: phase %s done in %v (%d acked writes total)\n",
-			name, time.Since(start).Round(time.Millisecond), n)
+			name, time.Since(start).Round(time.Millisecond), acked.Len())
 		return nil
 	}
 
@@ -217,16 +215,11 @@ func runLoad(out io.Writer, f *fabric.Fabric, fleet *telemetry.Fleet, clients, r
 
 	verify := f.Client(fabric.RouterConfig{})
 	defer verify.Close()
-	ackedMu.Lock()
-	defer ackedMu.Unlock()
-	for k, want := range acked {
-		v, ok, err := verify.Get(k)
-		if err != nil || !ok || v != want {
-			return fmt.Errorf("acked write lost: %q = (%q, %v, %v), want %q", k, v, ok, err, want)
-		}
+	if err := acked.Verify(verify.Get); err != nil {
+		return err
 	}
 	st := f.Stats()
-	fmt.Fprintf(out, "load: verified %d acked writes across %d shards\n", len(acked), st.Shards)
+	fmt.Fprintf(out, "load: verified %d acked writes across %d shards\n", acked.Len(), st.Shards)
 	fmt.Fprintf(out, "fabric: %d ship rounds (%d B), %d promotions, %d stale rejections, %d peer handshakes\n",
 		st.ShipRounds, st.ShipBytes, st.Promotions, st.StalePromotionsRejected, st.PeerHandshakes)
 
@@ -306,26 +299,9 @@ func checkObservability(out io.Writer, fleet *telemetry.Fleet, failover, checkCo
 	fmt.Fprintf(out, "obs-check: trace %d spans %d Worlds: %s\n", bestTrace, best, strings.Join(nodes, ", "))
 
 	if failover {
-		order := []telemetry.EventType{
-			telemetry.EventKill, telemetry.EventPromoteBegin,
-			telemetry.EventPromoteCommit, telemetry.EventEpochBump,
-		}
-		seqs := make([]uint64, 0, len(order))
-		events := fleet.Telemetry().Events().Dump()
-		last := uint64(0)
-		for _, want := range order {
-			found := false
-			for _, ev := range events {
-				if ev.Type == want && ev.Seq > last {
-					last = ev.Seq
-					seqs = append(seqs, ev.Seq)
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("obs-check: failover timeline incomplete: no %s event after seq %d", want, last)
-			}
+		seqs, err := smoke.FailoverTimeline(fleet.Telemetry().Events().Dump(), 1)
+		if err != nil {
+			return fmt.Errorf("obs-check: failover timeline incomplete: %w", err)
 		}
 		fmt.Fprintf(out, "obs-check: failover timeline complete (kill %d -> promote-begin %d -> promote-commit %d -> epoch-bump %d)\n",
 			seqs[0], seqs[1], seqs[2], seqs[3])

@@ -2,129 +2,21 @@ package main
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sync"
 	"time"
 
-	"montsalvat/internal/classmodel"
-	"montsalvat/internal/demo"
-	"montsalvat/internal/persist"
 	"montsalvat/internal/serve"
 	"montsalvat/internal/sgx"
-	"montsalvat/internal/shim"
-	"montsalvat/internal/telemetry"
+	"montsalvat/internal/smoke"
 	"montsalvat/internal/wire"
-	"montsalvat/internal/world"
 )
 
-// durableGateway is the crash-smoke fixture: a served KVStore whose
-// acked puts are journaled through a persist.Manager, plus the restore
-// path Server.Recover drives after the enclave is killed.
-type durableGateway struct {
-	w      *world.World
-	srv    *serve.Server
-	kv     *persist.WorldKV
-	fs     shim.FS
-	secret sgx.PlatformSecret
-	ctrs   *sgx.MemCounterStore
-	tel    *telemetry.Telemetry
-	out    io.Writer
-
-	mu  sync.Mutex
-	mgr *persist.Manager
-}
-
-func (g *durableGateway) manager() *persist.Manager {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.mgr
-}
-
-// openManager builds a Manager over the gateway's durable storage and
-// the world's current enclave incarnation.
-func (g *durableGateway) openManager() (*persist.Manager, error) {
-	ctr, err := sgx.NewMonotonicCounter(g.secret, g.ctrs, "gateway-kv")
-	if err != nil {
-		return nil, err
-	}
-	opts := persist.Options{
-		FS:           g.fs,
-		Enclave:      g.w.Enclave(),
-		Secret:       g.secret,
-		Counter:      ctr,
-		Dir:          "p/",
-		BeforeCommit: g.w.Flush,
-	}
-	if g.tel != nil {
-		opts.Telemetry = g.tel.Registry()
-	}
-	return persist.Open(opts)
-}
-
-// newStore creates and pins a fresh KVStore in the current enclave.
-func (g *durableGateway) newStore() (wire.Value, error) {
-	var ref wire.Value
-	err := g.w.Exec(false, func(env classmodel.Env) error {
-		v, err := env.New(demo.KVStoreCls)
-		if err != nil {
-			return err
-		}
-		ref = v
-		return nil
-	})
-	if err != nil {
-		return wire.Value{}, err
-	}
-	if err := g.w.Untrusted().Pin(ref); err != nil {
-		return wire.Value{}, err
-	}
-	return ref, nil
-}
-
-// bootStore wires the persist side up against the current enclave:
-// fresh store object, fresh Manager, recover from the untrusted files.
-func (g *durableGateway) bootStore() error {
-	ref, err := g.newStore()
-	if err != nil {
-		return err
-	}
-	g.kv.SetRef(ref)
-	m, err := g.openManager()
-	if err != nil {
-		return err
-	}
-	if err := m.Register(g.kv); err != nil {
-		return err
-	}
-	rep, err := m.Recover()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(g.out, "crash-smoke: %s\n", rep)
-	g.mu.Lock()
-	g.mgr = m
-	g.mu.Unlock()
-	return nil
-}
-
-// restore is the Server.Recover callback: the simulated machine
-// restart — enclave teardown, rebuild, re-attestation by the next
-// client, durable state recovery.
-func (g *durableGateway) restore() error {
-	g.w.Kill()
-	if err := g.w.Restart(); err != nil {
-		return err
-	}
-	return g.bootStore()
-}
-
-// runCrashSmoke boots a durable gateway in-process, writes through
-// attested sessions, kills and recovers the enclave twice, and fails
-// unless every acked write survives both crashes and new sessions
-// re-establish against the recovered gateway.
+// runCrashSmoke boots a durable gateway in-process (the shared
+// smoke.Gateway stack), writes through attested sessions, kills and
+// recovers the enclave twice, and fails unless every acked write
+// survives both crashes and new sessions re-establish against the
+// recovered gateway.
 func runCrashSmoke(out io.Writer, platform *sgx.Platform, sessions, requests int, cfg gatewayConfig) error {
 	tel := cfg.newTelemetry()
 	w, err := buildWorld(cfg, tel)
@@ -132,68 +24,27 @@ func runCrashSmoke(out io.Writer, platform *sgx.Platform, sessions, requests int
 		return err
 	}
 	defer w.Close()
-	secret, err := sgx.NewPlatformSecret()
-	if err != nil {
-		return err
-	}
-	g := &durableGateway{
-		w:      w,
-		fs:     shim.NewMemFS(),
-		secret: secret,
-		ctrs:   sgx.NewMemCounterStore(),
-		tel:    tel,
-		out:    out,
-	}
-	g.kv = persist.NewWorldKV("kv", w)
-	if err := g.bootStore(); err != nil {
-		return err
-	}
-
-	srv, err := serve.New(serve.Options{
+	g, err := smoke.StartGateway(smoke.GatewayOptions{
 		World:       w,
 		Platform:    platform,
 		MaxInFlight: cfg.maxInflight,
 		MaxSessions: cfg.maxSessions,
 		Telemetry:   tel,
+		Durable:     true,
 		Logf: func(format string, args ...any) {
-			fmt.Fprintf(out, format+"\n", args...)
-		},
-		Journal: func(m serve.Mutation) error {
-			if m.Op != serve.MutationCall || m.Class != demo.KVStoreCls || m.Method != "put" {
-				return nil
-			}
-			key, _ := m.Args[0].AsStr()
-			val, _ := m.Args[1].AsStr()
-			_, err := g.manager().Append("kv", persist.OpPut, key, []byte(val))
-			return err
+			fmt.Fprintf(out, "crash-smoke: "+format+"\n", args...)
 		},
 	})
 	if err != nil {
 		return err
 	}
-	g.srv = srv
-	srv.Export("kv", func(env classmodel.Env) (wire.Value, error) {
-		ref := g.kv.Ref()
-		if ref.IsNull() {
-			return wire.Value{}, errors.New("store not initialised")
-		}
-		return ref, nil
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(ln) }()
-	addr := ln.Addr().String()
-	client := serve.ClientConfig{Platform: platform, Measurement: srv.Measurement()}
-	meas := srv.Measurement()
-	fmt.Fprintf(out, "crash-smoke: durable gateway on %s, measurement %x\n", addr, meas[:8])
+	client := g.ClientConfig()
+	fmt.Fprintf(out, "crash-smoke: durable gateway on %s, measurement %x\n", g.Addr(), client.Measurement[:8])
 
-	acked := map[string]string{}
+	acked := smoke.NewLedger()
 	writeBurst := func(round int) error {
 		for s := 0; s < sessions; s++ {
-			c, err := serve.Dial(addr, client)
+			c, err := serve.Dial(g.Addr(), client)
 			if err != nil {
 				return fmt.Errorf("round %d session %d: %w", round, s, err)
 			}
@@ -209,14 +60,14 @@ func runCrashSmoke(out io.Writer, platform *sgx.Platform, sessions, requests int
 					c.Close()
 					return fmt.Errorf("round %d put: %w", round, err)
 				}
-				acked[k] = v
+				acked.Ack(k, v)
 			}
 			c.Close()
 		}
 		return nil
 	}
 	verifyAll := func(stage string) error {
-		c, err := serve.Dial(addr, client)
+		c, err := serve.Dial(g.Addr(), client)
 		if err != nil {
 			return fmt.Errorf("%s: dial: %w", stage, err)
 		}
@@ -225,41 +76,40 @@ func runCrashSmoke(out io.Writer, platform *sgx.Platform, sessions, requests int
 		if err != nil {
 			return fmt.Errorf("%s: bind: %w", stage, err)
 		}
-		for k, want := range acked {
-			v, err := c.Call(h, "get", wire.Str(k))
+		if err := acked.Verify(func(key string) (string, bool, error) {
+			v, err := c.Call(h, "get", wire.Str(key))
 			if err != nil {
-				return fmt.Errorf("%s: get %q: %w", stage, k, err)
+				return "", false, err
 			}
-			if got, _ := v.AsStr(); got != want {
-				return fmt.Errorf("%s: %q = %q, want %q", stage, k, got, want)
+			if v.IsNull() {
+				return "", false, nil
 			}
+			got, _ := v.AsStr()
+			return got, true, nil
+		}); err != nil {
+			return fmt.Errorf("%s: %w", stage, err)
 		}
-		fmt.Fprintf(out, "crash-smoke: %s: all %d acked writes present\n", stage, len(acked))
+		fmt.Fprintf(out, "crash-smoke: %s: all %d acked writes present\n", stage, acked.Len())
 		return nil
 	}
-	crash := func(n int) error {
+	crash := func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		return srv.Recover(ctx, func() error {
-			// The gateway must reject new sessions with the typed retry
-			// signal while the enclave is down.
-			if _, dialErr := serve.Dial(addr, client); !errors.Is(dialErr, serve.ErrRecovering) {
-				return fmt.Errorf("dial during recovery %d: %v, want ErrRecovering", n, dialErr)
-			}
-			return g.restore()
-		})
+		// CrashRecover's default during step asserts the gateway
+		// rejects new sessions with the typed retry signal mid-drain.
+		return g.CrashRecover(ctx, nil)
 	}
 
 	if err := writeBurst(1); err != nil {
 		return err
 	}
-	if err := g.manager().Checkpoint(); err != nil {
+	if err := g.Manager().Checkpoint(); err != nil {
 		return err
 	}
 	if err := writeBurst(2); err != nil { // these live only in the WAL tail
 		return err
 	}
-	if err := crash(1); err != nil {
+	if err := crash(); err != nil {
 		return fmt.Errorf("first recovery: %w", err)
 	}
 	if err := verifyAll("after first crash"); err != nil {
@@ -268,7 +118,7 @@ func runCrashSmoke(out io.Writer, platform *sgx.Platform, sessions, requests int
 	if err := writeBurst(3); err != nil {
 		return err
 	}
-	if err := crash(2); err != nil {
+	if err := crash(); err != nil {
 		return fmt.Errorf("second recovery: %w", err)
 	}
 	if err := verifyAll("after second crash"); err != nil {
@@ -277,13 +127,10 @@ func runCrashSmoke(out io.Writer, platform *sgx.Platform, sessions, requests int
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := g.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	if err := <-serveDone; err != nil {
-		return err
-	}
-	st := srv.Stats()
+	st := g.W.Stats()
 	if st.Recoveries != 2 {
 		return fmt.Errorf("crash-smoke failed: %d recoveries, want 2", st.Recoveries)
 	}

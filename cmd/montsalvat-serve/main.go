@@ -44,6 +44,7 @@ import (
 	"montsalvat/internal/bench"
 	"montsalvat/internal/core"
 	"montsalvat/internal/demo"
+	"montsalvat/internal/orderly"
 	"montsalvat/internal/serve"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/simcfg"
@@ -78,6 +79,7 @@ func run(args []string, out io.Writer) error {
 		load       = fs.Bool("load", false, "run the load generator against -addr instead of serving")
 		smoke      = fs.Bool("smoke", false, "boot an in-process gateway, run a load burst, verify, exit")
 		crashSmoke = fs.Bool("crash-smoke", false, "boot a durable in-process gateway, kill and recover the enclave twice under load, verify, exit")
+		orderlyChk = fs.Bool("orderly-check", false, "model-check the world and gateway state machines (bounded exhaustive exploration), exit")
 		sessions   = fs.Int("sessions", 8, "load generator: concurrent attested sessions")
 		requests   = fs.Int("requests", 64, "load generator: requests per session")
 		clients    = fs.Int("clients", 0, "scaling benchmark: boot an in-process gateway, compare 1-client vs N-client throughput, exit")
@@ -104,6 +106,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *crashSmoke {
 		return runCrashSmoke(out, platform, *sessions, *requests, cfg)
+	}
+	if *orderlyChk {
+		return orderly.RunCheck(out, orderly.ServeCheckPasses())
 	}
 	if *smoke {
 		// The observability smoke asserts a sampled trace is present, so

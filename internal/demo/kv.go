@@ -32,11 +32,23 @@ const kvBuckets = 128
 // [hits, misses, size]. The KVStore surface (put/get/size) is what the
 // enclave gateway serves to network clients.
 func KVProgram() (*classmodel.Program, error) {
+	return KVProgramWithBuckets(kvBuckets)
+}
+
+// KVProgramWithBuckets is KVProgram with an explicit hash-index
+// fan-out. Harnesses that build and tear down thousands of stores
+// (the orderly model checker resets the world on every backtrack)
+// shrink the fan-out so the constructor's bucket allocations stop
+// dominating reset latency; the serving surface is unchanged.
+func KVProgramWithBuckets(buckets int) (*classmodel.Program, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("demo: bucket fan-out must be positive, got %d", buckets)
+	}
 	p := classmodel.NewProgram()
 	if err := p.AddClass(kvEntryClass()); err != nil {
 		return nil, err
 	}
-	if err := p.AddClass(kvStoreClass()); err != nil {
+	if err := p.AddClass(kvStoreClass(buckets)); err != nil {
 		return nil, err
 	}
 	if err := p.AddClass(kvAuditLogClass()); err != nil {
@@ -138,7 +150,7 @@ func kvAuditLogClass() *classmodel.Class {
 // fixed-fan-out hash index of bucket lists (the near-constant lookup
 // path put/get take). Both reference the same Entry objects, so an
 // in-place setvalue is visible through either route.
-func kvStoreClass() *classmodel.Class {
+func kvStoreClass(fanout int) *classmodel.Class {
 	c := classmodel.NewClass(KVStoreCls, classmodel.Trusted)
 	mustField(c, classmodel.Field{Name: "entries", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
 	mustField(c, classmodel.Field{Name: "buckets", Kind: classmodel.FieldRef, ClassName: classmodel.BuiltinList})
@@ -160,7 +172,7 @@ func kvStoreClass() *classmodel.Class {
 			if err != nil {
 				return wire.Null(), err
 			}
-			for i := 0; i < kvBuckets; i++ {
+			for i := 0; i < fanout; i++ {
 				b, err := env.New(classmodel.BuiltinList)
 				if err != nil {
 					return wire.Null(), err
@@ -195,7 +207,7 @@ func kvStoreClass() *classmodel.Class {
 			{Class: KVAuditLog, Method: "record"},
 		},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
-			bucket, err := kvBucket(env, self, args[0])
+			bucket, err := kvBucket(env, self, args[0], fanout)
 			if err != nil {
 				return wire.Null(), err
 			}
@@ -251,7 +263,7 @@ func kvStoreClass() *classmodel.Class {
 			{Class: KVEntry, Method: "getvalue"},
 		},
 		Body: func(env classmodel.Env, self wire.Value, args []wire.Value) (wire.Value, error) {
-			bucket, err := kvBucket(env, self, args[0])
+			bucket, err := kvBucket(env, self, args[0], fanout)
 			if err != nil {
 				return wire.Null(), err
 			}
@@ -371,7 +383,7 @@ func kvFrontEndClass() *classmodel.Class {
 
 // kvBucket resolves the index bucket owning a key: hash the key (plain
 // Go, no boundary traffic), then one list lookup.
-func kvBucket(env classmodel.Env, self, key wire.Value) (wire.Value, error) {
+func kvBucket(env classmodel.Env, self, key wire.Value, fanout int) (wire.Value, error) {
 	buckets, err := env.GetField(self, "buckets")
 	if err != nil {
 		return wire.Null(), err
@@ -379,7 +391,7 @@ func kvBucket(env classmodel.Env, self, key wire.Value) (wire.Value, error) {
 	k, _ := key.AsStr()
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(k))
-	return env.Call(buckets, "get", wire.Int(int64(h.Sum32()%kvBuckets)))
+	return env.Call(buckets, "get", wire.Int(int64(h.Sum32()%uint32(fanout))))
 }
 
 // kvFindIn scans one bucket list for a key (inside the enclave, as part

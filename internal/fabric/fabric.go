@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"montsalvat/internal/core"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/telemetry"
 )
@@ -68,6 +69,19 @@ type Options struct {
 	SyncFallbackAfter time.Duration
 	// Logf receives diagnostics from every layer of the fabric.
 	Logf func(format string, args ...any)
+	// Signer, when set, replaces the freshly generated fabric signing
+	// key. Signers memoize SIGSTRUCTs per measurement, so a shared
+	// signer makes repeated fabric construction — the orderly
+	// explorer rebuilds the fabric on every backtrack — pay RSA key
+	// generation and signing once instead of per boot.
+	Signer *sgx.Signer
+	// Build, when set, is a prebuilt partitioned KV build whose images
+	// every node's World loads instead of re-running the partitioning
+	// transform and image build per node. Builds are deterministic and
+	// images are immutable at run time (worlds already share them
+	// across Kill/Restart), so sharing one build across nodes — and
+	// across fabric incarnations — is safe.
+	Build *core.BuildResult
 }
 
 // syncFallbackAfter resolves the watermark-wait bound.
@@ -129,9 +143,13 @@ func New(opts Options) (*Fabric, error) {
 	if platform == nil {
 		platform = sgx.NewPlatformFromSeed([]byte("montsalvat-fabric"))
 	}
-	signer, err := sgx.NewSigner()
-	if err != nil {
-		return nil, err
+	signer := opts.Signer
+	if signer == nil {
+		var err error
+		signer, err = sgx.NewSigner()
+		if err != nil {
+			return nil, err
+		}
 	}
 	secret, err := sgx.NewPlatformSecret()
 	if err != nil {

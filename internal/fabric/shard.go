@@ -15,13 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"montsalvat/internal/classmodel"
 	"montsalvat/internal/core"
 	"montsalvat/internal/demo"
+	"montsalvat/internal/lockrank"
 	"montsalvat/internal/persist"
 	"montsalvat/internal/serve"
 	"montsalvat/internal/sgx"
@@ -65,7 +65,7 @@ type shardNode struct {
 	peerLn   net.Listener
 	peerDone chan error
 
-	mu       sync.Mutex
+	mu       lockrank.Mutex
 	mgr      *persist.Manager
 	shippers []*shipper
 
@@ -73,7 +73,7 @@ type shardNode struct {
 	// ackMu > n.mu > shipper locks > manager mutex — ackMu may be held
 	// while computing the watermark (which snapshots shippers under
 	// n.mu), never the reverse.
-	ackMu       sync.Mutex
+	ackMu       lockrank.Mutex
 	waiters     []*pendingAck
 	pumpErr     error // non-nil once the pump is stopped; fails new waiters fast
 	pumpStopped bool
@@ -115,6 +115,9 @@ func (f *Fabric) buildWorld(tel *telemetry.Telemetry) (*world.World, error) {
 	opts := world.DefaultOptions()
 	opts.Signer = f.signer
 	opts.Telemetry = tel
+	if b := f.opts.Build; b != nil {
+		return world.NewPartitioned(opts, b.TrustedImage, b.UntrustedImage, b.Transform.Interface)
+	}
 	w, _, err := core.NewPartitionedWorld(demo.MustKVProgram(), opts)
 	return w, err
 }
@@ -190,6 +193,8 @@ func newShardNode(f *Fabric, id int) (*shardNode, error) {
 		return nil, err
 	}
 	n := &shardNode{id: id, fab: f, tel: tel, w: w, fs: shim.NewMemFS()}
+	n.mu.SetRank(lockrank.RankFabricNode, "fabric.shardNode.mu")
+	n.ackMu.SetRank(lockrank.RankFabricAck, "fabric.shardNode.ackMu")
 	n.kv = persist.NewWorldKV("kv", w)
 	ref, err := newStoreRef(w)
 	if err != nil {

@@ -27,10 +27,10 @@ package fabric
 // cost is visible per-trace, not just in aggregate.
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"montsalvat/internal/lockrank"
 	"montsalvat/internal/persist"
 	"montsalvat/internal/telemetry"
 )
@@ -49,11 +49,11 @@ type shipper struct {
 	// taking mu; held across the network round-trip by design (rounds
 	// must not interleave), which is why paused lives under its own
 	// lock.
-	ioMu sync.Mutex
+	ioMu lockrank.Mutex
 	have map[string]int64
 
 	// mu guards only paused.
-	mu     sync.Mutex
+	mu     lockrank.Mutex
 	paused bool
 
 	// ackedLSN is the highest primary LSN known durably applied at the
@@ -72,28 +72,34 @@ func newShipper(node *shardNode, conn *PeerConn) (*shipper, error) {
 		return nil, err
 	}
 	reg := node.tel.Registry()
-	return &shipper{
+	sh := &shipper{
 		node:         node,
 		conn:         conn,
 		have:         have,
 		bytesShipped: reg.Counter("montsalvat_persist_ship_bytes_total"),
 		latency:      reg.Histogram("montsalvat_persist_ship_latency_ns"),
 		failures:     reg.Counter("montsalvat_persist_ship_failures_total", "replica", conn.RemoteOrigin()),
-	}, nil
+	}
+	sh.ioMu.SetRank(lockrank.RankShipIO, "fabric.shipper.ioMu")
+	sh.mu.SetRank(lockrank.RankShipState, "fabric.shipper.mu")
+	return sh, nil
 }
 
 // ship pushes one delta round, continuing sc's trace (the journaled
 // request or commit group waiting on this) into a per-replica ship
-// span. Lock order: the manager's mutex is taken inside ReplicaDelta
-// while sh.ioMu is held; callers hold neither n.mu nor the manager's
-// mutex when calling, so there is no inversion.
+// span. Lock order: the node's manager pointer is resolved (under
+// n.mu) before sh.ioMu, because n.mu ranks above ioMu in the
+// hierarchy; the manager's own mutex is then taken inside
+// ReplicaDelta while ioMu is held. Callers hold neither n.mu nor the
+// manager's mutex when calling.
 func (sh *shipper) ship(sc telemetry.SpanContext) error {
 	if sh.pausedNow() {
 		return nil
 	}
+	mgr := sh.node.manager()
 	sh.ioMu.Lock()
 	defer sh.ioMu.Unlock()
-	d, err := sh.node.manager().ReplicaDelta(sh.have)
+	d, err := mgr.ReplicaDelta(sh.have)
 	if err != nil {
 		sh.failures.Inc()
 		return err

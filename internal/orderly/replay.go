@@ -1,0 +1,75 @@
+package orderly
+
+import (
+	"fmt"
+
+	"montsalvat/internal/lockrank"
+)
+
+// replayOutcome is the observable result of running a named action
+// trace against a fresh system.
+type replayOutcome struct {
+	// Hashes holds the canonical state hash after every applied step
+	// (the determinism fingerprint: same trace ⇒ same sequence).
+	Hashes []uint64
+	// Violation is the first falsified invariant, with Raw set to the
+	// applied prefix that triggered it. Nil when the trace ran clean.
+	Violation *Violation
+	// DisabledAt is the index of the first action whose guard
+	// rejected it (-1 when every action was enabled). The remainder
+	// of the trace is not applied.
+	DisabledAt int
+}
+
+// replayNames applies a trace of action names to a fresh system,
+// checking invariants after every step. Unknown action names are
+// errors; disabled actions stop the replay (reported via DisabledAt,
+// since a shrunk candidate that disables its own suffix simply fails
+// to reproduce).
+func replayNames(build Builder, trace []string, lockCheck bool) (*replayOutcome, error) {
+	if lockCheck {
+		defer lockrank.Enable()()
+	}
+	sys, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("orderly: build: %w", err)
+	}
+	defer sys.Close()
+	acts := sys.Alphabet()
+	byName := make(map[string]*Action, len(acts))
+	for i := range acts {
+		byName[acts[i].Name] = &acts[i]
+	}
+	out := &replayOutcome{DisabledAt: -1}
+	if lockCheck {
+		// Drop inversions recorded during build; steps own their own.
+		lockrank.TakeViolations()
+	}
+	for step, name := range trace {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("orderly: step %d: unknown action %q", step, name)
+		}
+		if a.Enabled != nil && !a.Enabled() {
+			out.DisabledAt = step
+			return out, nil
+		}
+		verr := a.Apply()
+		if verr != nil {
+			verr = wrapActionErr(name, verr)
+		} else if verr = sys.Check(); verr == nil && lockCheck {
+			if vs := lockrank.TakeViolations(); len(vs) > 0 {
+				verr = Violated("lock-hierarchy", "%s", vs[0])
+			}
+		}
+		if verr != nil {
+			out.Violation = &Violation{
+				Raw: append([]string(nil), trace[:step+1]...),
+				Err: verr,
+			}
+			return out, nil
+		}
+		out.Hashes = append(out.Hashes, sys.Hash())
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package orderly
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWorldReplayDeterminism replays a trace that crosses every
+// interesting regime — nested-ocall put, group window, checkpoint of
+// an open window, crash, recovery — and demands an identical canonical
+// hash sequence on every run. Replay determinism is the foundation the
+// explorer's backtracking and the shrinker both stand on.
+func TestWorldReplayDeterminism(t *testing.T) {
+	seed := FormatSeed("world", []string{
+		"ocall-put", "group-put", "window-close", "ring-put",
+		"checkpoint", "kill", "recover", "ecall-get", "quiesce",
+	})
+	first, err := ReplaySeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Violation != nil {
+		t.Fatalf("clean trace violated: %v", first.Violation.Err)
+	}
+	if len(first.Hashes) != 9 {
+		t.Fatalf("got %d hashes, want 9", len(first.Hashes))
+	}
+	for i := 0; i < 2; i++ {
+		again, err := ReplaySeed(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Hashes, again.Hashes) {
+			t.Fatalf("replay %d diverged:\n  %v\n  %v", i, first.Hashes, again.Hashes)
+		}
+	}
+}
+
+// TestWorldMutationAckLostWrite plants the classic durability bug — a
+// write acked although its journal append died in a crash — and
+// demands the checker catch it with a shrunk, replayable trace. The
+// minimal reproduction is arming the crash point and issuing the put:
+// two actions, found and certified by the shrinker.
+func TestWorldMutationAckLostWrite(t *testing.T) {
+	res, err := Explore(Options{Build: WorldBuilder(WorldConfig{Break: BreakAckLostWrite}), MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("planted ack-lost-write bug not caught")
+	}
+	if got := invariantName(v.Err); got != "acked-durability" {
+		t.Fatalf("violated %q, want acked-durability (%v)", got, v.Err)
+	}
+	if len(v.Trace) != 2 {
+		t.Fatalf("shrunk trace %v, want the 2-action minimum", v.Trace)
+	}
+	if v.Trace[0] != "arm-crash" {
+		t.Fatalf("shrunk trace %v, want arm-crash first", v.Trace)
+	}
+	assertSeedReproduces(t, FormatSeed("world", v.Trace), WorldBuilder(WorldConfig{Break: BreakAckLostWrite}), "acked-durability")
+}
+
+// TestWorldMutationLeakBaseline plants a shifted quiescence baseline;
+// the refcount-drain invariant must trip on the very first quiesce.
+func TestWorldMutationLeakBaseline(t *testing.T) {
+	res, err := Explore(Options{Build: WorldBuilder(WorldConfig{Break: BreakLeakBaseline}), MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("planted leak-baseline bug not caught")
+	}
+	if got := invariantName(v.Err); got != "refcount-drain" {
+		t.Fatalf("violated %q, want refcount-drain (%v)", got, v.Err)
+	}
+	if !reflect.DeepEqual(v.Trace, []string{"quiesce"}) {
+		t.Fatalf("shrunk trace %v, want [quiesce]", v.Trace)
+	}
+}
+
+// TestGatewayMutationSkipDrain inverts the recovery-drain assertion:
+// the gateway correctly rejects mid-drain sessions, so demanding
+// admission must be flagged on the first crash-recover.
+func TestGatewayMutationSkipDrain(t *testing.T) {
+	res, err := Explore(Options{Build: GatewayBuilder(GatewayConfig{Break: BreakSkipDrain}), MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("planted skip-drain inversion not caught")
+	}
+	if got := invariantName(v.Err); got != "recovery-drain" {
+		t.Fatalf("violated %q, want recovery-drain (%v)", got, v.Err)
+	}
+	if !reflect.DeepEqual(v.Trace, []string{"crash-recover"}) {
+		t.Fatalf("shrunk trace %v, want [crash-recover]", v.Trace)
+	}
+}
+
+// TestFabricMutationEpochDrift desynchronises the model's epoch
+// expectation; the epoch-bump invariant must trip on the first
+// promotion, and the shrunk trace must be the minimal kill+promote
+// pair.
+func TestFabricMutationEpochDrift(t *testing.T) {
+	res, err := Explore(Options{Build: FabricBuilder(FabricConfig{Break: BreakEpochDrift}), MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("planted epoch-drift bug not caught")
+	}
+	if got := invariantName(v.Err); got != "epoch-bump" {
+		t.Fatalf("violated %q, want epoch-bump (%v)", got, v.Err)
+	}
+	if !reflect.DeepEqual(v.Trace, []string{"kill-shard", "promote"}) {
+		t.Fatalf("shrunk trace %v, want [kill-shard promote]", v.Trace)
+	}
+}
+
+// assertSeedReproduces replays a shrunk trace against the same broken
+// build and fails unless it pins the same violated invariant — a
+// printed seed that does not reproduce is worse than no seed.
+func assertSeedReproduces(t *testing.T, seed string, build Builder, invariant string) {
+	t.Helper()
+	_, trace, err := ParseSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := replayNames(build, trace, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil || invariantName(out.Violation.Err) != invariant {
+		t.Fatalf("seed %q does not reproduce %s: %+v", seed, invariant, out.Violation)
+	}
+}
+
+// TestCorpusReplay replays every seed in testdata/corpus against the
+// production configurations. The corpus holds interleavings the
+// explorer once flagged (model gaps and real near-misses); each must
+// now replay clean and deterministically, with the lockrank shims
+// armed. A violation here is a regression.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty regression corpus")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seed string
+			for _, line := range strings.Split(string(raw), "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				seed = line
+				break
+			}
+			if seed == "" {
+				t.Fatalf("%s holds no seed", f)
+			}
+			first, err := ReplaySeed(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Violation != nil {
+				t.Fatalf("corpus seed %q violated: %v", seed, first.Violation.Err)
+			}
+			again, err := ReplaySeed(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first.Hashes, again.Hashes) {
+				t.Fatalf("corpus seed %q replay diverged", seed)
+			}
+		})
+	}
+}
+
+// TestSmokeSchedulesShallow sanity-checks RunCheck's plumbing on a
+// shallow schedule: per-pass reporting, shared per-config state sets,
+// and the OK summary. The full CI schedules run via `make
+// orderly-smoke`.
+func TestSmokeSchedulesShallow(t *testing.T) {
+	var sb strings.Builder
+	passes := []CheckPass{
+		{Label: "world shallow", Config: "world", MaxDepth: 2},
+		{Label: "world again", Config: "world", MaxDepth: 2},
+		{Label: "fabric shallow", Config: "fabric", MaxDepth: 2},
+	}
+	if err := RunCheck(&sb, passes); err != nil {
+		t.Fatalf("RunCheck: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"world shallow", "world again", "fabric shallow", ": OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunCheck output missing %q:\n%s", want, out)
+		}
+	}
+}

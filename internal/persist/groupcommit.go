@@ -1,10 +1,12 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
+
+	"montsalvat/internal/lockrank"
 )
 
 // Group commit (DESIGN.md §16). Every durable mutation pays three fixed
@@ -36,13 +38,20 @@ import (
 // batch protocol fails every member of the group (the crash matrix
 // covers the batch-specific points).
 
+// ErrNoGroupCommit reports a group-commit call on a Manager opened
+// without Options.GroupCommit.
+var ErrNoGroupCommit = errors.New("persist: group commit not enabled")
+
 // commitResult is what a group member gets back from its leader.
 type commitResult struct {
 	lsn uint64
 	err error
 }
 
-// commitReq is one parked mutation on the commit queue.
+// commitReq is one parked mutation on the commit queue. done is nil
+// for mutations enqueued through the non-blocking GroupEnqueue path:
+// nobody is parked on them, they are acked by the GroupFlush that
+// commits them.
 type commitReq struct {
 	op    Op
 	state string
@@ -57,8 +66,11 @@ type groupCommitter struct {
 	maxRecords int
 	maxBytes   int
 	maxDelay   time.Duration
+	// yield overrides the zero-delay window's scheduler yield
+	// (Options.Yield); nil means runtime.Gosched.
+	yield func()
 
-	mu      sync.Mutex // guards pending and leading
+	mu      lockrank.Mutex // guards pending and leading
 	pending []*commitReq
 	leading bool
 	full    chan struct{} // rung when pending reaches maxRecords
@@ -71,13 +83,15 @@ func newGroupCommitter(m *Manager, maxRecords, maxBytes int, maxDelay time.Durat
 	if maxBytes <= 0 {
 		maxBytes = 256 << 10
 	}
-	return &groupCommitter{
+	g := &groupCommitter{
 		m:          m,
 		maxRecords: maxRecords,
 		maxBytes:   maxBytes,
 		maxDelay:   maxDelay,
 		full:       make(chan struct{}, 1),
 	}
+	g.mu.SetRank(lockrank.RankGroupQueue, "persist.groupCommitter.mu")
+	return g
 }
 
 // append enqueues one mutation and blocks until a leader committed it
@@ -146,7 +160,11 @@ func (g *groupCommitter) lead() {
 // any timer latency on the ack path.
 func (g *groupCommitter) window() {
 	if g.maxDelay <= 0 {
-		runtime.Gosched()
+		if g.yield != nil {
+			g.yield()
+		} else {
+			runtime.Gosched()
+		}
 		return
 	}
 	timer := time.NewTimer(g.maxDelay)
@@ -176,19 +194,92 @@ func (g *groupCommitter) takeLocked() []*commitReq {
 	return batch
 }
 
-// commit journals one batch under m.mu and wakes every member.
-func (g *groupCommitter) commit(batch []*commitReq) {
+// commit journals one batch under m.mu and wakes every parked member
+// (GroupEnqueue'd requests have no waiter to wake).
+func (g *groupCommitter) commit(batch []*commitReq) error {
 	m := g.m
 	m.mu.Lock()
 	lsns, err := m.commitGroupLocked(batch)
 	m.mu.Unlock()
 	for i, req := range batch {
+		if req.done == nil {
+			continue
+		}
 		if err != nil {
 			req.done <- commitResult{err: err}
 			continue
 		}
 		req.done <- commitResult{lsn: lsns[i]}
 	}
+	return err
+}
+
+// GroupEnqueue parks one mutation on the commit queue without electing
+// a leader or blocking: the caller holds no durability promise for it
+// until a later GroupFlush (or a concurrent Append's leadership term)
+// commits the batch it lands in. This is the explorable half of the
+// group-commit protocol — a deterministic driver enqueues writes and
+// closes the window as two separate, synchronous actions, so every
+// interleaving of "mutation enqueued" and "window closed" is a distinct
+// schedule rather than a race inside append.
+func (m *Manager) GroupEnqueue(state string, op Op, key string, value []byte) error {
+	if m.gc == nil {
+		return ErrNoGroupCommit
+	}
+	g := m.gc
+	req := &commitReq{op: op, state: state, key: key, value: value}
+	g.mu.Lock()
+	g.pending = append(g.pending, req)
+	if len(g.pending) >= g.maxRecords {
+		select {
+		case g.full <- struct{}{}:
+		default:
+		}
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// GroupFlush synchronously closes the commit window: it drains the
+// whole pending queue batch by batch on the caller's goroutine, waking
+// any parked members, and returns the number of records committed. If
+// a concurrent Append caller is already leading, the queue belongs to
+// that leader and GroupFlush returns without stealing it. A batch
+// error stops the drain and fails the flush (the group's members saw
+// the same error).
+func (m *Manager) GroupFlush() (int, error) {
+	if m.gc == nil {
+		return 0, ErrNoGroupCommit
+	}
+	g := m.gc
+	total := 0
+	for {
+		g.mu.Lock()
+		if g.leading {
+			g.mu.Unlock()
+			return total, nil
+		}
+		batch := g.takeLocked()
+		g.mu.Unlock()
+		if batch == nil {
+			return total, nil
+		}
+		if err := g.commit(batch); err != nil {
+			return total, err
+		}
+		total += len(batch)
+	}
+}
+
+// GroupPending reports the number of enqueued-but-uncommitted
+// mutations on the commit queue (0 when group commit is off).
+func (m *Manager) GroupPending() int {
+	if m.gc == nil {
+		return 0
+	}
+	m.gc.mu.Lock()
+	defer m.gc.mu.Unlock()
+	return len(m.gc.pending)
 }
 
 // commitGroupLocked validates, seals, and appends one batch as a single

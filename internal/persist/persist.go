@@ -3,9 +3,9 @@ package persist
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
+	"montsalvat/internal/lockrank"
 	"montsalvat/internal/sgx"
 	"montsalvat/internal/shim"
 	"montsalvat/internal/telemetry"
@@ -74,6 +74,11 @@ type Options struct {
 	// immediately — batches then form only from natural queueing while
 	// a commit is in flight.
 	GroupMaxDelay time.Duration
+	// Yield overrides the scheduler yield a zero-delay commit leader
+	// uses to hold the batch window open (default runtime.Gosched).
+	// Deterministic drivers (the orderly explorer) inject a no-op so a
+	// leadership term never depends on scheduler timing.
+	Yield func()
 }
 
 // Manager is the durability engine: one sealed WAL plus checkpoint
@@ -81,7 +86,7 @@ type Options struct {
 // appends and checkpoints serialise on one mutex (the WAL is a total
 // order anyway).
 type Manager struct {
-	mu        sync.Mutex
+	mu        lockrank.Mutex
 	fs        shim.FS
 	enclave   *sgx.Enclave
 	secret    sgx.PlatformSecret
@@ -179,6 +184,12 @@ func Open(opts Options) (*Manager, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Injector == nil {
+		// Always carry a (disarmed) injector so callers can arm crash
+		// points deterministically through CrashInjector without having
+		// to plumb one at Open time — the model checker's hook.
+		opts.Injector = &Injector{}
+	}
 	m := &Manager{
 		fs:        opts.FS,
 		enclave:   opts.Enclave,
@@ -196,8 +207,10 @@ func Open(opts Options) (*Manager, error) {
 		events:    opts.Events,
 		node:      opts.Node,
 	}
+	m.mu.SetRank(lockrank.RankManager, "persist.Manager.mu")
 	if opts.GroupCommit {
 		m.gc = newGroupCommitter(m, opts.GroupMaxRecords, opts.GroupMaxBytes, opts.GroupMaxDelay)
+		m.gc.yield = opts.Yield
 	}
 	if m.tel != nil {
 		m.recovery = m.tel.Histogram("montsalvat_persist_recovery_duration_nanoseconds")
@@ -205,6 +218,13 @@ func Open(opts Options) (*Manager, error) {
 	}
 	return m, nil
 }
+
+// CrashInjector returns the manager's crash-point injector (never nil).
+// Arming a point makes the corresponding protocol step return a typed
+// *Crash — the public deterministic hook the orderly explorer (and any
+// crash-matrix harness) uses to schedule failures without plumbing an
+// Injector through Open.
+func (m *Manager) CrashInjector() *Injector { return m.injector }
 
 // Register adds a durable state. All states must be registered before
 // Recover; registration after recovery is rejected so checkpoints and

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"montsalvat/internal/heap"
+	"montsalvat/internal/lockrank"
 )
 
 // numShards is the stripe count of a Registry. Identity hashes are
@@ -234,7 +235,7 @@ func (r *Registry) Hashes() []int64 {
 // must hold the lock guarding that heap (the runtime's heap lock) across
 // those two calls.
 type WeakList struct {
-	mu      sync.Mutex
+	mu      lockrank.Mutex
 	heap    *heap.Heap
 	entries []weakEntry
 }
@@ -246,7 +247,9 @@ type weakEntry struct {
 
 // NewWeakList creates a weak list over h.
 func NewWeakList(h *heap.Heap) *WeakList {
-	return &WeakList{heap: h}
+	l := &WeakList{heap: h}
+	l.mu.SetRank(lockrank.RankWorldWeaks, "registry.WeakList.mu")
+	return l
 }
 
 // Track registers a freshly created proxy object.

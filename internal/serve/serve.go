@@ -309,6 +309,13 @@ func (srv *Server) Serve(ln net.Listener) error {
 	srv.mu.Lock()
 	srv.ln = ln
 	srv.mu.Unlock()
+	// A Shutdown that raced this registration found srv.ln nil and had
+	// no listener to close; honour the drain here instead of parking in
+	// Accept on a listener nothing will ever close.
+	if srv.draining.Load() {
+		_ = ln.Close()
+		return nil
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,6 +53,13 @@ var (
 // key used to sign the SIGSTRUCT of an enclave shared object).
 type Signer struct {
 	key *rsa.PrivateKey
+
+	// sigMu/sigs memoize SIGSTRUCTs per measurement: re-signing the same
+	// retained image on every World.Restart (and on every reset of the
+	// orderly explorer, which rebuilds thousands of worlds per run) would
+	// pay a full RSA-PSS signature each time for a bit-identical input.
+	sigMu sync.Mutex
+	sigs  map[[32]byte]SigStruct
 }
 
 // NewSigner generates a fresh signing key.
@@ -74,13 +82,28 @@ type SigStruct struct {
 	PublicKey *rsa.PublicKey
 }
 
-// Sign produces a SIGSTRUCT for the given measurement.
+// Sign produces a SIGSTRUCT for the given measurement. Signatures are
+// memoized per measurement: signing the same image twice returns the
+// same (still valid) SIGSTRUCT without re-running RSA-PSS.
 func (s *Signer) Sign(measurement [32]byte) (SigStruct, error) {
+	s.sigMu.Lock()
+	if ss, ok := s.sigs[measurement]; ok {
+		s.sigMu.Unlock()
+		return ss, nil
+	}
+	s.sigMu.Unlock()
 	sig, err := rsa.SignPSS(rand.Reader, s.key, crypto.SHA256, measurement[:], nil)
 	if err != nil {
 		return SigStruct{}, fmt.Errorf("sgx: sign sigstruct: %w", err)
 	}
-	return SigStruct{Measurement: measurement, Signature: sig, PublicKey: &s.key.PublicKey}, nil
+	ss := SigStruct{Measurement: measurement, Signature: sig, PublicKey: &s.key.PublicKey}
+	s.sigMu.Lock()
+	if s.sigs == nil {
+		s.sigs = make(map[[32]byte]SigStruct)
+	}
+	s.sigs[measurement] = ss
+	s.sigMu.Unlock()
+	return ss, nil
 }
 
 // MRSigner derives the signer identity from a SIGSTRUCT.
@@ -210,7 +233,7 @@ func (e *Enclave) Init(ss SigStruct) error {
 	if ss.PublicKey == nil {
 		return fmt.Errorf("%w: missing public key", ErrBadSignature)
 	}
-	if err := rsa.VerifyPSS(ss.PublicKey, crypto.SHA256, ss.Measurement[:], ss.Signature, nil); err != nil {
+	if err := verifySigStruct(ss); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSignature, err)
 	}
 	if ss.Measurement != e.measurement {
@@ -218,6 +241,35 @@ func (e *Enclave) Init(ss SigStruct) error {
 	}
 	e.mrsigner = ss.MRSigner()
 	e.st = stateInitialized
+	return nil
+}
+
+// verifiedSigs memoizes successful SIGSTRUCT verifications keyed by a
+// digest of (public key, measurement, signature). Signature
+// verification is deterministic, so re-verifying a bit-identical
+// SIGSTRUCT — which World.Restart and the orderly explorer's
+// replay-from-scratch resets do thousands of times per run — can skip
+// the RSA-PSS arithmetic after the first success. Failures are never
+// cached.
+var verifiedSigs sync.Map // [32]byte -> struct{}
+
+func verifySigStruct(ss SigStruct) error {
+	d := sha256.New()
+	d.Write(ss.PublicKey.N.Bytes())
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], uint64(ss.PublicKey.E))
+	d.Write(e[:])
+	d.Write(ss.Measurement[:])
+	d.Write(ss.Signature)
+	var key [32]byte
+	d.Sum(key[:0])
+	if _, ok := verifiedSigs.Load(key); ok {
+		return nil
+	}
+	if err := rsa.VerifyPSS(ss.PublicKey, crypto.SHA256, ss.Measurement[:], ss.Signature, nil); err != nil {
+		return err
+	}
+	verifiedSigs.Store(key, struct{}{})
 	return nil
 }
 

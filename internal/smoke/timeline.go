@@ -1,0 +1,44 @@
+package smoke
+
+import (
+	"fmt"
+
+	"montsalvat/internal/telemetry"
+)
+
+// failoverOrder is the event chain every completed failover must leave
+// in the fleet journal, in strictly increasing Seq order.
+var failoverOrder = []telemetry.EventType{
+	telemetry.EventKill,
+	telemetry.EventPromoteBegin,
+	telemetry.EventPromoteCommit,
+	telemetry.EventEpochBump,
+}
+
+// FailoverTimeline asserts the failover ordering invariant over the
+// fleet event journal: for each of the cycles completed failovers there
+// is a kill → promote-begin → promote-commit → epoch-bump chain, with
+// chains matched greedily in sequence order (chain n+1 starts strictly
+// after chain n's last event). It returns the matched Seq numbers,
+// 4 per cycle, or an error naming the first missing link.
+func FailoverTimeline(events []telemetry.Event, cycles int) ([]uint64, error) {
+	seqs := make([]uint64, 0, len(failoverOrder)*cycles)
+	last := uint64(0)
+	for cycle := 0; cycle < cycles; cycle++ {
+		for _, want := range failoverOrder {
+			found := false
+			for _, ev := range events {
+				if ev.Type == want && ev.Seq > last {
+					last = ev.Seq
+					seqs = append(seqs, ev.Seq)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("failover %d: no %s event after seq %d", cycle+1, want, last)
+			}
+		}
+	}
+	return seqs, nil
+}

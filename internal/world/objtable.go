@@ -1,10 +1,10 @@
 package world
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"montsalvat/internal/heap"
+	"montsalvat/internal/lockrank"
 )
 
 // tableShards is the stripe count of the runtime object table. Identity
@@ -21,7 +21,7 @@ type objEntry struct {
 
 // tableShard is one stripe of the object table.
 type tableShard struct {
-	mu      sync.Mutex
+	mu      lockrank.Mutex
 	entries map[int64]*objEntry
 }
 
@@ -45,6 +45,7 @@ func newObjTable() *objTable {
 	t := &objTable{}
 	for i := range t.shards {
 		t.shards[i].entries = make(map[int64]*objEntry)
+		t.shards[i].mu.SetRank(lockrank.RankWorldTable, "world.tableShard.mu")
 	}
 	return t
 }

@@ -13,6 +13,7 @@ import (
 	"montsalvat/internal/heap"
 	"montsalvat/internal/image"
 	"montsalvat/internal/isolate"
+	"montsalvat/internal/lockrank"
 	"montsalvat/internal/registry"
 	"montsalvat/internal/shim"
 	"montsalvat/internal/simcfg"
@@ -82,13 +83,13 @@ type Runtime struct {
 	// mutation. Handles are GC-stable and may cross heapMu critical
 	// sections; raw heap addresses may not (a collection between
 	// sections moves objects).
-	heapMu sync.Mutex
+	heapMu lockrank.Mutex
 	// table is the sharded object table: identity hash → refcounted
 	// strong handle, retained and released by activation frames.
 	table *objTable
 	// pinMu guards the permanent-root frame (static-field analog);
 	// outermost in the lock order.
-	pinMu sync.Mutex
+	pinMu lockrank.Mutex
 	pins  *frame
 
 	remoteOut  atomic.Uint64
@@ -135,6 +136,8 @@ func newRuntime(w *World, name string, trusted bool, img *image.Image, h *heap.H
 		table:   newObjTable(),
 		pins:    &frame{},
 	}
+	rt.pinMu.SetRank(lockrank.RankWorldPin, "world."+name+".pinMu")
+	rt.heapMu.SetRank(lockrank.RankWorldHeap, "world."+name+".heapMu")
 	// Registry strong-handle drops run outside every registry shard lock
 	// (the registry defers them), so taking the heap lock here cannot
 	// deadlock against the shard locks. Callers therefore must not hold

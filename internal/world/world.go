@@ -1009,6 +1009,27 @@ func (w *World) Stats() Stats {
 	return s
 }
 
+// LiveObjects folds the live strong-entry count of both runtimes'
+// object tables plus their tracked proxy weak refs — the retention the
+// crossing engine holds on behalf of frames and proxies. At quiescence
+// (queues flushed, sweeps drained, no frames active) the count is a
+// pure function of the reachable cross-boundary objects, which is what
+// the orderly explorer's refcount-drain invariant checks. Returns 0
+// while killed.
+func (w *World) LiveObjects() int {
+	w.stateMu.RLock()
+	defer w.stateMu.RUnlock()
+	n := 0
+	for _, rt := range []*Runtime{w.trusted, w.untrusted} {
+		if rt == nil {
+			continue
+		}
+		n += rt.table.len()
+		n += rt.weaks.Len()
+	}
+	return n
+}
+
 // PoolStats snapshots the marshal-buffer pool's hit/miss counters.
 func (w *World) PoolStats() boundary.BufPoolStats {
 	if w.bufs == nil {
